@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures.
+
+Benchmarks double as the paper's experiment regenerators: each one runs the
+experiment once under ``benchmark.pedantic`` (timing it) and prints the
+rows/series the paper reports, so ``pytest benchmarks/ --benchmark-only -s``
+reproduces every table and figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.loaders import load_adult, load_compas, load_german, load_meps
+
+
+@pytest.fixture(scope="session")
+def german():
+    return load_german(seed=0)
+
+
+@pytest.fixture(scope="session")
+def german_large():
+    return load_german(seed=0, n_train=3000, n_test=1200)
+
+
+@pytest.fixture(scope="session")
+def compas():
+    return load_compas(seed=0, n_train=3000, n_test=1000)
+
+
+@pytest.fixture(scope="session")
+def adult():
+    return load_adult(seed=0, n_train=6000, n_test=2000)
+
+
+@pytest.fixture(scope="session")
+def meps1():
+    return load_meps(1, seed=0, n_train=3000, n_test=1200)
+
+
+@pytest.fixture(scope="session")
+def meps2():
+    return load_meps(2, seed=0, n_train=3000, n_test=1200)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,57 @@
+"""Micro-benchmarks and ablations for the CI-testing substrate.
+
+Not a paper artefact per se, but quantifies the design choices DESIGN.md
+calls out: RCIT vs permutation-test cost, group-query overhead (testing 64
+features at once should cost far less than 64 single tests), and the
+adaptive dispatcher's discrete fast path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ci.gtest import GTestCI
+from repro.ci.permutation import PermutationCI
+from repro.ci.rcit import RCIT
+from repro.data.table import Table
+
+
+@pytest.fixture(scope="module")
+def wide_table():
+    rng = np.random.default_rng(0)
+    n = 2000
+    data = {"s": (rng.random(n) < 0.5).astype(int),
+            "z": rng.normal(size=n)}
+    for i in range(64):
+        data[f"f{i}"] = rng.normal(size=n)
+    return Table(data)
+
+
+def test_rcit_single_query(benchmark, wide_table):
+    tester = RCIT(seed=0)
+    result = benchmark(lambda: tester.test(wide_table, "f0", "s", ["z"]))
+    assert result.p_value >= 0.0
+
+
+def test_rcit_group_query_64(benchmark, wide_table):
+    """One pooled test over 64 features — the GrpSel primitive."""
+    tester = RCIT(seed=0)
+    group = [f"f{i}" for i in range(64)]
+    result = benchmark(lambda: tester.test(wide_table, group, "s", ["z"]))
+    assert result.p_value >= 0.0
+
+
+def test_gtest_discrete_fast_path(benchmark, wide_table):
+    tester = GTestCI()
+    binary = wide_table.with_column(
+        "b", (np.asarray(wide_table["f0"]) > 0).astype(int))
+    result = benchmark(lambda: tester.test(binary, "b", "s"))
+    assert result.p_value >= 0.0
+
+
+def test_permutation_cost_reference(benchmark, wide_table):
+    """Permutation testing is the expensive fallback RCIT replaces."""
+    tester = PermutationCI(alpha=0.05, n_permutations=50, seed=0)
+    result = benchmark.pedantic(
+        lambda: tester.test(wide_table, "f0", "s", ["z"]),
+        rounds=1, iterations=1)
+    assert result.p_value >= 0.0

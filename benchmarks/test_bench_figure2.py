@@ -1,0 +1,43 @@
+"""Figure 2: accuracy vs absolute odds difference on the four datasets.
+
+Paper shape to reproduce: ALL is most accurate and least fair; A is most
+fair and least accurate; GrpSel/SeqSel sit near-ALL accuracy at near-A
+fairness; Hamlet/SPred/Capuchin/FairPC fall in between.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import ascii_scatter, render_table
+from repro.experiments.tradeoff import run_tradeoff
+
+
+def _run_and_report(benchmark, dataset):
+    result = run_once(benchmark, run_tradeoff, dataset, seed=0)
+    print()
+    print(render_table(result.table(), title=f"Figure 2 -- {dataset.name}"))
+    print(ascii_scatter({r.method: (r.abs_odds_difference, r.accuracy)
+                         for r in result.reports}))
+    # Shape assertions (the paper's qualitative claims).
+    all_r = result.by_method("ALL")
+    a_r = result.by_method("A")
+    grp = result.by_method("GrpSel")
+    assert all_r.abs_odds_difference >= grp.abs_odds_difference
+    assert grp.accuracy >= a_r.accuracy - 0.02
+    return result
+
+
+def test_figure2a_meps1(benchmark, meps1):
+    _run_and_report(benchmark, meps1)
+
+
+def test_figure2b_meps2(benchmark, meps2):
+    _run_and_report(benchmark, meps2)
+
+
+def test_figure2c_german(benchmark, german_large):
+    _run_and_report(benchmark, german_large)
+
+
+def test_figure2d_compas(benchmark, compas):
+    _run_and_report(benchmark, compas)

@@ -1,0 +1,37 @@
+"""Figure 3: (a) the Adult trade-off panel, (b) RCIT runtime vs |Z|.
+
+Paper shapes: (a) same ordering as Figure 2 on Adult; (b) runtime grows
+roughly linearly in the conditioning-set size with a small gradient —
+group tests with |Z| in the hundreds stay cheap, which is what makes
+GrpSel practical.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import ascii_scatter, render_series, render_table
+from repro.experiments.timing import figure3b
+from repro.experiments.tradeoff import run_tradeoff
+
+
+def test_figure3a_adult(benchmark, adult):
+    result = run_once(benchmark, run_tradeoff, adult, seed=0)
+    print()
+    print(render_table(result.table(), title="Figure 3(a) -- Adult"))
+    print(ascii_scatter({r.method: (r.abs_odds_difference, r.accuracy)
+                         for r in result.reports}))
+    assert (result.by_method("ALL").abs_odds_difference
+            >= result.by_method("GrpSel").abs_odds_difference)
+
+
+def test_figure3b_rcit_runtime(benchmark):
+    sizes = {"German": 800, "MEPS": 2000, "Compas": 2000, "Adult": 5000}
+    series_list = run_once(benchmark, figure3b,
+                           set_sizes=[1, 4, 16, 64, 128, 256], sizes=sizes)
+    print()
+    for series in series_list:
+        xs, secs = series.series()
+        print(render_series(
+            xs, {f"{series.dataset} (n={series.n_rows})":
+                 [round(s, 4) for s in secs]},
+            x_label="|Z|", title=f"Figure 3(b) -- {series.dataset}"))
+        # Mild growth: |Z|=256 must cost well under 256x the |Z|=1 test.
+        assert secs[-1] < 64 * max(secs[0], 1e-4)

@@ -1,0 +1,34 @@
+"""Figure 4: CI tests vs percentage of biased variables (p), two sizes.
+
+Paper shape: SeqSel's cost is flat in p (driven by n alone); GrpSel's cost
+grows linearly with p and undercuts SeqSel while the biased fraction is
+small — the group-testing advantage holds when k = o(n / log n).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import render_series
+from repro.experiments.test_counts import sweep_bias_fraction
+
+PERCENTAGES = list(range(1, 11))
+
+
+def _run(benchmark, n_features):
+    sweep = run_once(benchmark, sweep_bias_fraction, n_features,
+                     PERCENTAGES, seed=0)
+    xs, seq, grp = sweep.series("p_percent")
+    print()
+    print(render_series(xs, {"SeqSel": seq, "GrpSel": grp}, x_label="p%",
+                        title=f"Figure 4 -- {n_features} features"))
+    # SeqSel flat; GrpSel increasing; GrpSel wins at small p.
+    assert max(seq) - min(seq) <= 0.3 * max(seq)
+    assert grp[-1] > grp[0]
+    assert grp[0] < seq[0]
+    return sweep
+
+
+def test_figure4a_1000_features(benchmark):
+    _run(benchmark, 1000)
+
+
+def test_figure4b_5000_features(benchmark):
+    _run(benchmark, 5000)

@@ -1,0 +1,39 @@
+"""Figure 5: CI tests vs total feature count n at fixed biased count k.
+
+Paper shape: SeqSel grows linearly in n; GrpSel grows like k log n, so the
+gap widens with n and shrinks with k (crossover near k ~ n / log n).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import render_series
+from repro.experiments.test_counts import sweep_feature_count
+
+FEATURE_COUNTS = [1000, 2000, 3000, 4000, 5000]
+
+
+def _run(benchmark, n_biased):
+    sweep = run_once(benchmark, sweep_feature_count, FEATURE_COUNTS,
+                     n_biased, seed=0)
+    xs, seq, grp = sweep.series("n_features")
+    print()
+    print(render_series(xs, {"SeqSel": seq, "GrpSel": grp}, x_label="n",
+                        title=f"Figure 5 -- {n_biased} biased features"))
+    # SeqSel ~linear: 5x n -> ~5x tests.
+    assert 3.5 < seq[-1] / seq[0] < 6.5
+    # GrpSel sublinear: far less than 5x growth.
+    assert grp[-1] / grp[0] < 2.5
+    return sweep
+
+
+def test_figure5a_100_biased(benchmark):
+    sweep = _run(benchmark, 100)
+    # With k=100, GrpSel should beat SeqSel at every n >= 1000.
+    _, seq, grp = sweep.series("n_features")
+    assert all(g < s for g, s in zip(grp, seq))
+
+
+def test_figure5b_500_biased(benchmark):
+    sweep = _run(benchmark, 500)
+    _, seq, grp = sweep.series("n_features")
+    # With k=500 the advantage shrinks at small n and reappears as n grows.
+    assert grp[-1] < seq[-1]

@@ -1,0 +1,44 @@
+"""§5.2 model selection: fairness of selected features across classifiers.
+
+Paper claim: "Across all datasets, we observe that SeqSel and GrpSel
+maintain fairness of the trained classifier while maintaining high
+accuracy" when swapping logistic regression for random forest / AdaBoost.
+"""
+
+from benchmarks.conftest import run_once
+from repro.ci.adaptive import AdaptiveCI
+from repro.core.grpsel import GrpSel
+from repro.experiments.figures import render_table
+from repro.experiments.harness import run_method
+from repro.ml.adaboost import AdaBoostClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.logistic import LogisticRegression
+
+CLASSIFIERS = {
+    "logistic": lambda: LogisticRegression(max_iter=100),
+    "random-forest": lambda: RandomForestClassifier(n_estimators=25,
+                                                    max_depth=8, seed=0),
+    "adaboost": lambda: AdaBoostClassifier(n_estimators=30, max_depth=2,
+                                           seed=0),
+}
+
+
+def test_model_selection_stability(benchmark, german_large):
+    def run():
+        selector = GrpSel(tester=AdaptiveCI(seed=0), seed=0)
+        return {name: run_method(german_large, selector,
+                                 classifier_factory=factory)
+                for name, factory in CLASSIFIERS.items()}
+
+    runs = run_once(benchmark, run)
+    rows = []
+    for name, run in runs.items():
+        row = run.report.row()
+        row["method"] = f"GrpSel+{name}"
+        rows.append(row)
+    print()
+    print(render_table(rows, title="Model selection (GrpSel features, German)"))
+    for name, run in runs.items():
+        assert run.report.abs_odds_difference < 0.2, name
+        assert run.report.cmi_s_pred_given_a < 0.02, name
+        assert run.report.accuracy > 0.6, name

@@ -1,0 +1,44 @@
+"""§5.3 "Advantages of Group-testing": spurious verdicts vs feature count.
+
+Paper shape: on all-independent data, SeqSel accumulates spurious
+rejections as t grows (~5 at t=500, ~47 at t=1000 in the paper's run)
+while GrpSel stays near zero until t ≈ 1000.
+"""
+
+from benchmarks.conftest import run_once
+from repro.ci.fisher_z import FisherZCI
+from repro.experiments.figures import render_series
+from repro.experiments.spuriousness import sweep_spuriousness
+
+FEATURE_COUNTS = [100, 200, 500, 1000]
+
+
+def test_spurious_selection_sweep(benchmark):
+    sweep = run_once(benchmark, sweep_spuriousness, FEATURE_COUNTS,
+                     n_samples=1000, seed=0)
+    xs, seq, grp = sweep.series()
+    print()
+    print(render_series(xs, {"SeqSel spurious": seq, "GrpSel spurious": grp},
+                        x_label="t", title="Spurious verdicts (independent data)"))
+    # GrpSel never worse than SeqSel, and strictly better at the tail.
+    assert all(g <= s for g, s in zip(grp, seq))
+    assert grp[-1] < seq[-1]
+    # SeqSel's spuriousness grows with t.
+    assert seq[-1] > seq[0]
+
+
+def test_spurious_alpha_sensitivity(benchmark):
+    """Looser alpha -> more spurious SeqSel verdicts; GrpSel stays ahead."""
+    def run():
+        from repro.experiments.spuriousness import spurious_counts
+        return [spurious_counts(300, n_samples=800,
+                                tester=FisherZCI(alpha=alpha), seed=0)
+                for alpha in (0.01, 0.05)]
+
+    strict, loose = run_once(benchmark, run)
+    print(f"\nalpha=0.01: SeqSel {strict.seqsel_spurious} "
+          f"GrpSel {strict.grpsel_spurious}")
+    print(f"alpha=0.05: SeqSel {loose.seqsel_spurious} "
+          f"GrpSel {loose.grpsel_spurious}")
+    assert loose.seqsel_spurious >= strict.seqsel_spurious
+    assert loose.grpsel_spurious <= loose.seqsel_spurious

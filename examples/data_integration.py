@@ -1,0 +1,93 @@
+"""Data-integration scenario: screening joined feature sources for bias.
+
+This is the paper's motivating workflow.  A data engineer holds a small
+training table (sensitive + admissible + target) and integrates candidate
+feature tables from external sources via PK-FK joins — a credit-bureau
+score table, a telecom-usage table, and Cognito-style derived features.
+Before shipping the widened table to the modelling team, GrpSel screens
+each incoming batch and keeps only columns that cannot worsen causal
+fairness (features arrive incrementally; by Lemma 3 the union of fair
+batches is fair).
+
+Run:  python examples/data_integration.py
+"""
+
+import numpy as np
+
+from repro.ci.adaptive import AdaptiveCI
+from repro.core import FairFeatureSelectionProblem, GrpSel
+from repro.data.integration import FeatureSource, add_entity_key, integrate
+from repro.data.loaders import load_german
+from repro.data.table import Table
+from repro.data.transforms import cognito_expand
+
+
+def external_sources(base: Table, seed: int = 1) -> list[FeatureSource]:
+    """Simulate two external feature tables keyed by entity id.
+
+    The credit-bureau table carries a clean score (driven by the admissible
+    account status) and a *biased* neighbourhood-risk column that proxies
+    the sensitive attribute.  The telecom table is pure noise.
+    """
+    rng = np.random.default_rng(seed)
+    n = base.n_rows
+    keys = np.asarray(base["entity_id"])
+    age = np.asarray(base["age"], dtype=float)
+    account = np.asarray(base["account_status"], dtype=float)
+
+    bureau = Table({
+        "entity_id": keys,
+        "bureau_score": 0.9 * account + rng.normal(size=n),
+        "neighbourhood_risk": np.where(rng.random(n) < 0.1, 1 - age, age),
+    })
+    telecom = Table({
+        "entity_id": keys,
+        "call_minutes": rng.normal(size=n),
+        "data_usage": rng.normal(size=n),
+    })
+    return [
+        FeatureSource("credit_bureau", bureau, key="entity_id"),
+        FeatureSource("telecom", telecom, key="entity_id"),
+    ]
+
+
+def main() -> None:
+    dataset = load_german(seed=0, n_train=3000, n_test=1000)
+    base = add_entity_key(dataset.train.select(
+        dataset.sensitive + dataset.admissible + [dataset.target]))
+    print(f"Base table: {base.n_rows} rows, columns {base.columns}")
+
+    # -- Batch 1: PK-FK joins against two external sources ----------------
+    widened = integrate(base, external_sources(base))
+    print(f"\nAfter joins: +{widened.n_cols - base.n_cols} columns "
+          f"({[c for c in widened.columns if c not in base.columns]})")
+
+    selector = GrpSel(tester=AdaptiveCI(alpha=0.01, seed=0), seed=0)
+    problem = FairFeatureSelectionProblem.from_table(
+        widened.drop(["entity_id"]), name="joined")
+    result = selector.select(problem)
+    print(result.summary())
+    print(f"  kept    : {result.selected}")
+    print(f"  screened: {result.rejected}   <- bias would leak through these")
+
+    # -- Batch 2: derived features (Cognito-style transforms) -------------
+    safe = widened.drop(["entity_id"]).select(
+        dataset.sensitive + dataset.admissible + [dataset.target]
+        + result.selected)
+    expanded = cognito_expand(safe, max_new=6)
+    derived = [c for c in expanded.columns if c not in safe.columns]
+    print(f"\nDerived features: {derived}")
+
+    problem2 = FairFeatureSelectionProblem.from_table(expanded,
+                                                      name="derived")
+    result2 = selector.select(problem2.with_candidates(derived))
+    print(result2.summary())
+    print(f"  kept    : {result2.selected}")
+    print(f"  screened: {result2.rejected}")
+
+    total = set(result.selected) | set(result2.selected)
+    print(f"\nFinal integrated feature set ({len(total)}): {sorted(total)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: fair feature selection on the German Credit stand-in.
+
+Loads the dataset, runs GrpSel, trains a classifier on the selected
+features, and compares accuracy/fairness against using all features.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.baselines import AllFeatures
+from repro.ci.adaptive import AdaptiveCI
+from repro.core import GrpSel
+from repro.data.loaders import load_german
+from repro.experiments.harness import run_method
+from repro.experiments.figures import render_table
+
+
+def main() -> None:
+    dataset = load_german(seed=0)
+    print(f"Loaded {dataset.name}: {dataset.train.n_rows} train / "
+          f"{dataset.test.n_rows} test rows")
+    print(f"  sensitive : {dataset.sensitive}")
+    print(f"  admissible: {dataset.admissible}")
+    print(f"  candidates: {dataset.candidates}")
+    print()
+
+    # Select causally fair features with GrpSel (group testing + RCIT/G-test).
+    selector = GrpSel(tester=AdaptiveCI(alpha=0.01, seed=0), seed=0)
+    run = run_method(dataset, selector)
+    print(run.selection.summary())
+    print(f"  phase 1 (C1): {run.selection.c1}")
+    print(f"  phase 2 (C2): {run.selection.c2}")
+    print(f"  rejected    : {run.selection.rejected}")
+    print()
+
+    # Compare against the train-on-everything baseline.
+    all_run = run_method(dataset, AllFeatures())
+    print(render_table(
+        [run.report.row(), all_run.report.row()],
+        title="GrpSel vs ALL on held-out data",
+    ))
+    print()
+    improvement = (all_run.report.abs_odds_difference
+                   - run.report.abs_odds_difference)
+    cost = all_run.report.accuracy - run.report.accuracy
+    print(f"GrpSel cut the absolute odds difference by {improvement:.3f} "
+          f"at an accuracy cost of {cost:.3f}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Synthetic audit: verify causal fairness by *simulating interventions*.
+
+Builds a fairness SCM with planted biased features, selects with SeqSel
+and GrpSel, then verifies Definition 1 directly: sample the interventional
+distributions P(Y' | do(S=s), do(A=a)) from the ground-truth SCM and
+measure the total-variation gap across sensitive values.  A sound selector
+yields (near-)zero interventional unfairness while the train-on-everything
+model does not — the paper's §5.3 validation.
+
+Run:  python examples/synthetic_audit.py
+"""
+
+import numpy as np
+
+from repro.causal import FairnessGraphSpec, fairness_scm
+from repro.ci.adaptive import AdaptiveCI
+from repro.core import FairFeatureSelectionProblem, GrpSel, OracleSelector, SeqSel
+from repro.fairness import interventional_unfairness
+from repro.ml import LogisticRegression
+
+
+def train_predictor(table, features, target="Y"):
+    """Fit logistic regression; return a table -> predictions closure."""
+    model = LogisticRegression().fit(table.matrix(features),
+                                     np.asarray(table[target]))
+
+    def predictor(sample):
+        return model.predict(sample.matrix(features))
+
+    return predictor
+
+
+def main() -> None:
+    spec = FairnessGraphSpec(n_features=16, n_biased=4, n_admissible=1,
+                             seed=7)
+    scm, ground = fairness_scm(spec)
+    train = scm.sample(6000, seed=8)
+    problem = FairFeatureSelectionProblem.from_table(train)
+    print(f"Planted graph: {len(ground.biased)} biased, "
+          f"{len(ground.mediated)} mediated, {len(ground.null)} null features")
+
+    # -- Selection ---------------------------------------------------------
+    tester = AdaptiveCI(alpha=0.01, seed=0)
+    results = {
+        "SeqSel": SeqSel(tester=tester).select(problem),
+        "GrpSel": GrpSel(tester=tester, seed=0).select(problem),
+        "Oracle": OracleSelector(scm.dag).select(problem),
+    }
+    for name, result in results.items():
+        missed = ground.safe - result.selected_set
+        leaked = result.selected_set - ground.safe
+        print(f"{name:7s} {result.summary()}")
+        print(f"         missed safe: {sorted(missed) or '-'}   "
+              f"leaked biased: {sorted(leaked) or '-'}")
+
+    # -- Interventional verification (Definition 1) -------------------------
+    admissible = scm.admissible
+    print("\nSimulated interventional unfairness "
+          "(max TV gap of P(Y'|do(S),do(A)) over S):")
+    configs = {
+        "GrpSel-selected": admissible + results["GrpSel"].selected,
+        "all features": admissible + problem.candidates,
+        "admissible only": list(admissible),
+    }
+    for label, features in configs.items():
+        predictor = train_predictor(train, features)
+        tv = interventional_unfairness(
+            scm, predictor,
+            sensitive_values={"S": [0, 1]},
+            admissible_values={a: [0, 1] for a in admissible},
+            n_samples=4000, seed=9,
+        )
+        print(f"  {label:17s} -> {tv:.4f}")
+
+    print("\nExpected: ~0 for GrpSel-selected and admissible-only; "
+          "large for all-features (the planted proxies leak do(S)).")
+
+
+if __name__ == "__main__":
+    main()

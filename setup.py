@@ -1,0 +1,9 @@
+"""Setup shim enabling legacy editable installs in offline environments.
+
+Project metadata lives in ``pyproject.toml``; this file only exists so
+``pip install -e .`` works without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

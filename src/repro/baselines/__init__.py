@@ -1,0 +1,23 @@
+"""Evaluation baselines from the paper's Figure 2 and §5.4."""
+
+from repro.baselines.admissible_only import AdmissibleOnly
+from repro.baselines.all_features import AllFeatures
+from repro.baselines.base import FeatureSelector
+from repro.baselines.capuchin import Capuchin, independence_repair_weights
+from repro.baselines.fairpc import FairPC
+from repro.baselines.hamlet import Hamlet
+from repro.baselines.reweighing import Reweighing, reweighing_weights
+from repro.baselines.spred import SPred
+
+__all__ = [
+    "AdmissibleOnly",
+    "AllFeatures",
+    "FeatureSelector",
+    "Capuchin",
+    "independence_repair_weights",
+    "FairPC",
+    "Hamlet",
+    "Reweighing",
+    "reweighing_weights",
+    "SPred",
+]

@@ -1,0 +1,27 @@
+"""Baseline **A**: use only the admissible variables.
+
+Trivially fair (sensitive influence through A is allowed by definition)
+but discards all candidate signal — the accuracy floor in Figure 2.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.core.result import Reason, SelectionResult
+
+
+class AdmissibleOnly:
+    """Select nothing; train on A alone."""
+
+    name = "A"
+
+    def select(self, problem: FairFeatureSelectionProblem) -> SelectionResult:
+        start = time.perf_counter()
+        result = SelectionResult(algorithm=self.name)
+        result.rejected = list(problem.candidates)
+        for feature in result.rejected:
+            result.reasons[feature] = Reason.REJECTED_BIASED
+        result.seconds = time.perf_counter() - start
+        return result

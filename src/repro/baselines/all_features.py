@@ -1,0 +1,26 @@
+"""Baseline **ALL**: use every candidate feature.
+
+The accuracy ceiling and fairness floor in Figure 2.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.core.result import Reason, SelectionResult
+
+
+class AllFeatures:
+    """Select the entire candidate pool."""
+
+    name = "ALL"
+
+    def select(self, problem: FairFeatureSelectionProblem) -> SelectionResult:
+        start = time.perf_counter()
+        result = SelectionResult(algorithm=self.name)
+        result.c1 = list(problem.candidates)
+        for feature in result.c1:
+            result.reasons[feature] = Reason.PHASE1_INDEPENDENT
+        result.seconds = time.perf_counter() - start
+        return result

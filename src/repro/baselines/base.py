@@ -1,0 +1,24 @@
+"""Feature-selector interface shared by SeqSel/GrpSel and all baselines.
+
+A selector consumes a :class:`FairFeatureSelectionProblem` and returns a
+:class:`SelectionResult`; the experiment harness then trains a classifier
+on ``A ∪ selected`` and evaluates fairness/accuracy, so every method in
+Figure 2 is comparable through one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.core.result import SelectionResult
+
+
+@runtime_checkable
+class FeatureSelector(Protocol):
+    """Anything that maps a problem to a selection."""
+
+    name: str
+
+    def select(self, problem: FairFeatureSelectionProblem) -> SelectionResult:
+        ...  # pragma: no cover - protocol

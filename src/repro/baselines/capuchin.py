@@ -1,0 +1,109 @@
+"""Baseline **Capuchin** (Salimi et al., SIGMOD 2019): causal database repair.
+
+Capuchin enforces interventional fairness by *repairing the training data*
+so that ``Y ⊥ S | A`` holds empirically — inserting/duplicating/reweighting
+tuples until the saturated independence constraint is satisfied — and then
+training an ordinary classifier on all features.
+
+We implement the matrix-factorisation-free "independence repair by tuple
+weighting" variant: target joint ``P*(S, A, Y) = P(A) P(S | A) P(Y | A)``,
+achieved by giving each tuple the weight ``P*(s, a, y) / P(s, a, y)``.
+Classifiers in :mod:`repro.ml` accept sample weights, so repair composes
+with any of them.  Note Capuchin is *not* a feature selector — it keeps all
+features — which is why the paper reports it fair-but-not-maximally-so
+under distribution shift.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.ci.base import encode_rows
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.core.result import Reason, SelectionResult
+from repro.data.table import Table
+
+
+def independence_repair_weights(table: Table, sensitive: list[str],
+                                admissible: list[str], target: str,
+                                smoothing: float = 0.5) -> np.ndarray:
+    """Per-tuple weights enforcing ``Y ⊥ S | A`` in the weighted empirical joint.
+
+    Weight of a tuple with values ``(s, a, y)`` is
+    ``P(s | a) P(y | a) / P(s, y | a)`` (Laplace-smoothed), normalised to
+    mean 1.  Strata where conditional independence already holds receive
+    weight ~1.
+    """
+    n = table.n_rows
+    s_codes = encode_rows(np.round(table.matrix(sensitive)).astype(np.int64))
+    y_codes = encode_rows(np.round(table.matrix([target])).astype(np.int64))
+    if admissible:
+        a_codes = encode_rows(np.round(table.matrix(admissible)).astype(np.int64))
+    else:
+        a_codes = np.zeros(n, dtype=np.int64)
+
+    weights = np.ones(n)
+    for stratum in np.unique(a_codes):
+        mask = a_codes == stratum
+        s_stratum = s_codes[mask]
+        y_stratum = y_codes[mask]
+        m = int(mask.sum())
+        s_values = np.unique(s_stratum)
+        y_values = np.unique(y_stratum)
+        k_cells = s_values.size * y_values.size
+        joint: dict[tuple[int, int], float] = {}
+        ps: dict[int, float] = {}
+        py: dict[int, float] = {}
+        for sv in s_values:
+            ps[int(sv)] = (np.sum(s_stratum == sv) + smoothing) / (m + smoothing * s_values.size)
+        for yv in y_values:
+            py[int(yv)] = (np.sum(y_stratum == yv) + smoothing) / (m + smoothing * y_values.size)
+        for sv in s_values:
+            for yv in y_values:
+                count = np.sum((s_stratum == sv) & (y_stratum == yv))
+                joint[(int(sv), int(yv))] = (count + smoothing) / (m + smoothing * k_cells)
+        idx = np.flatnonzero(mask)
+        for i in idx:
+            key = (int(s_codes[i]), int(y_codes[i]))
+            weights[i] = ps[key[0]] * py[key[1]] / joint[key]
+    return weights * (n / weights.sum())
+
+
+class Capuchin:
+    """Database-repair baseline.
+
+    As a *selector* it keeps every feature (repair happens on tuples, not
+    columns); the harness must pass :attr:`last_weights_` as sample weights
+    when training, which :func:`repro.experiments.harness.run_method` does
+    automatically for this baseline.
+    """
+
+    name = "Capuchin"
+
+    def __init__(self, smoothing: float = 0.5) -> None:
+        self.smoothing = smoothing
+        self.last_weights_: np.ndarray | None = None
+
+    def select(self, problem: FairFeatureSelectionProblem) -> SelectionResult:
+        start = time.perf_counter()
+        result = SelectionResult(algorithm=self.name)
+        result.c1 = list(problem.candidates)
+        for feature in result.c1:
+            result.reasons[feature] = Reason.PHASE1_INDEPENDENT
+        self.last_weights_ = independence_repair_weights(
+            problem.table, problem.sensitive, problem.admissible,
+            problem.target, smoothing=self.smoothing,
+        )
+        result.seconds = time.perf_counter() - start
+        return result
+
+    def training_weights(self, problem: FairFeatureSelectionProblem) -> np.ndarray:
+        """Repair weights for the problem's table (computing if needed)."""
+        if self.last_weights_ is None or self.last_weights_.shape[0] != problem.table.n_rows:
+            self.last_weights_ = independence_repair_weights(
+                problem.table, problem.sensitive, problem.admissible,
+                problem.target, smoothing=self.smoothing,
+            )
+        return self.last_weights_

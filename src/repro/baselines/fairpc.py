@@ -1,0 +1,80 @@
+"""Baseline **Fair-PC**: learn the causal graph with PC, then prune.
+
+Runs the PC algorithm over S ∪ A ∪ X ∪ Y and keeps a candidate iff it is
+*not* a possible descendant of the sensitive attributes in the learned
+CPDAG once admissible-mediated paths are discounted (we remove edges into
+the admissible set before the reachability query, mirroring ``G_bar(A)``).
+
+The paper's Remark 3 anticipates the weaknesses this baseline exhibits:
+PC needs many CI tests, errs under finite samples, and orientation
+ambiguity forces conservative pruning — which is why Fair-PC loses
+accuracy relative to SeqSel/GrpSel in Figure 2.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.causal.discovery.pc import PCAlgorithm
+from repro.ci.base import CITestLedger, CITester
+from repro.ci.rcit import RCIT
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.core.result import Reason, SelectionResult
+
+
+class FairPC:
+    """Graph-discovery-based fair feature selection."""
+
+    name = "FairPC"
+
+    def __init__(self, tester: CITester | None = None,
+                 max_conditioning: int | None = 2) -> None:
+        self.tester = tester if tester is not None else RCIT(seed=0)
+        self.max_conditioning = max_conditioning
+
+    def select(self, problem: FairFeatureSelectionProblem) -> SelectionResult:
+        start = time.perf_counter()
+        ledger = CITestLedger(self.tester)
+        result = SelectionResult(algorithm=self.name)
+
+        variables = (problem.sensitive + problem.admissible
+                     + problem.candidates + [problem.target])
+        pc = PCAlgorithm(ledger, max_conditioning=self.max_conditioning)
+        cpdag = pc.fit(problem.table, variables)
+
+        # Discount admissible-mediated influence: drop edges into A, then ask
+        # which candidates remain possibly downstream of S.
+        reachable = self._possible_descendants_excluding_admissible(
+            cpdag, problem.sensitive, set(problem.admissible)
+        )
+        for candidate in problem.candidates:
+            if candidate in reachable:
+                result.rejected.append(candidate)
+                result.reasons[candidate] = Reason.REJECTED_BIASED
+            else:
+                result.c1.append(candidate)
+                result.reasons[candidate] = Reason.PHASE1_INDEPENDENT
+
+        result.n_ci_tests = ledger.n_tests
+        result.seconds = time.perf_counter() - start
+        return result
+
+    @staticmethod
+    def _possible_descendants_excluding_admissible(cpdag, sensitive, admissible):
+        """Reachability from S that never *enters* an admissible node.
+
+        Walking into A would correspond to an S -> ... -> A -> X path,
+        which Definition 1 permits, so those paths are not disqualifying.
+        """
+        from collections import deque
+
+        frontier = deque(sensitive)
+        seen = set(sensitive)
+        while frontier:
+            node = frontier.popleft()
+            for nxt in cpdag.children(node) | cpdag.undirected_neighbors(node):
+                if nxt in admissible or nxt in seen:
+                    continue
+                seen.add(nxt)
+                frontier.append(nxt)
+        return seen - set(sensitive)

@@ -1,0 +1,111 @@
+"""Baseline **Hamlet** (Kumar et al., "To join or not to join?").
+
+Hamlet decides whether a join can be *safely avoided*: if the joined
+feature adds too little information about the target relative to the
+complexity it introduces, skip the join.  The decision is fairness-blind —
+exactly the property the paper uses it to illustrate (it keeps biased
+proxies when they are predictive).
+
+We implement the information-gain form of the rule: keep a candidate iff
+its normalised mutual information with the target, given the current
+feature set (approximated marginally for tractability), exceeds a
+threshold scaled by the tuple-ratio safety heuristic.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.ci.base import encode_rows
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.core.result import Reason, SelectionResult
+
+
+def _mutual_information(x: np.ndarray, y: np.ndarray) -> float:
+    """Bias-corrected plug-in MI between two integer-coded arrays (nats).
+
+    Applies the Miller–Madow correction ``(|X|-1)(|Y|-1) / 2n`` so that
+    independent features with many strata do not accrue spurious gain —
+    without it, every noise column would clear Hamlet's threshold on small
+    tables.
+    """
+    n = x.size
+    joint: dict[tuple[int, int], int] = {}
+    for a, b in zip(x.tolist(), y.tolist()):
+        joint[(a, b)] = joint.get((a, b), 0) + 1
+    px: dict[int, int] = {}
+    py: dict[int, int] = {}
+    for (a, b), c in joint.items():
+        px[a] = px.get(a, 0) + c
+        py[b] = py.get(b, 0) + c
+    mi = 0.0
+    for (a, b), c in joint.items():
+        mi += (c / n) * np.log(c * n / (px[a] * py[b]))
+    bias = (len(px) - 1) * (len(py) - 1) / (2.0 * n)
+    return max(0.0, float(mi - bias))
+
+
+def _discretize(values: np.ndarray, n_bins: int = 8) -> np.ndarray:
+    """Integer-code a column, quantile-binning continuous values."""
+    uniq = np.unique(values)
+    if uniq.size <= n_bins:
+        return np.searchsorted(uniq, values).astype(np.int64)
+    edges = np.quantile(values, np.linspace(0, 1, n_bins + 1)[1:-1])
+    return np.searchsorted(edges, values).astype(np.int64)
+
+
+class Hamlet:
+    """Join-avoidance heuristic selector.
+
+    ``gain_threshold`` is the minimum normalised information gain (MI over
+    target entropy) a candidate must contribute to justify its join.
+    """
+
+    name = "Hamlet"
+
+    def __init__(self, gain_threshold: float = 0.01, n_bins: int = 8) -> None:
+        if gain_threshold < 0:
+            raise ValueError(f"gain_threshold must be >= 0, got {gain_threshold}")
+        self.gain_threshold = gain_threshold
+        self.n_bins = n_bins
+
+    def select(self, problem: FairFeatureSelectionProblem) -> SelectionResult:
+        start = time.perf_counter()
+        result = SelectionResult(algorithm=self.name)
+        table = problem.table
+        y = _discretize(np.asarray(table[problem.target], dtype=float), self.n_bins)
+        counts = np.bincount(y)
+        probs = counts[counts > 0] / y.size
+        h_y = float(-np.sum(probs * np.log(probs)))
+        if h_y <= 0:
+            # Constant target: no feature can add information.
+            result.rejected = list(problem.candidates)
+            for f in result.rejected:
+                result.reasons[f] = Reason.REJECTED_BIASED
+            result.seconds = time.perf_counter() - start
+            return result
+
+        # Baseline information already held by the admissible features.
+        if problem.admissible:
+            base_codes = encode_rows(np.column_stack(
+                [_discretize(np.asarray(table[a], dtype=float), self.n_bins)
+                 for a in problem.admissible]
+            ))
+        else:
+            base_codes = np.zeros(table.n_rows, dtype=np.int64)
+        base_gain = _mutual_information(base_codes, y)
+
+        for candidate in problem.candidates:
+            codes = _discretize(np.asarray(table[candidate], dtype=float), self.n_bins)
+            joint_codes = encode_rows(np.column_stack([base_codes, codes]))
+            gain = (_mutual_information(joint_codes, y) - base_gain) / h_y
+            if gain >= self.gain_threshold:
+                result.c1.append(candidate)
+                result.reasons[candidate] = Reason.PHASE1_INDEPENDENT
+            else:
+                result.rejected.append(candidate)
+                result.reasons[candidate] = Reason.REJECTED_BIASED
+        result.seconds = time.perf_counter() - start
+        return result

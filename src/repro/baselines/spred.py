@@ -1,0 +1,75 @@
+"""Baseline **SPred**: drop features most predictive of the sensitive attribute.
+
+Train a classifier ``S ~ all candidates``, rank candidates by importance,
+and remove the top ones.  As the paper observes, SPred catches *some*
+proxies but has no principled stopping rule and no notion of admissibility,
+so it both under- and over-prunes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.core.result import Reason, SelectionResult
+from repro.ml.importance import permutation_importance
+from repro.ml.logistic import LogisticRegression
+from repro.ml.preprocessing import StandardScaler
+from repro.rng import SeedLike
+
+
+class SPred:
+    """Sensitive-predictability pruning.
+
+    Features whose permutation importance for predicting S exceeds
+    ``importance_threshold`` (absolute accuracy drop) are removed; at most
+    ``max_removed_fraction`` of the pool is pruned, mirroring the
+    "remove the highly predictive features" heuristic.
+    """
+
+    name = "SPred"
+
+    def __init__(self, importance_threshold: float = 0.01,
+                 max_removed_fraction: float = 0.5,
+                 seed: SeedLike = 0) -> None:
+        if not 0.0 <= max_removed_fraction <= 1.0:
+            raise ValueError("max_removed_fraction must be in [0, 1]")
+        self.importance_threshold = importance_threshold
+        self.max_removed_fraction = max_removed_fraction
+        self._seed = seed
+
+    def select(self, problem: FairFeatureSelectionProblem) -> SelectionResult:
+        start = time.perf_counter()
+        result = SelectionResult(algorithm=self.name)
+        candidates = list(problem.candidates)
+        if not candidates:
+            result.seconds = time.perf_counter() - start
+            return result
+
+        table = problem.table
+        X = StandardScaler().fit_transform(table.matrix(candidates))
+        s = np.asarray(table[problem.sensitive[0]])
+
+        model = LogisticRegression(max_iter=100)
+        model.fit(X, s)
+        importances = permutation_importance(model, X, s, n_repeats=3,
+                                             seed=self._seed)
+
+        order = np.argsort(-importances, kind="stable")
+        max_removed = int(round(self.max_removed_fraction * len(candidates)))
+        removed: set[str] = set()
+        for rank in order[:max_removed]:
+            if importances[rank] >= self.importance_threshold:
+                removed.add(candidates[rank])
+
+        for candidate in candidates:
+            if candidate in removed:
+                result.rejected.append(candidate)
+                result.reasons[candidate] = Reason.REJECTED_BIASED
+            else:
+                result.c1.append(candidate)
+                result.reasons[candidate] = Reason.PHASE1_INDEPENDENT
+        result.seconds = time.perf_counter() - start
+        return result

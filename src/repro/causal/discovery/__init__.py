@@ -1,0 +1,6 @@
+"""Causal structure discovery (PC algorithm, CPDAGs)."""
+
+from repro.causal.discovery.cpdag import CPDAG
+from repro.causal.discovery.pc import PCAlgorithm
+
+__all__ = ["CPDAG", "PCAlgorithm"]

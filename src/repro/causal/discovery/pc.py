@@ -1,0 +1,144 @@
+"""The PC algorithm (Spirtes et al.) for causal structure discovery.
+
+Used by the **Fair-PC** baseline: learn the CPDAG from data, then prune
+features that are possible descendants of the sensitive attribute outside
+the admissible set.  The paper's Remark 3 notes PC needs a number of CI
+tests exponential in the worst case and is "highly inefficient" — our
+implementation counts its tests through the same ledger so experiments can
+quantify that claim.
+
+Implementation: PC-stable skeleton phase (order-independent within a level),
+v-structure orientation from separating sets, then Meek rules R1-R4.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.causal.discovery.cpdag import CPDAG
+from repro.ci.base import CITester
+from repro.data.table import Table
+
+
+class PCAlgorithm:
+    """Constraint-based structure learner producing a CPDAG.
+
+    ``max_conditioning`` caps |Z| for tractability on wide tables (the
+    standard PC-max variant); ``None`` means unbounded.
+    """
+
+    def __init__(self, tester: CITester, max_conditioning: int | None = 3) -> None:
+        self.tester = tester
+        self.max_conditioning = max_conditioning
+
+    def fit(self, table: Table, variables: list[str] | None = None) -> CPDAG:
+        """Learn a CPDAG over ``variables`` (default: all table columns)."""
+        names = variables if variables is not None else table.columns
+        adjacency: dict[str, set[str]] = {v: set(names) - {v} for v in names}
+        separating: dict[frozenset[str], set[str]] = {}
+
+        # -- Phase 1: skeleton (PC-stable) ---------------------------------
+        level = 0
+        while True:
+            if self.max_conditioning is not None and level > self.max_conditioning:
+                break
+            # Snapshot adjacencies so removals inside a level don't affect it.
+            frozen = {v: set(neigh) for v, neigh in adjacency.items()}
+            any_tested = False
+            for x in names:
+                for y in sorted(frozen[x]):
+                    if y not in adjacency[x]:
+                        continue  # already removed at this level
+                    neighbors = frozen[x] - {y}
+                    if len(neighbors) < level:
+                        continue
+                    removed = False
+                    for z in combinations(sorted(neighbors), level):
+                        any_tested = True
+                        if self.tester.independent(table, x, y, list(z)):
+                            adjacency[x].discard(y)
+                            adjacency[y].discard(x)
+                            separating[frozenset((x, y))] = set(z)
+                            removed = True
+                            break
+                    if removed:
+                        continue
+            if not any_tested:
+                break
+            level += 1
+
+        cpdag = CPDAG(names)
+        for x in names:
+            for y in adjacency[x]:
+                if x < y:
+                    cpdag.add_undirected(x, y)
+
+        self._orient_v_structures(cpdag, separating)
+        self._apply_meek_rules(cpdag)
+        return cpdag
+
+    # -- orientation -------------------------------------------------------
+
+    @staticmethod
+    def _orient_v_structures(cpdag: CPDAG,
+                             separating: dict[frozenset[str], set[str]]) -> None:
+        """x -> z <- y for unshielded triples with z outside sepset(x, y)."""
+        for z in cpdag.nodes:
+            neigh = sorted(cpdag.neighbors(z))
+            for x, y in combinations(neigh, 2):
+                if cpdag.has_any_edge(x, y):
+                    continue
+                sepset = separating.get(frozenset((x, y)))
+                if sepset is None or z in sepset:
+                    continue
+                if cpdag.is_undirected(x, z):
+                    cpdag.orient(x, z)
+                if cpdag.is_undirected(y, z):
+                    cpdag.orient(y, z)
+
+    @staticmethod
+    def _apply_meek_rules(cpdag: CPDAG) -> None:
+        """Meek rules R1-R4 to a fixed point."""
+        changed = True
+        while changed:
+            changed = False
+            for (u, v) in list(cpdag.undirected_edges):
+                for a, b in ((u, v), (v, u)):
+                    # R1: c -> a, c not adjacent to b  =>  a -> b
+                    for c in cpdag.parents(a):
+                        if not cpdag.has_any_edge(c, b) and c != b:
+                            cpdag.orient(a, b)
+                            changed = True
+                            break
+                    if changed:
+                        break
+                    # R2: a -> c -> b  =>  a -> b
+                    if cpdag.children(a) & cpdag.parents(b):
+                        cpdag.orient(a, b)
+                        changed = True
+                        break
+                    # R3: a - c -> b and a - d -> b, c/d non-adjacent => a -> b
+                    candidates = [
+                        c for c in cpdag.undirected_neighbors(a)
+                        if b in cpdag.children(c)
+                    ]
+                    r3 = False
+                    for c, d in combinations(candidates, 2):
+                        if not cpdag.has_any_edge(c, d):
+                            cpdag.orient(a, b)
+                            changed = True
+                            r3 = True
+                            break
+                    if r3:
+                        break
+                    # R4: a - d -> c -> b with a - c or a adjacent c => a -> b
+                    for d in cpdag.undirected_neighbors(a):
+                        via = cpdag.children(d) & cpdag.parents(b)
+                        if via and not cpdag.has_any_edge(d, b):
+                            cpdag.orient(a, b)
+                            changed = True
+                            break
+                    if changed:
+                        break
+                if changed:
+                    break

@@ -1,0 +1,68 @@
+"""Graphoid axioms over a conditional-independence backend.
+
+The correctness of GrpSel's group testing rests on two graphoid axioms
+(Lemma 1 of the paper):
+
+* decomposition:  ``A ⊥ B,C | Z  =>  A ⊥ B | Z  and  A ⊥ C | Z``
+* composition:    ``A ⊥ B | Z  and  A ⊥ C | Z  =>  A ⊥ B,C | Z``
+
+Both hold for distributions faithful to a DAG because d-separation satisfies
+them.  This module exposes them as executable checks against any backend
+implementing ``independent(x, y, z) -> bool`` — used by the property-based
+test-suite to certify that our d-separation oracle (and hence group testing)
+is sound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol
+
+
+class IndependenceBackend(Protocol):
+    """Anything that can answer set-valued CI queries."""
+
+    def independent(self, x: Iterable[str], y: Iterable[str],
+                    z: Iterable[str]) -> bool:  # pragma: no cover - protocol
+        ...
+
+
+def check_decomposition(backend: IndependenceBackend, a: Iterable[str],
+                        b: Iterable[str], c: Iterable[str],
+                        z: Iterable[str] = ()) -> bool:
+    """Verify decomposition on one instance; ``True`` if not violated."""
+    a, b, c, z = set(a), set(b), set(c), set(z)
+    if not backend.independent(a, b | c, z):
+        return True  # antecedent false, axiom vacuously holds
+    return backend.independent(a, b, z) and backend.independent(a, c, z)
+
+
+def check_composition(backend: IndependenceBackend, a: Iterable[str],
+                      b: Iterable[str], c: Iterable[str],
+                      z: Iterable[str] = ()) -> bool:
+    """Verify composition on one instance; ``True`` if not violated.
+
+    Composition is *not* a general probability axiom — it requires
+    faithfulness — which is exactly why the paper assumes faithfulness for
+    group testing to be sound.
+    """
+    a, b, c, z = set(a), set(b), set(c), set(z)
+    if not (backend.independent(a, b, z) and backend.independent(a, c, z)):
+        return True
+    return backend.independent(a, b | c, z)
+
+
+def check_weak_union(backend: IndependenceBackend, a: Iterable[str],
+                     b: Iterable[str], c: Iterable[str],
+                     z: Iterable[str] = ()) -> bool:
+    """Weak union: ``A ⊥ B,C | Z  =>  A ⊥ B | Z,C``."""
+    a, b, c, z = set(a), set(b), set(c), set(z)
+    if not backend.independent(a, b | c, z):
+        return True
+    return backend.independent(a, b, z | c)
+
+
+def check_symmetry(backend: IndependenceBackend, a: Iterable[str],
+                   b: Iterable[str], z: Iterable[str] = ()) -> bool:
+    """Symmetry: ``A ⊥ B | Z  <=>  B ⊥ A | Z``."""
+    a, b, z = set(a), set(b), set(z)
+    return backend.independent(a, b, z) == backend.independent(b, a, z)

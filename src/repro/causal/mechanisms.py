@@ -1,0 +1,233 @@
+"""Structural mechanism library.
+
+A mechanism computes one variable from its parents plus exogenous noise.
+Mechanisms are small callable objects with a declared arity so the SCM can
+validate them against the graph.  The library covers what the paper's
+synthetic experiments need: Bernoulli roots, logistic/binary children, linear
+Gaussian children, discrete CPTs, and deterministic transforms (for the
+Cognito-style derived features).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import MechanismError
+
+
+class Mechanism:
+    """Base class: draw ``n`` samples of a variable given parent samples.
+
+    Subclasses implement :meth:`sample`; ``parents`` fixes the order in
+    which parent columns are consumed.
+    """
+
+    parents: tuple[str, ...] = ()
+
+    def sample(self, parent_values: Mapping[str, np.ndarray], n: int,
+               rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def _stack(self, parent_values: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Parent columns as an ``(n, k)`` float matrix in declared order."""
+        missing = [p for p in self.parents if p not in parent_values]
+        if missing:
+            raise MechanismError(f"missing parent values: {missing}")
+        if not self.parents:
+            raise MechanismError("mechanism has no parents to stack")
+        return np.column_stack(
+            [np.asarray(parent_values[p], dtype=float) for p in self.parents]
+        )
+
+
+@dataclass
+class BernoulliRoot(Mechanism):
+    """Root binary variable: ``X ~ Bernoulli(p)``."""
+
+    p: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise MechanismError(f"p must be a probability, got {self.p}")
+        self.parents = ()
+
+    def sample(self, parent_values, n, rng):
+        return (rng.random(n) < self.p).astype(np.int64)
+
+
+@dataclass
+class CategoricalRoot(Mechanism):
+    """Root categorical variable over ``0..k-1`` with given probabilities."""
+
+    probabilities: Sequence[float]
+
+    def __post_init__(self) -> None:
+        probs = np.asarray(self.probabilities, dtype=float)
+        if probs.ndim != 1 or probs.size < 2 or np.any(probs < 0):
+            raise MechanismError("probabilities must be a non-negative vector")
+        total = probs.sum()
+        if not np.isclose(total, 1.0):
+            raise MechanismError(f"probabilities must sum to 1, got {total}")
+        self._probs = probs
+        self.parents = ()
+
+    def sample(self, parent_values, n, rng):
+        return rng.choice(self._probs.size, size=n, p=self._probs).astype(np.int64)
+
+
+@dataclass
+class GaussianRoot(Mechanism):
+    """Root continuous variable: ``X ~ N(mean, std^2)``."""
+
+    mean: float = 0.0
+    std: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.std <= 0:
+            raise MechanismError(f"std must be positive, got {self.std}")
+        self.parents = ()
+
+    def sample(self, parent_values, n, rng):
+        return rng.normal(self.mean, self.std, size=n)
+
+
+@dataclass
+class LinearGaussian(Mechanism):
+    """``X = intercept + w . parents + N(0, noise_std^2)``."""
+
+    parent_names: Sequence[str]
+    weights: Sequence[float]
+    intercept: float = 0.0
+    noise_std: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.parents = tuple(self.parent_names)
+        w = np.asarray(self.weights, dtype=float)
+        if w.shape != (len(self.parents),):
+            raise MechanismError(
+                f"{len(self.parents)} parents but weight shape {w.shape}"
+            )
+        if self.noise_std < 0:
+            raise MechanismError(f"noise_std must be >= 0, got {self.noise_std}")
+        self._w = w
+
+    def sample(self, parent_values, n, rng):
+        mean = self._stack(parent_values) @ self._w + self.intercept
+        if self.noise_std == 0:
+            return mean
+        return mean + rng.normal(0.0, self.noise_std, size=n)
+
+
+@dataclass
+class LogisticBinary(Mechanism):
+    """``X ~ Bernoulli(sigmoid(intercept + w . parents))``."""
+
+    parent_names: Sequence[str]
+    weights: Sequence[float]
+    intercept: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.parents = tuple(self.parent_names)
+        w = np.asarray(self.weights, dtype=float)
+        if w.shape != (len(self.parents),):
+            raise MechanismError(
+                f"{len(self.parents)} parents but weight shape {w.shape}"
+            )
+        self._w = w
+
+    def sample(self, parent_values, n, rng):
+        logits = self._stack(parent_values) @ self._w + self.intercept
+        probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -35, 35)))
+        return (rng.random(n) < probs).astype(np.int64)
+
+
+@dataclass
+class DiscreteCPT(Mechanism):
+    """Conditional probability table over discrete parents.
+
+    ``table`` maps a tuple of parent values to a probability vector over the
+    child's ``0..k-1`` categories.  Missing rows fall back to ``default`` if
+    provided, otherwise raise.
+    """
+
+    parent_names: Sequence[str]
+    table: Mapping[tuple[int, ...], Sequence[float]]
+    default: Sequence[float] | None = None
+
+    def __post_init__(self) -> None:
+        self.parents = tuple(self.parent_names)
+        sizes = {len(np.asarray(v)) for v in self.table.values()}
+        if len(sizes) != 1:
+            raise MechanismError("all CPT rows must have the same cardinality")
+        self._k = sizes.pop()
+        for key, row in self.table.items():
+            probs = np.asarray(row, dtype=float)
+            if not np.isclose(probs.sum(), 1.0) or np.any(probs < 0):
+                raise MechanismError(f"CPT row for {key} is not a distribution")
+        if self.default is not None and not np.isclose(np.sum(self.default), 1.0):
+            raise MechanismError("default row is not a distribution")
+
+    def sample(self, parent_values, n, rng):
+        parent_cols = [np.asarray(parent_values[p]).astype(int) for p in self.parents]
+        out = np.empty(n, dtype=np.int64)
+        uniform = rng.random(n)
+        for i in range(n):
+            key = tuple(int(col[i]) for col in parent_cols)
+            row = self.table.get(key)
+            if row is None:
+                if self.default is None:
+                    raise MechanismError(f"no CPT row for parent values {key}")
+                row = self.default
+            out[i] = int(np.searchsorted(np.cumsum(row), uniform[i], side="right"))
+        return out
+
+
+@dataclass
+class FunctionMechanism(Mechanism):
+    """Deterministic-plus-noise mechanism from an arbitrary function.
+
+    ``fn`` receives the ``(n, k)`` parent matrix and the rng and must return
+    an array of ``n`` samples.  Used for Cognito-style derived features
+    (products, ratios, thresholds).
+    """
+
+    parent_names: Sequence[str]
+    fn: Callable[[np.ndarray, np.random.Generator], np.ndarray] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        self.parents = tuple(self.parent_names)
+        if not self.parents:
+            raise MechanismError("FunctionMechanism requires at least one parent")
+
+    def sample(self, parent_values, n, rng):
+        out = np.asarray(self.fn(self._stack(parent_values), rng))
+        if out.shape[0] != n:
+            raise MechanismError(
+                f"mechanism function returned {out.shape[0]} samples, expected {n}"
+            )
+        return out
+
+
+@dataclass
+class NoisyCopy(Mechanism):
+    """Binary proxy: copy a binary parent, flipping with probability ``flip``.
+
+    This is the paper's "feature highly correlated with a sensitive feature
+    with probability p" construct used throughout the synthetic experiments.
+    """
+
+    parent: str
+    flip: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.flip <= 1.0:
+            raise MechanismError(f"flip must be a probability, got {self.flip}")
+        self.parents = (self.parent,)
+
+    def sample(self, parent_values, n, rng):
+        base = np.asarray(parent_values[self.parent]).astype(np.int64)
+        flips = rng.random(n) < self.flip
+        return np.where(flips, 1 - base, base)

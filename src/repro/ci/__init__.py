@@ -1,0 +1,33 @@
+"""Conditional-independence testing substrate."""
+
+from repro.ci.base import CIQuery, CIResult, CITestLedger, CITester, LedgerEntry
+from repro.ci.adaptive import AdaptiveCI
+from repro.ci.cmi import ClassifierCMI, discrete_cmi, knn_cmi
+from repro.ci.fisher_z import FisherZCI, partial_correlation
+from repro.ci.gtest import ChiSquaredCI, GTestCI
+from repro.ci.oracle import GraphoidOracleBackend, OracleCI
+from repro.ci.permutation import PermutationCI
+from repro.ci.rcit import RCIT, RIT, median_bandwidth, random_fourier_features
+
+__all__ = [
+    "CIQuery",
+    "CIResult",
+    "CITestLedger",
+    "CITester",
+    "LedgerEntry",
+    "AdaptiveCI",
+    "ClassifierCMI",
+    "discrete_cmi",
+    "knn_cmi",
+    "FisherZCI",
+    "partial_correlation",
+    "ChiSquaredCI",
+    "GTestCI",
+    "GraphoidOracleBackend",
+    "OracleCI",
+    "PermutationCI",
+    "RCIT",
+    "RIT",
+    "median_bandwidth",
+    "random_fourier_features",
+]

@@ -1,0 +1,40 @@
+"""Kind-aware CI test dispatch.
+
+Real datasets mix discrete and continuous columns; this tester routes each
+query to the appropriate backend: the G-test when every variable in the
+query is discrete, otherwise RCIT (which handles mixed data since RFFs only
+need numeric input).
+"""
+
+from __future__ import annotations
+
+from repro.ci.base import CIResult, CITester
+from repro.ci.gtest import GTestCI
+from repro.ci.rcit import RCIT
+from repro.data.table import Table
+from repro.rng import SeedLike
+
+
+class AdaptiveCI(CITester):
+    """Dispatch to a discrete or kernel test by the queried columns' kinds."""
+
+    method = "adaptive"
+
+    def __init__(self, alpha: float = 0.01, seed: SeedLike = None,
+                 discrete: CITester | None = None,
+                 continuous: CITester | None = None) -> None:
+        super().__init__(alpha=alpha)
+        self.discrete = discrete or GTestCI(alpha=alpha)
+        self.continuous = continuous or RCIT(alpha=alpha, seed=seed)
+
+    def test(self, table: Table, x, y, z=()) -> CIResult:
+        names = []
+        for group in (x, y, z):
+            names.extend([group] if isinstance(group, str) else list(group))
+        all_discrete = all(
+            table.schema.spec(name).kind.is_discrete for name in names
+        )
+        backend = self.discrete if all_discrete else self.continuous
+        result = backend.test(table, x, y, z)
+        return CIResult(result.independent, result.p_value, result.statistic,
+                        result.query, method=f"adaptive->{result.method}")

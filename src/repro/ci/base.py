@@ -1,0 +1,201 @@
+"""Conditional-independence testing interfaces.
+
+Every CI test in the library answers queries of the form
+``X ⊥ Y | Z`` where X, Y, Z are *sets* of column names over a
+:class:`~repro.data.table.Table`.  Set-valued arguments are essential: the
+whole point of GrpSel is testing a *group* of features at once.
+
+Tests return a :class:`CIResult` (p-value + boolean verdict at the tester's
+``alpha``).  A :class:`CITestLedger` wraps any tester and counts invocations
+— the unit of cost in the paper's Table 2 and Figures 4-5.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.exceptions import CITestError
+
+
+def _as_tuple(names: Iterable[str] | str) -> tuple[str, ...]:
+    if isinstance(names, str):
+        return (names,)
+    return tuple(names)
+
+
+@dataclass(frozen=True)
+class CIQuery:
+    """A normalised CI query ``X ⊥ Y | Z`` (order-insensitive in X/Y)."""
+
+    x: tuple[str, ...]
+    y: tuple[str, ...]
+    z: tuple[str, ...]
+
+    @classmethod
+    def make(cls, x: Iterable[str] | str, y: Iterable[str] | str,
+             z: Iterable[str] | str = ()) -> "CIQuery":
+        xs, ys, zs = _as_tuple(x), _as_tuple(y), _as_tuple(z)
+        if not xs or not ys:
+            raise CITestError("X and Y must be non-empty")
+        overlap = (set(xs) & set(ys)) | (set(xs) | set(ys)) & set(zs)
+        if overlap:
+            raise CITestError(f"variable sets overlap: {sorted(overlap)}")
+        return cls(tuple(sorted(set(xs))), tuple(sorted(set(ys))), tuple(sorted(set(zs))))
+
+    @property
+    def key(self) -> tuple:
+        """Canonical (symmetric in X/Y) cache key."""
+        a, b = sorted([self.x, self.y])
+        return (a, b, self.z)
+
+
+@dataclass(frozen=True)
+class CIResult:
+    """Outcome of one CI test."""
+
+    independent: bool
+    p_value: float
+    statistic: float = float("nan")
+    query: CIQuery | None = None
+    method: str = ""
+
+    def __bool__(self) -> bool:
+        return self.independent
+
+
+class CITester:
+    """Base class for CI tests.
+
+    Subclasses implement :meth:`_test` over numpy matrices; this class
+    handles name resolution, input validation, and verdict thresholding.
+    ``alpha`` is the significance level: p-value below ``alpha`` rejects the
+    independence null (the paper's default threshold is 0.01).
+    """
+
+    method = "base"
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise CITestError(f"alpha must be in (0, 1), got {alpha}")
+        self.alpha = alpha
+
+    def test(self, table: Table, x: Iterable[str] | str, y: Iterable[str] | str,
+             z: Iterable[str] | str = ()) -> CIResult:
+        """Test ``X ⊥ Y | Z`` on the given table."""
+        query = CIQuery.make(x, y, z)
+        for name in query.x + query.y + query.z:
+            if name not in table:
+                raise CITestError(f"unknown column in CI query: {name!r}")
+        if table.n_rows < 4:
+            raise CITestError(f"too few samples for a CI test: {table.n_rows}")
+        p_value, statistic = self._test(
+            table.matrix(query.x), table.matrix(query.y),
+            table.matrix(query.z) if query.z else None,
+        )
+        p_value = float(min(max(p_value, 0.0), 1.0))
+        return CIResult(
+            independent=p_value >= self.alpha,
+            p_value=p_value,
+            statistic=float(statistic),
+            query=query,
+            method=self.method,
+        )
+
+    def independent(self, table: Table, x, y, z=()) -> bool:
+        """Boolean convenience wrapper around :meth:`test`."""
+        return self.test(table, x, y, z).independent
+
+    def _test(self, x: np.ndarray, y: np.ndarray,
+              z: np.ndarray | None) -> tuple[float, float]:
+        """Return ``(p_value, statistic)`` for matrices X, Y, Z|None."""
+        raise NotImplementedError
+
+
+@dataclass
+class LedgerEntry:
+    """One recorded CI test."""
+
+    query: CIQuery
+    result: CIResult
+    seconds: float
+
+
+class CITestLedger(CITester):
+    """Decorator tester that counts and records every test.
+
+    The paper's efficiency results are phrased in number of CI tests, so
+    SeqSel/GrpSel take a tester and the experiment harness wraps it in a
+    ledger.  Optional memoisation (``cache=True``) deduplicates repeated
+    queries without inflating the count, mirroring how a practitioner would
+    reuse results; the paper's counts are uncached, so the default is off.
+    """
+
+    def __init__(self, inner: CITester, cache: bool = False) -> None:
+        super().__init__(alpha=inner.alpha)
+        self.inner = inner
+        self.method = f"ledger({inner.method})"
+        self.entries: list[LedgerEntry] = []
+        self._cache_enabled = cache
+        self._cache: dict[tuple, CIResult] = {}
+
+    @property
+    def n_tests(self) -> int:
+        """Number of CI tests actually executed."""
+        return len(self.entries)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock time spent inside CI tests."""
+        return sum(e.seconds for e in self.entries)
+
+    def reset(self) -> None:
+        """Clear the ledger (and cache)."""
+        self.entries.clear()
+        self._cache.clear()
+
+    def test(self, table: Table, x, y, z=()) -> CIResult:
+        query = CIQuery.make(x, y, z)
+        if self._cache_enabled and query.key in self._cache:
+            return self._cache[query.key]
+        start = time.perf_counter()
+        result = self.inner.test(table, x, y, z)
+        elapsed = time.perf_counter() - start
+        self.entries.append(LedgerEntry(query, result, elapsed))
+        if self._cache_enabled:
+            self._cache[query.key] = result
+        return result
+
+    def counts_by_conditioning_size(self) -> dict[int, int]:
+        """Histogram of tests by |Z| (used for the Figure 3b analysis)."""
+        out: dict[int, int] = {}
+        for entry in self.entries:
+            size = len(entry.query.z)
+            out[size] = out.get(size, 0) + 1
+        return out
+
+
+def contingency_counts(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Cross-tabulate two integer-coded 1-D arrays into a count matrix."""
+    xi, x_codes = np.unique(x, return_inverse=True)
+    yi, y_codes = np.unique(y, return_inverse=True)
+    counts = np.zeros((xi.size, yi.size), dtype=np.int64)
+    np.add.at(counts, (x_codes, y_codes), 1)
+    return counts
+
+
+def encode_rows(matrix: np.ndarray) -> np.ndarray:
+    """Encode each row of a discrete matrix as a single integer code.
+
+    Used to collapse a multi-column conditioning set Z into strata.
+    """
+    if matrix.ndim != 2:
+        raise CITestError(f"expected 2-D matrix, got shape {matrix.shape}")
+    if matrix.shape[1] == 0:
+        return np.zeros(matrix.shape[0], dtype=np.int64)
+    _, codes = np.unique(matrix, axis=0, return_inverse=True)
+    return codes.astype(np.int64)

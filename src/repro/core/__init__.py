@@ -1,0 +1,32 @@
+"""The paper's core contribution: SeqSel, GrpSel, and the Theorem-1 oracle."""
+
+from repro.core.grpsel import GrpSel
+from repro.core.online import OnlineSelector
+from repro.core.oracle_select import OracleSelector
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.core.result import Reason, SelectionResult
+from repro.core.seqsel import SeqSel
+from repro.core.subset_search import (
+    ExhaustiveSubsets,
+    FullSetOnly,
+    GreedySubsets,
+    MarginalThenFull,
+    SubsetStrategy,
+    strategy_by_name,
+)
+
+__all__ = [
+    "GrpSel",
+    "OnlineSelector",
+    "OracleSelector",
+    "FairFeatureSelectionProblem",
+    "Reason",
+    "SelectionResult",
+    "SeqSel",
+    "ExhaustiveSubsets",
+    "FullSetOnly",
+    "GreedySubsets",
+    "MarginalThenFull",
+    "SubsetStrategy",
+    "strategy_by_name",
+]

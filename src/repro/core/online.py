@@ -1,0 +1,138 @@
+"""Online fair feature selection (the paper's §7 future-work extension).
+
+The paper's algorithms assume the candidate pool is fixed; its footnote 2
+and conclusion point at the *online* setting where features arrive in
+batches (new sources get integrated over time).  :class:`OnlineSelector`
+maintains selection state across batches:
+
+* **Phase-1 admissions are stable**: ``X ⊥ S | A'`` does not depend on the
+  other candidates, so C1 admissions never need revisiting (Lemma 3: the
+  union of causally fair sets is causally fair).
+* **Phase-2 admissions must be re-validated**: a feature admitted because
+  ``X ⊥ Y | A ∪ C1`` can become *invalid* evidence-wise when C1 grows?  No —
+  conditioning on a *larger* C1 keeps d-separation by weak union only when
+  the new variables are not colliders on an X-Y path.  We therefore re-test
+  previously admitted C2 features against the enlarged conditioning set and
+  demote any that now fail (conservative, never unsafe).
+* **Previously rejected features get a second chance**: a feature rejected
+  because ``X ̸⊥ Y | A ∪ C1`` may pass once C1 has grown (the enlarged set
+  can block the remaining X-Y paths), so rejected features are re-queued on
+  every batch.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.ci.base import CITestLedger, CITester
+from repro.ci.rcit import RCIT
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.core.result import Reason, SelectionResult
+from repro.core.subset_search import ExhaustiveSubsets, SubsetStrategy
+from repro.exceptions import SelectionError
+
+
+class OnlineSelector:
+    """Stateful selector for incrementally arriving candidate features.
+
+    Use :meth:`observe` once per batch; :attr:`current` always reflects the
+    selection over everything seen so far.  The union over batches matches
+    what a fresh batch run over the full pool would produce whenever the CI
+    tester is consistent (exact for the d-separation oracle).
+    """
+
+    name = "OnlineSeqSel"
+
+    def __init__(self, tester: CITester | None = None,
+                 subset_strategy: SubsetStrategy | None = None) -> None:
+        self.tester = tester if tester is not None else RCIT(seed=0)
+        self.subset_strategy = subset_strategy or ExhaustiveSubsets()
+        self._ledger = CITestLedger(self.tester)
+        self._c1: list[str] = []
+        self._c2: list[str] = []
+        self._rejected: list[str] = []
+        self._seen: set[str] = set()
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def current(self) -> SelectionResult:
+        """Selection over all features observed so far."""
+        result = SelectionResult(algorithm=self.name)
+        result.c1 = list(self._c1)
+        result.c2 = list(self._c2)
+        result.rejected = list(self._rejected)
+        for f in self._c1:
+            result.reasons[f] = Reason.PHASE1_INDEPENDENT
+        for f in self._c2:
+            result.reasons[f] = Reason.PHASE2_IRRELEVANT
+        for f in self._rejected:
+            result.reasons[f] = Reason.REJECTED_BIASED
+        result.n_ci_tests = self._ledger.n_tests
+        return result
+
+    @property
+    def n_ci_tests(self) -> int:
+        return self._ledger.n_tests
+
+    # -- processing -------------------------------------------------------------
+
+    def observe(self, problem: FairFeatureSelectionProblem,
+                batch: Sequence[str]) -> SelectionResult:
+        """Process one arriving batch of candidate features.
+
+        ``problem.table`` must contain all previously seen features (the
+        online setting widens one table over time).
+        """
+        start = time.perf_counter()
+        dupes = set(batch) & self._seen
+        if dupes:
+            raise SelectionError(f"features observed twice: {sorted(dupes)}")
+        missing = [f for f in batch if f not in problem.table]
+        if missing:
+            raise SelectionError(f"batch features not in table: {missing}")
+        for prior in self._c1 + self._c2 + self._rejected:
+            if prior not in problem.table:
+                raise SelectionError(
+                    f"table lost previously observed feature {prior!r}"
+                )
+        self._seen.update(batch)
+
+        # Phase 1 on the new batch.
+        phase2_queue: list[str] = []
+        c1_grew = False
+        for feature in batch:
+            if self._phase1_admits(problem, feature):
+                self._c1.append(feature)
+                c1_grew = True
+            else:
+                phase2_queue.append(feature)
+
+        # Phase 2: new failures, plus prior rejects (second chance) and,
+        # when C1 grew, prior C2 admissions (re-validation).
+        retry = list(self._rejected)
+        revalidate = list(self._c2) if c1_grew else []
+        self._rejected = []
+        self._c2 = [] if c1_grew else self._c2
+
+        conditioning = list(problem.admissible) + list(self._c1)
+        for feature in phase2_queue + retry + revalidate:
+            others = [c for c in conditioning if c != feature]
+            if self._ledger.independent(problem.table, feature,
+                                        problem.target, others):
+                self._c2.append(feature)
+            else:
+                self._rejected.append(feature)
+
+        result = self.current
+        result.seconds = time.perf_counter() - start
+        return result
+
+    def _phase1_admits(self, problem: FairFeatureSelectionProblem,
+                       feature: str) -> bool:
+        for subset in self.subset_strategy.subsets(problem.admissible):
+            if self._ledger.independent(problem.table, feature,
+                                        problem.sensitive, list(subset)):
+                return True
+        return False

@@ -1,0 +1,107 @@
+"""Theorem-1 oracle selection on a known causal graph.
+
+With ground-truth access to the DAG, a feature ``X`` is safe to add iff
+
+  (i)   ``X ⊥ S | A'`` for some ``A' ⊆ A``            (d-separation), or
+  (ii)  ``X ⊥ Y | C', A`` where ``C' ⊥ S | A'``        (phase-2 features), or
+  (iii) ``X`` is not a descendant of ``S`` in ``G_bar(A)`` (the graph with
+        incoming edges of ``A`` removed).
+
+Condition (iii) is the one observational CI tests cannot certify (it needs
+interventional data — the paper's Figure 6 example); the oracle implements
+it directly on the graph, giving the ground truth used to score SeqSel and
+GrpSel in the synthetic experiments (§5.3, §9).
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations
+
+from repro.causal.dag import CausalDAG
+from repro.causal.dsep import d_separated
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.core.result import Reason, SelectionResult
+from repro.exceptions import SelectionError
+
+
+class OracleSelector:
+    """Exact Theorem-1 selection over a ground-truth DAG.
+
+    ``include_condition_iii`` toggles the non-descendant clause, letting
+    experiments measure exactly which features SeqSel/GrpSel *cannot* see
+    (those admitted only via (iii)).
+    """
+
+    name = "Oracle"
+
+    def __init__(self, dag: CausalDAG,
+                 include_condition_iii: bool = True) -> None:
+        self.dag = dag
+        self.include_condition_iii = include_condition_iii
+
+    def select(self, problem: FairFeatureSelectionProblem) -> SelectionResult:
+        """Classify every candidate by the Theorem-1 conditions."""
+        missing = [
+            v for v in (problem.sensitive + problem.admissible
+                        + problem.candidates + [problem.target])
+            if v not in self.dag
+        ]
+        if missing:
+            raise SelectionError(f"oracle DAG lacks variables: {missing}")
+
+        start = time.perf_counter()
+        result = SelectionResult(algorithm=self.name)
+        sensitive = set(problem.sensitive)
+        admissible = list(problem.admissible)
+
+        # Condition (i): exists A' ⊆ A with X ⊥ S | A'.
+        remaining: list[str] = []
+        for candidate in problem.candidates:
+            if self._condition_i(candidate, sensitive, admissible):
+                result.c1.append(candidate)
+                result.reasons[candidate] = Reason.PHASE1_INDEPENDENT
+            else:
+                remaining.append(candidate)
+
+        # Condition (iii): X not a descendant of S in G_bar(A).
+        survivors: list[str] = []
+        if self.include_condition_iii:
+            mutilated = self.dag.remove_incoming(admissible) if admissible else self.dag
+            s_descendants = mutilated.descendants_of(sensitive)
+            for candidate in remaining:
+                if candidate not in s_descendants:
+                    result.c1.append(candidate)
+                    result.reasons[candidate] = Reason.ORACLE_NONDESCENDANT
+                else:
+                    survivors.append(candidate)
+        else:
+            survivors = remaining
+
+        # Condition (ii): X ⊥ Y | A ∪ C1 (with C1 the certified-safe set).
+        conditioning = set(admissible) | set(result.c1)
+        for candidate in survivors:
+            cond = conditioning - {candidate}
+            if d_separated(self.dag, candidate, problem.target, cond):
+                result.c2.append(candidate)
+                result.reasons[candidate] = Reason.PHASE2_IRRELEVANT
+            else:
+                result.rejected.append(candidate)
+                result.reasons[candidate] = Reason.REJECTED_BIASED
+
+        result.seconds = time.perf_counter() - start
+        return result
+
+    def _condition_i(self, candidate: str, sensitive: set[str],
+                     admissible: list[str]) -> bool:
+        for size in range(len(admissible) + 1):
+            for subset in combinations(admissible, size):
+                if d_separated(self.dag, candidate, sensitive, set(subset)):
+                    return True
+        return False
+
+    def is_causally_fair_addition(self, problem: FairFeatureSelectionProblem,
+                                  feature: str) -> bool:
+        """Is a single feature safe by Theorem 1 (any of the three clauses)?"""
+        result = self.select(problem.with_candidates([feature]))
+        return feature in result

@@ -1,0 +1,104 @@
+"""Problem definition for fair feature selection (Problem 1 of the paper).
+
+A :class:`FairFeatureSelectionProblem` bundles the dataset ``D`` with the
+role partition: sensitive ``S``, admissible ``A``, target ``Y``, and the
+candidate pool ``X`` of features under consideration for integration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.table import Table
+from repro.exceptions import SelectionError
+
+
+@dataclass
+class FairFeatureSelectionProblem:
+    """Dataset plus fairness roles; validated on construction.
+
+    ``candidates`` may be a strict subset of the table's candidate-role
+    columns, supporting the paper's incremental setting where new features
+    arrive one batch at a time.
+    """
+
+    table: Table
+    sensitive: list[str]
+    admissible: list[str]
+    candidates: list[str]
+    target: str
+    name: str = "problem"
+
+    def __post_init__(self) -> None:
+        groups = {
+            "sensitive": self.sensitive,
+            "admissible": self.admissible,
+            "candidates": self.candidates,
+        }
+        for label, names in groups.items():
+            missing = [n for n in names if n not in self.table]
+            if missing:
+                raise SelectionError(f"{label} columns not in table: {missing}")
+            if len(set(names)) != len(names):
+                raise SelectionError(f"duplicate names in {label}: {names}")
+        if self.target not in self.table:
+            raise SelectionError(f"target column {self.target!r} not in table")
+        if not self.sensitive:
+            raise SelectionError("at least one sensitive attribute is required")
+        all_names = self.sensitive + self.admissible + self.candidates + [self.target]
+        if len(set(all_names)) != len(all_names):
+            raise SelectionError("role groups must be disjoint (incl. target)")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_table(cls, table: Table, name: str = "problem",
+                   candidates: Sequence[str] | None = None
+                   ) -> "FairFeatureSelectionProblem":
+        """Build a problem from a role-annotated table.
+
+        Roles come from the table schema; ``candidates`` can restrict the
+        pool (defaults to every candidate-role column).
+        """
+        target = table.schema.target
+        if target is None:
+            raise SelectionError("table has no target column")
+        pool = list(candidates) if candidates is not None else table.schema.candidates
+        return cls(
+            table=table,
+            sensitive=table.schema.sensitive,
+            admissible=table.schema.admissible,
+            candidates=pool,
+            target=target,
+            name=name,
+        )
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def n_candidates(self) -> int:
+        return len(self.candidates)
+
+    def with_candidates(self, candidates: Sequence[str]
+                        ) -> "FairFeatureSelectionProblem":
+        """Same problem over a different candidate pool (incremental mode)."""
+        return FairFeatureSelectionProblem(
+            table=self.table,
+            sensitive=list(self.sensitive),
+            admissible=list(self.admissible),
+            candidates=list(candidates),
+            target=self.target,
+            name=self.name,
+        )
+
+    def training_features(self, selected: Sequence[str]) -> list[str]:
+        """Feature list for classifier training: ``A ∪ selected``.
+
+        Sensitive attributes are never used for training, matching the
+        paper's setup where ``D`` starts from ``A`` only.
+        """
+        bad = set(selected) - set(self.candidates)
+        if bad:
+            raise SelectionError(f"selected features outside the pool: {sorted(bad)}")
+        return list(self.admissible) + list(selected)

@@ -1,0 +1,54 @@
+"""Selection results with full provenance.
+
+:class:`SelectionResult` records not just the selected set but *why* each
+feature was admitted (phase 1 vs phase 2) or rejected, plus the CI-test
+ledger statistics — everything Table 2 and Figures 4-5 report.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Reason(enum.Enum):
+    """Why a candidate ended up in / out of the selection."""
+
+    PHASE1_INDEPENDENT = "phase1: X ⊥ S | A' for some A' ⊆ A"
+    PHASE2_IRRELEVANT = "phase2: X ⊥ Y | A ∪ C1"
+    ORACLE_NONDESCENDANT = "oracle: X not a descendant of S in G_bar(A)"
+    REJECTED_BIASED = "rejected: S-dependent and predictive of Y"
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of SeqSel/GrpSel/oracle selection."""
+
+    c1: list[str] = field(default_factory=list)
+    c2: list[str] = field(default_factory=list)
+    rejected: list[str] = field(default_factory=list)
+    reasons: dict[str, Reason] = field(default_factory=dict)
+    n_ci_tests: int = 0
+    seconds: float = 0.0
+    algorithm: str = ""
+
+    @property
+    def selected(self) -> list[str]:
+        """``C1 ∪ C2`` in stable order (phase-1 admissions first)."""
+        return list(self.c1) + list(self.c2)
+
+    @property
+    def selected_set(self) -> set[str]:
+        return set(self.c1) | set(self.c2)
+
+    def __contains__(self, feature: str) -> bool:
+        return feature in self.selected_set
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        return (
+            f"{self.algorithm}: selected {len(self.selected)} of "
+            f"{len(self.selected) + len(self.rejected)} candidates "
+            f"({len(self.c1)} via phase 1, {len(self.c2)} via phase 2) "
+            f"using {self.n_ci_tests} CI tests in {self.seconds:.2f}s"
+        )

@@ -1,0 +1,81 @@
+"""SeqSel — Algorithm 1 of the paper.
+
+Sequentially tests every candidate feature:
+
+* **Phase 1**: admit ``X`` into ``C1`` if ``X ⊥ S | A'`` for some
+  ``A' ⊆ A`` (the subset search is pluggable, see
+  :mod:`repro.core.subset_search`).
+* **Phase 2**: admit remaining ``X`` into ``C2`` if ``X ⊥ Y | A ∪ C1``.
+
+Both phases only consult the CI tester — no causal graph is required.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.ci.base import CITestLedger, CITester
+from repro.ci.rcit import RCIT
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.core.result import Reason, SelectionResult
+from repro.core.subset_search import ExhaustiveSubsets, SubsetStrategy
+
+
+class SeqSel:
+    """Sequential fair feature selection (Algorithm 1).
+
+    Parameters
+    ----------
+    tester:
+        CI test backend; defaults to :class:`~repro.ci.rcit.RCIT` at
+        ``alpha=0.01``, matching the paper's setup.
+    subset_strategy:
+        How to search ``∃ A' ⊆ A`` in phase 1 (default exhaustive, the
+        algorithm as written).
+    """
+
+    name = "SeqSel"
+
+    def __init__(self, tester: CITester | None = None,
+                 subset_strategy: SubsetStrategy | None = None) -> None:
+        self.tester = tester if tester is not None else RCIT(seed=0)
+        self.subset_strategy = subset_strategy or ExhaustiveSubsets()
+
+    def select(self, problem: FairFeatureSelectionProblem) -> SelectionResult:
+        """Run both phases and return the selection with provenance."""
+        ledger = CITestLedger(self.tester)
+        start = time.perf_counter()
+        result = SelectionResult(algorithm=self.name)
+
+        # Phase 1: C1 = {X : exists A' subset of A with X ⊥ S | A'}.
+        remaining: list[str] = []
+        for candidate in problem.candidates:
+            if self._phase1_admits(ledger, problem, candidate):
+                result.c1.append(candidate)
+                result.reasons[candidate] = Reason.PHASE1_INDEPENDENT
+            else:
+                remaining.append(candidate)
+
+        # Phase 2: C2 = {X in X \ C1 : X ⊥ Y | A ∪ C1}.
+        conditioning = list(problem.admissible) + list(result.c1)
+        for candidate in remaining:
+            if ledger.independent(problem.table, candidate, problem.target,
+                                  conditioning):
+                result.c2.append(candidate)
+                result.reasons[candidate] = Reason.PHASE2_IRRELEVANT
+            else:
+                result.rejected.append(candidate)
+                result.reasons[candidate] = Reason.REJECTED_BIASED
+
+        result.n_ci_tests = ledger.n_tests
+        result.seconds = time.perf_counter() - start
+        return result
+
+    def _phase1_admits(self, ledger: CITestLedger,
+                       problem: FairFeatureSelectionProblem,
+                       candidate: str) -> bool:
+        for subset in self.subset_strategy.subsets(problem.admissible):
+            if ledger.independent(problem.table, candidate,
+                                  problem.sensitive, list(subset)):
+                return True
+        return False

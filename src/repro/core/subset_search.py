@@ -1,0 +1,128 @@
+"""Search strategies for the ``∃ A' ⊆ A`` condition of phase 1.
+
+Line 4 of Algorithm 1 asks whether *some* subset of the admissible set
+d-separates a candidate from the sensitive attributes.  The paper notes the
+worst case is ``O(2^|A|)`` but ``|A|`` is a small constant in practice.  We
+provide:
+
+* :class:`ExhaustiveSubsets` — all subsets, smallest first (exact),
+* :class:`FullSetOnly` — test only ``A`` itself (what suffices when no
+  admissible variable is a collider between S and the candidate; cheapest),
+* :class:`GreedySubsets` — the empty set, the full set, then singletons and
+  leave-one-out sets; a practical middle ground.
+
+Each strategy yields candidate conditioning sets; callers stop at the first
+independent verdict.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, Sequence
+
+
+class SubsetStrategy:
+    """Enumerate conditioning subsets of the admissible set."""
+
+    name = "base"
+
+    def subsets(self, admissible: Sequence[str]) -> Iterator[tuple[str, ...]]:
+        raise NotImplementedError
+
+    def max_tests(self, n_admissible: int) -> int:
+        """Upper bound on subsets enumerated (for complexity accounting)."""
+        raise NotImplementedError
+
+
+class ExhaustiveSubsets(SubsetStrategy):
+    """Every subset of ``A``, by increasing size (2^|A| worst case)."""
+
+    name = "exhaustive"
+
+    def subsets(self, admissible: Sequence[str]) -> Iterator[tuple[str, ...]]:
+        names = list(admissible)
+        for size in range(len(names) + 1):
+            for combo in combinations(names, size):
+                yield combo
+
+    def max_tests(self, n_admissible: int) -> int:
+        return 2 ** n_admissible
+
+
+class FullSetOnly(SubsetStrategy):
+    """Only the full admissible set (1 test per candidate).
+
+    Sound but not complete: misses features whose separating set is a
+    *strict* subset of ``A`` (the Figure 1(c) case where conditioning on a
+    collider admissible would open a path).
+    """
+
+    name = "full-set"
+
+    def subsets(self, admissible: Sequence[str]) -> Iterator[tuple[str, ...]]:
+        yield tuple(admissible)
+
+    def max_tests(self, n_admissible: int) -> int:
+        return 1
+
+
+class MarginalThenFull(SubsetStrategy):
+    """The empty set then the full set (2 tests per candidate).
+
+    Covers the two dominant cases in practice: features independent of S
+    outright (Figure 1(b)'s X3) and features mediated by A (X1).
+    """
+
+    name = "marginal+full"
+
+    def subsets(self, admissible: Sequence[str]) -> Iterator[tuple[str, ...]]:
+        yield ()
+        if admissible:
+            yield tuple(admissible)
+
+    def max_tests(self, n_admissible: int) -> int:
+        return 2 if n_admissible else 1
+
+
+class GreedySubsets(SubsetStrategy):
+    """Empty set, full set, singletons, then leave-one-out sets.
+
+    Linear in |A| rather than exponential, and catches the collider cases
+    (Figure 1(c): ``X3 ⊥ S | A2`` with A2 a strict subset).
+    """
+
+    name = "greedy"
+
+    def subsets(self, admissible: Sequence[str]) -> Iterator[tuple[str, ...]]:
+        names = list(admissible)
+        seen: set[tuple[str, ...]] = set()
+
+        def emit(combo: tuple[str, ...]) -> Iterator[tuple[str, ...]]:
+            if combo not in seen:
+                seen.add(combo)
+                yield combo
+
+        yield from emit(())
+        yield from emit(tuple(names))
+        for name in names:
+            yield from emit((name,))
+        for name in names:
+            rest = tuple(n for n in names if n != name)
+            yield from emit(rest)
+
+    def max_tests(self, n_admissible: int) -> int:
+        if n_admissible <= 1:
+            return n_admissible + 1
+        return 2 * n_admissible + 2
+
+
+def strategy_by_name(name: str) -> SubsetStrategy:
+    """Look up a strategy by its ``name`` attribute."""
+    strategies: dict[str, type[SubsetStrategy]] = {
+        cls.name: cls
+        for cls in (ExhaustiveSubsets, FullSetOnly, MarginalThenFull, GreedySubsets)
+    }
+    if name not in strategies:
+        raise ValueError(f"unknown subset strategy {name!r}; "
+                         f"choose from {sorted(strategies)}")
+    return strategies[name]()

@@ -1,0 +1,87 @@
+"""CSV persistence for tables, with role metadata in a sidecar header.
+
+Format: plain CSV with one header line, preceded by an optional comment
+line ``# roles: name=role,name=role,...`` carrying the fairness roles so a
+round-trip preserves the schema.  No quoting support — column names and
+values must not contain commas (validated on write) — which keeps the
+parser dependency-free and predictable.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.data.schema import Role
+from repro.data.table import Table
+from repro.exceptions import SchemaError
+
+_ROLE_PREFIX = "# roles: "
+
+
+def write_csv(table: Table, path: str | os.PathLike) -> None:
+    """Write a table (with role metadata) to ``path``."""
+    for name in table.columns:
+        if "," in name:
+            raise SchemaError(f"column name contains a comma: {name!r}")
+    roles = ",".join(
+        f"{c.name}={c.role.value}" for c in table.schema if c.role != Role.OTHER
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        if roles:
+            handle.write(_ROLE_PREFIX + roles + "\n")
+        handle.write(",".join(table.columns) + "\n")
+        matrix = [table[c] for c in table.columns]
+        for i in range(table.n_rows):
+            handle.write(",".join(_fmt(col[i]) for col in matrix) + "\n")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, (np.integer, int)):
+        return str(int(value))
+    return repr(float(value))
+
+
+def read_csv(path: str | os.PathLike) -> Table:
+    """Read a table written by :func:`write_csv`.
+
+    Columns whose values are all integral are decoded as int64; everything
+    else as float64.  Role metadata is restored when present.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        first = handle.readline().rstrip("\n")
+        roles: dict[str, Role] = {}
+        if first.startswith(_ROLE_PREFIX):
+            for pair in first[len(_ROLE_PREFIX):].split(","):
+                if not pair:
+                    continue
+                name, _, value = pair.partition("=")
+                roles[name] = Role(value)
+            header = handle.readline().rstrip("\n")
+        else:
+            header = first
+        names = header.split(",") if header else []
+        if not names or any(not n for n in names):
+            raise SchemaError(f"malformed CSV header in {path}")
+        rows = []
+        for line_no, line in enumerate(handle, start=3):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            cells = line.split(",")
+            if len(cells) != len(names):
+                raise SchemaError(
+                    f"{path}:{line_no}: expected {len(names)} cells, "
+                    f"got {len(cells)}"
+                )
+            rows.append([float(c) for c in cells])
+    data = np.asarray(rows, dtype=float) if rows else np.zeros((0, len(names)))
+    columns: dict[str, np.ndarray] = {}
+    for j, name in enumerate(names):
+        col = data[:, j] if rows else np.zeros(0)
+        if col.size and np.all(col == np.round(col)):
+            columns[name] = col.astype(np.int64)
+        else:
+            columns[name] = col
+    return Table(columns, roles=roles)

@@ -1,0 +1,29 @@
+"""Dataset loaders: SCM-backed stand-ins for the paper's four datasets."""
+
+from repro.data.loaders.adult import adult_scm, load_adult
+from repro.data.loaders.base import Dataset, sample_dataset
+from repro.data.loaders.compas import compas_scm, load_compas
+from repro.data.loaders.german import german_scm, load_german
+from repro.data.loaders.meps import load_meps, meps_scm
+
+LOADERS = {
+    "german": load_german,
+    "compas": load_compas,
+    "adult": load_adult,
+    "meps1": lambda **kw: load_meps(variant=1, **kw),
+    "meps2": lambda **kw: load_meps(variant=2, **kw),
+}
+
+__all__ = [
+    "Dataset",
+    "sample_dataset",
+    "adult_scm",
+    "load_adult",
+    "compas_scm",
+    "load_compas",
+    "german_scm",
+    "load_german",
+    "load_meps",
+    "meps_scm",
+    "LOADERS",
+]

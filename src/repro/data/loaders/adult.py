@@ -1,0 +1,81 @@
+"""Adult stand-in (UCI Census Income).
+
+Paper configuration: **gender** is sensitive; **hours per week,
+occupation, age, education** are admissible; target is income > 50K;
+48k individuals.
+
+Structure: gender affects the admissible variables (occupation, hours) —
+allowed — while relationship and marital status are **biased proxies** of
+gender not mediated by them; capital gains/losses and workclass derive
+from education/occupation only.
+"""
+
+from __future__ import annotations
+
+from repro.causal.mechanisms import (
+    BernoulliRoot,
+    GaussianRoot,
+    LinearGaussian,
+    LogisticBinary,
+    NoisyCopy,
+)
+from repro.causal.scm import StructuralCausalModel
+from repro.data.loaders.base import Dataset, sample_dataset
+from repro.data.schema import Role
+from repro.rng import SeedLike
+
+
+def adult_scm() -> StructuralCausalModel:
+    """Structural model for the Adult stand-in."""
+    mechanisms = {
+        # Sensitive: gender (privileged = 1 ~ male in the UCI coding).
+        "gender": BernoulliRoot(0.67),
+        # Admissible set.
+        "age": GaussianRoot(0.0, 1.0),
+        "education": LinearGaussian(["age"], [0.3], noise_std=1.0),
+        "occupation": LogisticBinary(["gender", "education"], [0.9, 0.7],
+                                     intercept=-0.8),
+        "hours_per_week": LinearGaussian(["gender", "occupation"], [0.6, 0.5],
+                                         noise_std=1.0),
+        # Biased proxies of gender.
+        "relationship": NoisyCopy("gender", flip=0.18),
+        "marital_status": NoisyCopy("gender", flip=0.25),
+        # Safe features.
+        "capital_gain": LinearGaussian(["education", "occupation"], [0.5, 0.6],
+                                       noise_std=1.0),
+        "capital_loss": GaussianRoot(0.0, 1.0),
+        "workclass": LogisticBinary(["occupation"], [1.1], intercept=-0.5),
+        "native_region": BernoulliRoot(0.9),
+        # Target: income > 50K.
+        "income": LogisticBinary(
+            ["education", "occupation", "hours_per_week", "age",
+             "relationship", "capital_gain"],
+            [0.8, 0.7, 0.6, 0.4, 0.9, 0.5],
+            intercept=-2.2,
+        ),
+    }
+    roles = {
+        "gender": Role.SENSITIVE,
+        "age": Role.ADMISSIBLE,
+        "education": Role.ADMISSIBLE,
+        "occupation": Role.ADMISSIBLE,
+        "hours_per_week": Role.ADMISSIBLE,
+        "income": Role.TARGET,
+        **{name: Role.CANDIDATE for name in mechanisms
+           if name not in ("gender", "age", "education", "occupation",
+                           "hours_per_week", "income")},
+    }
+    return StructuralCausalModel(mechanisms, roles=roles)
+
+
+# Unsafe proxies (gender-dependent AND feeding Y); ``marital_status`` is a
+# gender proxy that does not feed income, so it is a planted C2 feature.
+BIASED_FEATURES = ["relationship"]
+PHASE2_FEATURES = ["marital_status"]
+
+
+def load_adult(seed: SeedLike = 0, n_train: int = 36_000,
+               n_test: int = 12_000) -> Dataset:
+    """Adult stand-in (48k individuals split 75/25)."""
+    return sample_dataset("Adult", adult_scm(), n_train, n_test, seed,
+                          privileged=1, biased_features=BIASED_FEATURES)

@@ -1,0 +1,68 @@
+"""Shared infrastructure for dataset loaders.
+
+Each loader returns a :class:`Dataset`: train/test tables with fairness
+roles, the generating :class:`StructuralCausalModel` (our stand-ins are
+SCM-backed, giving every benchmark a ground truth the original flat files
+lack), and the privileged value of the sensitive attribute used by group
+metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.causal.scm import StructuralCausalModel
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.data.table import Table
+from repro.rng import SeedLike
+
+
+@dataclass
+class Dataset:
+    """A loaded (synthetic stand-in) dataset with ground truth."""
+
+    name: str
+    train: Table
+    test: Table
+    scm: StructuralCausalModel
+    privileged: int = 1
+    biased_features: list[str] = field(default_factory=list)
+
+    def problem(self) -> FairFeatureSelectionProblem:
+        """Fair-feature-selection problem over the training split."""
+        return FairFeatureSelectionProblem.from_table(self.train, name=self.name)
+
+    @property
+    def sensitive(self) -> list[str]:
+        return self.train.schema.sensitive
+
+    @property
+    def admissible(self) -> list[str]:
+        return self.train.schema.admissible
+
+    @property
+    def candidates(self) -> list[str]:
+        return self.train.schema.candidates
+
+    @property
+    def target(self) -> str:
+        target = self.train.schema.target
+        assert target is not None  # loaders always set one
+        return target
+
+
+def sample_dataset(name: str, scm: StructuralCausalModel, n_train: int,
+                   n_test: int, seed: SeedLike, privileged: int = 1,
+                   biased_features: list[str] | None = None) -> Dataset:
+    """Draw disjoint train/test samples from an SCM."""
+    train = scm.sample(n_train, seed=seed)
+    test_seed = (seed + 1_000_003) if isinstance(seed, int) else seed
+    test = scm.sample(n_test, seed=test_seed)
+    return Dataset(
+        name=name,
+        train=train,
+        test=test,
+        scm=scm,
+        privileged=privileged,
+        biased_features=list(biased_features or []),
+    )

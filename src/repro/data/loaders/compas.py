@@ -1,0 +1,88 @@
+"""COMPAS stand-in (ProPublica recidivism analysis).
+
+Paper configuration: **race** is sensitive; **priors count, age, charge
+degree** are admissible; target is two-year recidivism; 7200 samples.
+
+Structure: race influences the admissible variables (allowed); zip-code
+risk, juvenile counts, and arrest density are **biased proxies** of race
+not mediated by the admissibles; case-processing features (length of stay,
+bail amount) depend only on the admissibles.  The paper notes that on
+COMPAS "the admissible feature is correlated to the sensitive attribute,
+affecting the fairness of the trained classifier" — our generator keeps
+that correlation strong (race -> priors_count) so even SeqSel/GrpSel show
+residual odds difference, matching Figure 2(d)'s shape.
+"""
+
+from __future__ import annotations
+
+from repro.causal.mechanisms import (
+    BernoulliRoot,
+    GaussianRoot,
+    LinearGaussian,
+    LogisticBinary,
+)
+from repro.causal.scm import StructuralCausalModel
+from repro.data.loaders.base import Dataset, sample_dataset
+from repro.data.schema import Role
+from repro.rng import SeedLike
+
+
+def compas_scm() -> StructuralCausalModel:
+    """Structural model for the COMPAS stand-in."""
+    # All race effects share a sign (race = 1 ~ Caucasian, privileged): the
+    # unprivileged group records more priors, higher zip risk, more juvenile
+    # counts, and higher recidivism — consistent directions are what make
+    # the ALL classifier visibly unfair, as in the ProPublica data.
+    mechanisms = {
+        # Sensitive: race (privileged = 1 ~ Caucasian in ProPublica coding).
+        "race": BernoulliRoot(0.4),
+        # Admissible: correlated with race (the paper's COMPAS caveat).
+        "priors_count": LinearGaussian(["race"], [-0.9], noise_std=1.0),
+        "age_cat": LogisticBinary(["race"], [-0.5], intercept=0.3),
+        "charge_degree": LogisticBinary(["race"], [-0.4], intercept=0.2),
+        # Biased proxies of race (paths not blocked by admissibles).
+        "zip_risk": LogisticBinary(["race"], [-2.2], intercept=1.1),
+        "juv_fel_count": LogisticBinary(["race"], [-1.6], intercept=-0.2),
+        # Binary (high/low) so feature expansion — which composes only the
+        # continuous columns — does not replicate this race proxy into
+        # dozens of weakly biased derived features.
+        "arrest_density": LogisticBinary(["race"], [-1.4], intercept=0.7),
+        # Safe features driven by the admissibles.
+        "length_of_stay": LinearGaussian(["priors_count", "charge_degree"],
+                                         [0.7, 0.5], noise_std=1.0),
+        "bail_amount": LinearGaussian(["charge_degree"], [0.9], noise_std=1.0),
+        "case_load": GaussianRoot(0.0, 1.0),
+        # Target: two-year recidivism.
+        "two_year_recid": LogisticBinary(
+            ["priors_count", "age_cat", "charge_degree",
+             "zip_risk", "juv_fel_count", "length_of_stay"],
+            [0.9, 0.5, 0.6, 0.9, 0.8, 0.4],
+            intercept=-1.6,
+        ),
+    }
+    roles = {
+        "race": Role.SENSITIVE,
+        "priors_count": Role.ADMISSIBLE,
+        "age_cat": Role.ADMISSIBLE,
+        "charge_degree": Role.ADMISSIBLE,
+        "two_year_recid": Role.TARGET,
+        **{name: Role.CANDIDATE for name in mechanisms
+           if name not in ("race", "priors_count", "age_cat", "charge_degree",
+                           "two_year_recid")},
+    }
+    return StructuralCausalModel(mechanisms, roles=roles)
+
+
+# Unsafe proxies (race-dependent AND feeding Y); ``arrest_density`` is a
+# race proxy that does not feed recidivism directly, so finite-sample CI
+# tests typically admit it in phase 2 (its residual Y-dependence given
+# A ∪ C1 is second-order).
+BIASED_FEATURES = ["zip_risk", "juv_fel_count"]
+PHASE2_FEATURES = ["arrest_density"]
+
+
+def load_compas(seed: SeedLike = 0, n_train: int = 5400,
+                n_test: int = 1800) -> Dataset:
+    """COMPAS stand-in (7200 samples split 75/25 as in the paper)."""
+    return sample_dataset("Compas", compas_scm(), n_train, n_test, seed,
+                          privileged=1, biased_features=BIASED_FEATURES)

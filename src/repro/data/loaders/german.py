@@ -1,0 +1,87 @@
+"""German Credit stand-in (UCI Statlog German Credit Data).
+
+Paper configuration: **age** (binarised at 25, as in standard fairness
+preprocessing) is sensitive, **account status** (checking account) is
+admissible, target is good/bad credit risk; 800 train / 200 test records.
+
+Causal structure encoded by the stand-in:
+
+* age -> account_status (admissible mediator),
+* age -> employment_duration, housing, telephone — **biased proxies**
+  whose age-dependence is *not* mediated by account status,
+* savings, credit_amount, duration, installment_rate, purpose — driven by
+  account status and exogenous noise: safe (blocked given A or marginally
+  independent),
+* credit risk depends on account status, savings/credit terms, and the
+  biased employment/housing proxies — so pruning the proxies costs real
+  accuracy, reproducing the Figure 2(c) trade-off.
+"""
+
+from __future__ import annotations
+
+from repro.causal.mechanisms import (
+    BernoulliRoot,
+    CategoricalRoot,
+    GaussianRoot,
+    LinearGaussian,
+    LogisticBinary,
+    NoisyCopy,
+)
+from repro.causal.scm import StructuralCausalModel
+from repro.data.loaders.base import Dataset, sample_dataset
+from repro.data.schema import Role
+from repro.rng import SeedLike
+
+
+def german_scm() -> StructuralCausalModel:
+    """Structural model for the German Credit stand-in."""
+    mechanisms = {
+        # Sensitive: age > 25 (privileged = 1).
+        "age": BernoulliRoot(0.59),
+        # Admissible: checking-account status, age-dependent.
+        "account_status": LogisticBinary(["age"], [1.2], intercept=-0.4),
+        # Biased proxies: age-dependent, not via account status.
+        "employment_duration": NoisyCopy("age", flip=0.15),
+        "housing": NoisyCopy("age", flip=0.2),
+        "telephone": NoisyCopy("age", flip=0.25),
+        # Mediated/safe features: depend on age only through account status.
+        "savings": LogisticBinary(["account_status"], [1.5], intercept=-0.7),
+        "credit_amount": LinearGaussian(["account_status"], [0.8], noise_std=1.0),
+        "duration": LinearGaussian(["account_status"], [0.6], noise_std=1.0),
+        "installment_rate": LinearGaussian(["account_status"], [0.5], noise_std=1.0),
+        # Independent features.
+        "purpose": CategoricalRoot([0.4, 0.3, 0.3]),
+        "foreign_worker": BernoulliRoot(0.04),
+        "num_dependents": GaussianRoot(0.0, 1.0),
+        # Target: good credit.
+        "credit_risk": LogisticBinary(
+            ["account_status", "savings", "credit_amount", "duration",
+             "employment_duration", "housing"],
+            [1.0, 0.8, -0.6, -0.5, 0.9, 0.7],
+            intercept=-0.4,
+        ),
+    }
+    roles = {
+        "age": Role.SENSITIVE,
+        "account_status": Role.ADMISSIBLE,
+        "credit_risk": Role.TARGET,
+        **{name: Role.CANDIDATE for name in mechanisms
+           if name not in ("age", "account_status", "credit_risk")},
+    }
+    return StructuralCausalModel(mechanisms, roles=roles)
+
+
+# Unsafe proxies (S-dependent AND feeding Y).  ``telephone`` is also an age
+# proxy but does not feed credit_risk directly; its only residual
+# Y-dependence given A ∪ C1 is second-order (through age and the other
+# proxies), which finite-sample CI tests accept — so it lands in C2,
+# mirroring the paper's observation that phase 2 admits real features.
+BIASED_FEATURES = ["employment_duration", "housing"]
+PHASE2_FEATURES = ["telephone"]
+
+
+def load_german(seed: SeedLike = 0, n_train: int = 800,
+                n_test: int = 200) -> Dataset:
+    """German Credit stand-in with the paper's split sizes."""
+    return sample_dataset("German", german_scm(), n_train, n_test, seed,
+                          privileged=1, biased_features=BIASED_FEATURES)

@@ -1,0 +1,100 @@
+"""MEPS stand-in (AHRQ Medical Expenditure Panel Survey).
+
+Paper configuration: **race** is sensitive; MEPS(1) takes **arthritis
+diagnosis** as admissible and MEPS(2) additionally **mental health**;
+target is high healthcare utilisation (hospital-visit count thresholded);
+7915 train / 3100 test records.
+
+Structure: race influences insurance coverage, region, and poverty status
+as **biased proxies** (paths not via the clinical admissibles); physical
+health scores and chronic-condition indices are mediated by the arthritis/
+mental-health diagnoses; utilisation depends on the clinical state plus
+the insurance proxy.  Under MEPS(2) the mental-health mediated features
+move from phase-2 admissions to phase-1 (a bigger blocked set), which is
+the behavioural difference between Figure 2(a) and 2(b).
+"""
+
+from __future__ import annotations
+
+from repro.causal.mechanisms import (
+    BernoulliRoot,
+    GaussianRoot,
+    LinearGaussian,
+    LogisticBinary,
+    NoisyCopy,
+)
+from repro.causal.scm import StructuralCausalModel
+from repro.data.loaders.base import Dataset, sample_dataset
+from repro.data.schema import Role
+from repro.rng import SeedLike
+
+
+def meps_scm(variant: int = 1) -> StructuralCausalModel:
+    """Structural model for the MEPS stand-in.
+
+    ``variant=1`` marks only arthritis as admissible; ``variant=2`` adds
+    mental health.
+    """
+    if variant not in (1, 2):
+        raise ValueError(f"MEPS variant must be 1 or 2, got {variant}")
+    mechanisms = {
+        # Sensitive: race (privileged = 1 ~ White in the AIF360 coding).
+        "race": BernoulliRoot(0.6),
+        # Clinical admissibles, race-dependent (allowed mediation).
+        "arthritis_dx": LogisticBinary(["race"], [0.7], intercept=-1.0),
+        "mental_health": LogisticBinary(["race"], [0.6], intercept=-0.8),
+        # Biased proxies of race.
+        "insurance": NoisyCopy("race", flip=0.15),
+        "region": NoisyCopy("race", flip=0.3),
+        "poverty_status": LogisticBinary(["race"], [-1.3], intercept=0.4),
+        # Clinically mediated (safe given arthritis_dx in both variants;
+        # keeping these off the mental-health pathway means the continuous
+        # columns — the ones feature expansion composes — stay clean).
+        "physical_score": LinearGaussian(["arthritis_dx"], [1.2], noise_std=1.0),
+        "chronic_index": LinearGaussian(["arthritis_dx"], [0.9], noise_std=1.0),
+        "cognitive_limit": LinearGaussian(["arthritis_dx"], [0.7], noise_std=1.0),
+        # Independent clinical noise.
+        "bmi": GaussianRoot(0.0, 1.0),
+        "smoking": BernoulliRoot(0.2),
+        # Target: high utilisation.
+        "utilization": LogisticBinary(
+            ["arthritis_dx", "mental_health", "physical_score",
+             "chronic_index", "insurance", "bmi"],
+            [0.8, 0.7, 0.6, 0.7, 0.9, 0.3],
+            intercept=-1.8,
+        ),
+    }
+    roles = {
+        "race": Role.SENSITIVE,
+        "arthritis_dx": Role.ADMISSIBLE,
+        "utilization": Role.TARGET,
+    }
+    if variant == 2:
+        roles["mental_health"] = Role.ADMISSIBLE
+    for name in mechanisms:
+        roles.setdefault(name, Role.CANDIDATE)
+    return StructuralCausalModel(mechanisms, roles=roles)
+
+
+# Unsafe proxies (race-dependent AND feeding Y); ``region`` and
+# ``poverty_status`` are race proxies that do not feed utilisation, so they
+# are planted C2 features.  In variant 1, ``mental_health`` is also unsafe
+# (race-dependent candidate feeding Y, not mediated by arthritis_dx).
+BIASED_FEATURES = ["insurance"]
+PHASE2_FEATURES = ["region", "poverty_status"]
+
+
+def load_meps(variant: int = 1, seed: SeedLike = 0, n_train: int = 7915,
+              n_test: int = 3100) -> Dataset:
+    """MEPS stand-in with the paper's split sizes.
+
+    In variant 1, ``mental_health`` remains a candidate (race-dependent but
+    mediation-free), so it is correctly treated as biased; in variant 2 it
+    becomes admissible and its descendants become phase-1 admissions.
+    """
+    name = f"MEPS({variant})"
+    biased = list(BIASED_FEATURES)
+    if variant == 1:
+        biased.append("mental_health")
+    return sample_dataset(name, meps_scm(variant), n_train, n_test, seed,
+                          privileged=1, biased_features=biased)

@@ -1,0 +1,81 @@
+"""Synthetic dataset generation for the complexity experiments.
+
+Figures 4-5 sweep two knobs: total number of features ``n`` and the
+fraction/number of biased features.  :func:`planted_bias_problem` builds a
+fairness SCM with those knobs, samples it (or skips sampling when an
+oracle CI test will be used, since the oracle reads the graph), and
+returns a ready :class:`FairFeatureSelectionProblem` plus ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.causal.random_graphs import FairnessGraphSpec, FairnessGround, fairness_scm
+from repro.causal.scm import StructuralCausalModel
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.data.table import Table
+from repro.rng import SeedLike
+
+
+@dataclass
+class PlantedProblem:
+    """A synthetic problem with known safe/unsafe feature labels."""
+
+    problem: FairFeatureSelectionProblem
+    scm: StructuralCausalModel
+    ground: FairnessGround
+
+
+def planted_bias_problem(n_features: int, n_biased: int, n_samples: int = 0,
+                         n_admissible: int = 1,
+                         redundant_fraction: float = 0.0,
+                         seed: SeedLike = 0) -> PlantedProblem:
+    """Fairness SCM with ``n_biased`` planted unsafe features.
+
+    ``n_samples=0`` produces a *schema-only* table (no rows) for use with
+    the d-separation oracle — the complexity experiments count tests, not
+    statistics, so sampling thousands of columns would be wasted work.
+    """
+    spec = FairnessGraphSpec(
+        n_features=n_features,
+        n_biased=n_biased,
+        n_admissible=n_admissible,
+        redundant_fraction=redundant_fraction,
+        seed=seed,
+    )
+    scm, ground = fairness_scm(spec)
+    if n_samples > 0:
+        table = scm.sample(n_samples, seed=seed)
+    else:
+        # Schema-only table: columns exist (1 placeholder row) but carry no
+        # information; only valid with an oracle tester.
+        order = scm.dag.topological_order()
+        table = Table({name: np.zeros(1) for name in order}, roles=scm.roles)
+    problem = FairFeatureSelectionProblem.from_table(table, name="planted")
+    return PlantedProblem(problem=problem, scm=scm, ground=ground)
+
+
+def independent_features_table(n_features: int, n_samples: int,
+                               seed: SeedLike = 0) -> Table:
+    """A table of features all independent of a binary S and target Y.
+
+    Used by the spuriousness experiment (§5.3 "Advantages of Group-testing"):
+    with everything independent, any rejection by a finite-sample CI test is
+    a spurious correlation, and the experiment counts them as the feature
+    count grows.
+    """
+    from repro.causal.mechanisms import BernoulliRoot, GaussianRoot, LogisticBinary
+    from repro.data.schema import Role
+
+    mechanisms = {"S": BernoulliRoot(0.5), "A0": LogisticBinary(["S"], [1.0])}
+    roles = {"S": Role.SENSITIVE, "A0": Role.ADMISSIBLE}
+    for i in range(n_features):
+        mechanisms[f"F{i}"] = GaussianRoot(0.0, 1.0)
+        roles[f"F{i}"] = Role.CANDIDATE
+    mechanisms["Y"] = LogisticBinary(["A0"], [1.0], intercept=-0.5)
+    roles["Y"] = Role.TARGET
+    scm = StructuralCausalModel(mechanisms, roles=roles)
+    return scm.sample(n_samples, seed=seed)

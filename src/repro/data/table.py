@@ -1,0 +1,250 @@
+"""A small column-oriented table built on numpy arrays.
+
+The paper frames fair feature selection inside *data integration*: new
+feature columns arrive by PK-FK joins against external sources.  This module
+provides the minimal substrate for that story without pandas: named columns
+of equal length, role-aware schemas, selection/projection, inner equi-joins,
+and train/test splitting.
+
+Columns are stored as 1-D :class:`numpy.ndarray`; the table never aliases
+caller arrays on construction (it copies) so instances behave as values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.data.schema import ColumnSpec, Kind, Role, TableSchema
+from repro.rng import SeedLike, as_generator
+
+
+def _infer_kind(values: np.ndarray) -> Kind:
+    """Guess a :class:`Kind` for a raw column.
+
+    Integer columns with two distinct values are binary; other integer (or
+    small-cardinality) columns are discrete; everything else is continuous.
+    """
+    uniq = np.unique(values)
+    if uniq.size <= 2:
+        return Kind.BINARY
+    if np.issubdtype(values.dtype, np.integer):
+        return Kind.DISCRETE
+    if np.issubdtype(values.dtype, np.floating) and np.all(uniq == np.round(uniq)) and uniq.size <= 20:
+        return Kind.DISCRETE
+    return Kind.CONTINUOUS
+
+
+class Table:
+    """Named, equal-length columns with a fairness-aware schema.
+
+    >>> t = Table({"s": np.array([0, 1]), "y": np.array([1, 0])},
+    ...           roles={"s": Role.SENSITIVE, "y": Role.TARGET})
+    >>> t.n_rows, t.schema.sensitive
+    (2, ['s'])
+    """
+
+    def __init__(
+        self,
+        columns: Mapping[str, np.ndarray | Sequence],
+        schema: TableSchema | None = None,
+        roles: Mapping[str, Role] | None = None,
+    ) -> None:
+        self._data: dict[str, np.ndarray] = {}
+        lengths = set()
+        for name, values in columns.items():
+            arr = np.asarray(values)
+            if arr.ndim != 1:
+                raise SchemaError(f"column {name!r} must be 1-D, got shape {arr.shape}")
+            self._data[name] = arr.copy()
+            lengths.add(arr.shape[0])
+        if len(lengths) > 1:
+            raise SchemaError(f"columns have mismatched lengths: {sorted(lengths)}")
+        self._n_rows = lengths.pop() if lengths else 0
+
+        if schema is None:
+            role_map = dict(roles or {})
+            unknown = set(role_map) - set(self._data)
+            if unknown:
+                raise SchemaError(f"roles given for unknown columns: {sorted(unknown)}")
+            schema = TableSchema(
+                [
+                    ColumnSpec(name, _infer_kind(arr), role_map.get(name, Role.OTHER))
+                    for name, arr in self._data.items()
+                ]
+            )
+        else:
+            if roles is not None:
+                schema = schema.with_roles(dict(roles))
+            missing = set(schema.names) ^ set(self._data)
+            if missing:
+                raise SchemaError(f"schema/column mismatch on: {sorted(missing)}")
+        self.schema = schema
+
+    # -- basic accessors --------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return self._n_rows
+
+    @property
+    def n_cols(self) -> int:
+        """Number of columns."""
+        return len(self._data)
+
+    @property
+    def columns(self) -> list[str]:
+        """Column names in schema order."""
+        return self.schema.names
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        """Return a *copy-free view* of one column (do not mutate)."""
+        if name not in self._data:
+            raise SchemaError(f"unknown column: {name!r}")
+        return self._data[name]
+
+    def column(self, name: str) -> np.ndarray:
+        """Alias of ``table[name]``."""
+        return self[name]
+
+    def matrix(self, names: Sequence[str] | None = None) -> np.ndarray:
+        """Stack the named columns into an ``(n_rows, k)`` float matrix."""
+        use = list(names) if names is not None else self.columns
+        if not use:
+            return np.empty((self._n_rows, 0))
+        return np.column_stack([np.asarray(self[n], dtype=float) for n in use])
+
+    # -- relational operations --------------------------------------------
+
+    def select(self, names: Iterable[str]) -> "Table":
+        """Projection: a new table with only the requested columns."""
+        use = list(names)
+        return Table({n: self[n] for n in use}, schema=self.schema.select(use))
+
+    def drop(self, names: Iterable[str]) -> "Table":
+        """Projection complement: remove the requested columns."""
+        gone = set(names)
+        missing = gone - set(self.columns)
+        if missing:
+            raise SchemaError(f"cannot drop unknown columns: {sorted(missing)}")
+        return self.select([n for n in self.columns if n not in gone])
+
+    def take(self, index: np.ndarray) -> "Table":
+        """Row selection by integer or boolean index array."""
+        idx = np.asarray(index)
+        return Table({n: self._data[n][idx] for n in self.columns}, schema=self.schema)
+
+    def head(self, n: int) -> "Table":
+        """First ``n`` rows."""
+        return self.take(np.arange(min(n, self._n_rows)))
+
+    def with_column(self, name: str, values: np.ndarray | Sequence, role: Role = Role.OTHER,
+                    kind: Kind | None = None) -> "Table":
+        """A new table with one extra (or replaced) column."""
+        arr = np.asarray(values)
+        if arr.shape[0] != self._n_rows:
+            raise SchemaError(
+                f"column {name!r} has {arr.shape[0]} rows, table has {self._n_rows}"
+            )
+        data = {n: self._data[n] for n in self.columns}
+        data[name] = arr
+        spec = ColumnSpec(name, kind or _infer_kind(arr), role)
+        if name in self._data:
+            schema = TableSchema([spec if c.name == name else c for c in self.schema])
+        else:
+            schema = self.schema.add(spec)
+        return Table(data, schema=schema)
+
+    def with_roles(self, roles: Mapping[str, Role]) -> "Table":
+        """A new table with reassigned column roles."""
+        return Table({n: self._data[n] for n in self.columns},
+                     schema=self.schema.with_roles(dict(roles)))
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """A new table with columns renamed via ``mapping``."""
+        schema = self.schema.rename(dict(mapping))
+        return Table(
+            {mapping.get(n, n): self._data[n] for n in self.columns}, schema=schema
+        )
+
+    def join(self, other: "Table", on: str, how: str = "inner") -> "Table":
+        """Equi-join on a shared key column (the PK-FK join of the paper).
+
+        ``self`` plays the fact table (foreign key, possibly repeated);
+        ``other`` must be keyed uniquely by ``on`` (primary key).  Columns of
+        ``other`` (minus the key) are appended.  ``how`` is ``"inner"`` or
+        ``"left"``; a left join raises if any key is missing on the right,
+        making key-integrity violations loud rather than silent NaNs.
+        """
+        if on not in self or on not in other:
+            raise SchemaError(f"join key {on!r} missing from one side")
+        keys_right = other[on]
+        uniq, first_pos = np.unique(keys_right, return_index=True)
+        if uniq.size != keys_right.size:
+            raise SchemaError(f"join key {on!r} is not unique on the right side")
+        lookup = {k: int(p) for k, p in zip(uniq.tolist(), first_pos.tolist())}
+        left_keys = self[on].tolist()
+        if how == "inner":
+            keep = [i for i, k in enumerate(left_keys) if k in lookup]
+        elif how == "left":
+            missing = [k for k in left_keys if k not in lookup]
+            if missing:
+                raise SchemaError(
+                    f"left join would drop {len(missing)} rows missing key values"
+                )
+            keep = list(range(len(left_keys)))
+        else:
+            raise SchemaError(f"unsupported join type: {how!r}")
+        right_rows = np.array([lookup[left_keys[i]] for i in keep], dtype=int)
+        out = self.take(np.asarray(keep, dtype=int))
+        for col in other.columns:
+            if col == on:
+                continue
+            if col in out:
+                raise SchemaError(f"join would duplicate column {col!r}")
+            spec = other.schema.spec(col)
+            out = out.with_column(col, other[col][right_rows], role=spec.role, kind=spec.kind)
+        return out
+
+    # -- ML conveniences ----------------------------------------------------
+
+    def split(self, train_fraction: float, seed: SeedLike = None) -> tuple["Table", "Table"]:
+        """Shuffled train/test split by row."""
+        if not 0.0 < train_fraction < 1.0:
+            raise SchemaError(f"train_fraction must be in (0, 1), got {train_fraction}")
+        rng = as_generator(seed)
+        perm = rng.permutation(self._n_rows)
+        cut = int(round(train_fraction * self._n_rows))
+        return self.take(perm[:cut]), self.take(perm[cut:])
+
+    def xy(self, feature_names: Sequence[str], target: str | None = None
+           ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(X, y)`` matrices for model training."""
+        target_name = target or self.schema.target
+        if target_name is None:
+            raise SchemaError("table has no target column and none was given")
+        return self.matrix(feature_names), np.asarray(self[target_name])
+
+    # -- misc ----------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, np.ndarray]:
+        """Copy of the underlying column mapping."""
+        return {n: self._data[n].copy() for n in self.columns}
+
+    def equals(self, other: "Table") -> bool:
+        """Exact equality of schema order, names and cell values."""
+        if self.columns != other.columns or self.n_rows != other.n_rows:
+            return False
+        return all(np.array_equal(self[n], other[n]) for n in self.columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self._n_rows} rows x {self.n_cols} cols: {self.columns})"

@@ -1,0 +1,85 @@
+"""p-value threshold sensitivity (§5.2).
+
+The paper: "We empirically swept the p-value threshold from 0.01 to 0.05,
+and results are stable and do not impact its performance.  As an example,
+the accuracy of the trained classifier was 0.83-0.84 on MEPS and within
+0.73-0.76 on German on varying the thresholds."
+
+:func:`sweep_alpha` re-runs GrpSel at each threshold and reports the
+selected set, accuracy, and odds difference, so stability is measurable
+rather than asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ci.adaptive import AdaptiveCI
+from repro.core.grpsel import GrpSel
+from repro.data.loaders.base import Dataset
+from repro.experiments.harness import run_method
+from repro.rng import SeedLike
+
+
+@dataclass
+class AlphaPoint:
+    """One threshold's outcome."""
+
+    alpha: float
+    accuracy: float
+    abs_odds_difference: float
+    n_selected: int
+    selected: frozenset[str]
+
+
+@dataclass
+class AlphaSweep:
+    dataset: str
+    points: list[AlphaPoint] = field(default_factory=list)
+
+    @property
+    def accuracy_range(self) -> float:
+        accs = [p.accuracy for p in self.points]
+        return max(accs) - min(accs)
+
+    @property
+    def odds_range(self) -> float:
+        odds = [p.abs_odds_difference for p in self.points]
+        return max(odds) - min(odds)
+
+    def selection_jaccard(self) -> float:
+        """Similarity of the selected sets across thresholds (1 = identical)."""
+        sets = [p.selected for p in self.points]
+        union = frozenset().union(*sets)
+        if not union:
+            return 1.0
+        intersection = sets[0]
+        for s in sets[1:]:
+            intersection &= s
+        return len(intersection) / len(union)
+
+    def rows(self) -> list[dict]:
+        return [
+            {"alpha": p.alpha, "accuracy": round(p.accuracy, 4),
+             "abs_odds_diff": round(p.abs_odds_difference, 4),
+             "n_selected": p.n_selected}
+            for p in self.points
+        ]
+
+
+def sweep_alpha(dataset: Dataset, alphas: list[float] | None = None,
+                seed: SeedLike = 0) -> AlphaSweep:
+    """Run GrpSel at each significance threshold and collect outcomes."""
+    alphas = alphas or [0.01, 0.02, 0.03, 0.05]
+    sweep = AlphaSweep(dataset=dataset.name)
+    for alpha in alphas:
+        selector = GrpSel(tester=AdaptiveCI(alpha=alpha, seed=seed), seed=seed)
+        run = run_method(dataset, selector)
+        sweep.points.append(AlphaPoint(
+            alpha=alpha,
+            accuracy=run.report.accuracy,
+            abs_odds_difference=run.report.abs_odds_difference,
+            n_selected=len(run.selection.selected),
+            selected=frozenset(run.selection.selected),
+        ))
+    return sweep

@@ -1,0 +1,74 @@
+"""Terminal-friendly rendering of experiment outputs.
+
+The offline environment has no matplotlib, so figures are rendered as
+aligned text tables and simple ASCII scatter plots — enough to eyeball the
+*shapes* the reproduction must match.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(rows: list[dict], title: str = "") -> str:
+    """Align a list of homogeneous dicts into a text table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    headers = list(rows[0].keys())
+    cells = [[str(row.get(h, "")) for h in headers] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells))
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(x: Sequence[float], series: dict[str, Sequence[float]],
+                  x_label: str = "x", title: str = "") -> str:
+    """Numeric multi-series table (x column plus one column per series)."""
+    rows = []
+    for i, xv in enumerate(x):
+        row: dict = {x_label: xv}
+        for name, values in series.items():
+            row[name] = values[i]
+        rows.append(row)
+    return render_table(rows, title=title)
+
+
+def ascii_scatter(points: dict[str, tuple[float, float]], width: int = 60,
+                  height: int = 16, x_label: str = "abs odds diff",
+                  y_label: str = "accuracy") -> str:
+    """Plot labelled (x, y) points on a character grid.
+
+    Each point is drawn with the first letter of its label; a legend maps
+    letters back to full method names.
+    """
+    if not points:
+        return "(no points)"
+    xs = [p[0] for p in points.values()]
+    ys = [p[1] for p in points.values()]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for label, (x, y) in points.items():
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        marker = label[0].upper()
+        grid[row][col] = marker
+        legend.append(f"{marker}={label}")
+
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(f"x: {x_label} [{x_lo:.3f}, {x_hi:.3f}]   "
+                 f"y: {y_label} [{y_lo:.3f}, {y_hi:.3f}]")
+    lines.append("legend: " + ", ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Experiment harness: run one (dataset, selector, classifier) config.
+
+One code path for every method in Figure 2: select features on the train
+split, train the classifier on ``A ∪ selected`` (with repair/reweighing
+sample weights when the baseline provides them), evaluate accuracy and
+fairness on the test split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.result import SelectionResult
+from repro.data.loaders.base import Dataset
+from repro.fairness.report import FairnessReport, evaluate_classifier
+from repro.ml.base import Classifier
+from repro.ml.logistic import LogisticRegression
+from repro.ml.preprocessing import StandardScaler
+
+ClassifierFactory = Callable[[], Classifier]
+
+
+@dataclass
+class MethodRun:
+    """Everything produced by one harness run."""
+
+    report: FairnessReport
+    selection: SelectionResult
+    model: Classifier
+    feature_names: list[str]
+
+
+def default_classifier() -> Classifier:
+    """The paper's default: logistic regression."""
+    return LogisticRegression(max_iter=100)
+
+
+def run_method(dataset: Dataset, selector,
+               classifier_factory: ClassifierFactory | None = None,
+               privileged: int | None = None) -> MethodRun:
+    """Select, train, and evaluate one method on one dataset."""
+    factory = classifier_factory or default_classifier
+    problem = dataset.problem()
+    selection = selector.select(problem)
+    features = problem.training_features(selection.selected)
+
+    scaler = StandardScaler()
+    X_train = scaler.fit_transform(dataset.train.matrix(features))
+    y_train = np.asarray(dataset.train[problem.target])
+
+    sample_weight = None
+    weight_fn = getattr(selector, "training_weights", None)
+    if callable(weight_fn):
+        sample_weight = weight_fn(problem)
+
+    model = factory()
+    model.fit(X_train, y_train, sample_weight=sample_weight)
+
+    scaled_model = _ScaledModel(model, scaler)
+    report = evaluate_classifier(
+        scaled_model, dataset.test, features, problem.target,
+        problem.sensitive, problem.admissible,
+        privileged=dataset.privileged if privileged is None else privileged,
+        method=selection.algorithm,
+    )
+    return MethodRun(report=report, selection=selection, model=scaled_model,
+                     feature_names=features)
+
+
+class _ScaledModel:
+    """Classifier plus its fitted scaler, exposed as one predictor."""
+
+    def __init__(self, model: Classifier, scaler: StandardScaler) -> None:
+        self._model = model
+        self._scaler = scaler
+
+    @property
+    def classes_(self):
+        return self._model.classes_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self._model.predict(self._scaler.transform(X))
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return self._model.predict_proba(self._scaler.transform(X))
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return self._model.score(self._scaler.transform(X), y)

@@ -1,0 +1,75 @@
+"""RCIT running-time experiment (Figure 3b).
+
+Measures wall-clock time of one RCIT call as the conditioning-set size
+grows from 1 to 256, on synthetic data sized like each real dataset.  The
+paper's observation — runtime grows linearly in |Z| but with a very small
+gradient (8s -> <10s for Adult from |Z|=1 to 256 in R) — holds because the
+expensive parts (RFF projection of Z, the ridge solve) scale mildly with
+the number of Z *columns* once the feature count is fixed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ci.rcit import RCIT
+from repro.data.table import Table
+from repro.rng import SeedLike, as_generator
+
+
+@dataclass
+class TimingPoint:
+    conditioning_size: int
+    seconds: float
+
+
+@dataclass
+class TimingSeries:
+    dataset: str
+    n_rows: int
+    points: list[TimingPoint] = field(default_factory=list)
+
+    def series(self) -> tuple[list[int], list[float]]:
+        return ([p.conditioning_size for p in self.points],
+                [p.seconds for p in self.points])
+
+
+# Sample sizes mirroring the paper's datasets.
+DATASET_SIZES = {"German": 800, "MEPS": 7915, "Compas": 5400, "Adult": 36_000}
+
+
+def _gaussian_table(n_rows: int, n_cols: int, seed: SeedLike) -> Table:
+    rng = as_generator(seed)
+    data = {f"c{i}": rng.normal(size=n_rows) for i in range(n_cols)}
+    return Table(data)
+
+
+def time_rcit(n_rows: int, set_sizes: list[int], dataset: str = "",
+              repeats: int = 1, seed: SeedLike = 0) -> TimingSeries:
+    """Time one RCIT X⊥Y|Z call per conditioning-set size."""
+    max_z = max(set_sizes)
+    table = _gaussian_table(n_rows, max_z + 2, seed=seed)
+    out = TimingSeries(dataset=dataset, n_rows=n_rows)
+    tester = RCIT(seed=seed)
+    z_all = [f"c{i}" for i in range(2, max_z + 2)]
+    for size in set_sizes:
+        elapsed = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            tester.test(table, "c0", "c1", z_all[:size])
+            elapsed.append(time.perf_counter() - start)
+        out.points.append(TimingPoint(size, float(np.median(elapsed))))
+    return out
+
+
+def figure3b(set_sizes: list[int] | None = None, repeats: int = 1,
+             seed: SeedLike = 0,
+             sizes: dict[str, int] | None = None) -> list[TimingSeries]:
+    """The full Figure 3(b) sweep over all four dataset sizes."""
+    sizes = sizes or DATASET_SIZES
+    set_sizes = set_sizes or [1, 4, 16, 64, 128, 256]
+    return [time_rcit(n, set_sizes, dataset=name, repeats=repeats, seed=seed)
+            for name, n in sizes.items()]

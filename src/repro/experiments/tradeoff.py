@@ -1,0 +1,75 @@
+"""Accuracy-vs-fairness trade-off sweeps (Figure 2 and Figure 3a).
+
+For each dataset, run every method through the harness and collect one
+``(abs odds difference, accuracy)`` point per method — the scatter the
+paper plots.  :func:`default_method_suite` wires up the exact Figure 2
+line-up: GrpSel, SeqSel, Hamlet, SPred, A, ALL, Capuchin, FairPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import (
+    AdmissibleOnly,
+    AllFeatures,
+    Capuchin,
+    FairPC,
+    Hamlet,
+    SPred,
+)
+from repro.ci.adaptive import AdaptiveCI
+from repro.core.grpsel import GrpSel
+from repro.core.seqsel import SeqSel
+from repro.data.loaders.base import Dataset
+from repro.experiments.harness import ClassifierFactory, MethodRun, run_method
+from repro.fairness.report import FairnessReport
+from repro.rng import SeedLike
+
+
+def default_method_suite(alpha: float = 0.01, seed: SeedLike = 0) -> list:
+    """The Figure 2 method line-up, sharing one CI-test configuration."""
+    return [
+        GrpSel(tester=AdaptiveCI(alpha=alpha, seed=seed), seed=seed),
+        SeqSel(tester=AdaptiveCI(alpha=alpha, seed=seed)),
+        Hamlet(),
+        SPred(seed=seed),
+        AdmissibleOnly(),
+        AllFeatures(),
+        Capuchin(),
+        FairPC(tester=AdaptiveCI(alpha=alpha, seed=seed)),
+    ]
+
+
+@dataclass
+class TradeoffResult:
+    """All method points for one dataset."""
+
+    dataset: str
+    reports: list[FairnessReport] = field(default_factory=list)
+    runs: dict[str, MethodRun] = field(default_factory=dict)
+
+    def by_method(self, name: str) -> FairnessReport:
+        for report in self.reports:
+            if report.method == name:
+                return report
+        raise KeyError(f"no report for method {name!r}")
+
+    def table(self) -> list[dict]:
+        """Rows sorted by decreasing accuracy."""
+        return [r.row() for r in sorted(self.reports,
+                                        key=lambda r: -r.accuracy)]
+
+
+def run_tradeoff(dataset: Dataset, methods: list | None = None,
+                 classifier_factory: ClassifierFactory | None = None,
+                 seed: SeedLike = 0) -> TradeoffResult:
+    """Evaluate every method on one dataset (one Figure 2 panel)."""
+    suite = methods if methods is not None else default_method_suite(seed=seed)
+    result = TradeoffResult(dataset=dataset.name)
+    for selector in suite:
+        run = run_method(dataset, selector,
+                         classifier_factory=classifier_factory)
+        result.reports.append(run.report)
+        result.runs[run.report.method] = run
+    return result

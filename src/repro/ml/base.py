@@ -1,0 +1,78 @@
+"""Classifier interfaces.
+
+Minimal sklearn-like contract: ``fit(X, y)``, ``predict(X)``,
+``predict_proba(X)`` returning an ``(n, n_classes)`` matrix whose columns
+follow ``self.classes_``.  All estimators validate shapes and raise
+:class:`~repro.exceptions.NotFittedError` when used before fitting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+
+
+def check_Xy(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce a training pair."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {y.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    if not np.all(np.isfinite(X)):
+        raise ValueError("X contains non-finite values")
+    return X, y
+
+
+class Classifier:
+    """Base class for all classifiers in :mod:`repro.ml`."""
+
+    classes_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "Classifier":
+        raise NotImplementedError
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most probable class per row."""
+        probs = self.predict_proba(X)
+        return self.classes_[np.argmax(probs, axis=1)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Plain accuracy."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    def _check_fitted(self) -> None:
+        if self.classes_ is None:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before prediction"
+            )
+
+    def _encode_labels(self, y: np.ndarray) -> np.ndarray:
+        """Store ``classes_`` and return integer-encoded labels."""
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        return encoded
+
+
+def normalize_weights(sample_weight: np.ndarray | None, n: int) -> np.ndarray:
+    """Uniform weights when ``None``; validated & normalised otherwise."""
+    if sample_weight is None:
+        return np.full(n, 1.0 / n)
+    w = np.asarray(sample_weight, dtype=float)
+    if w.shape != (n,):
+        raise ValueError(f"sample_weight shape {w.shape} != ({n},)")
+    if np.any(w < 0):
+        raise ValueError("sample weights must be non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("sample weights sum to zero")
+    return w / total

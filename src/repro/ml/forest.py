@@ -1,0 +1,65 @@
+"""Random forest classifier (bagged CART trees with feature subsampling)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_Xy
+from repro.ml.tree import DecisionTreeClassifier
+from repro.rng import SeedLike, as_generator, spawn
+
+
+class RandomForestClassifier(Classifier):
+    """Bootstrap-aggregated decision trees.
+
+    Probabilities are the average of per-tree leaf distributions (soft
+    voting), matching sklearn's behaviour.
+    """
+
+    def __init__(self, n_estimators: int = 50, max_depth: int | None = None,
+                 min_samples_leaf: int = 1, max_features: int | float | str = "sqrt",
+                 bootstrap: bool = True, seed: SeedLike = None) -> None:
+        if n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self._seed = seed
+        self.estimators_: list[DecisionTreeClassifier] = []
+
+    def fit(self, X, y, sample_weight=None):
+        X, y = check_Xy(X, y)
+        self.classes_ = np.unique(y)
+        self.estimators_ = []
+        rng = as_generator(self._seed)
+        child_seeds = spawn(int(rng.integers(0, 2**31 - 1)), self.n_estimators)
+        n = X.shape[0]
+        for tree_rng in child_seeds:
+            if self.bootstrap:
+                idx = tree_rng.integers(0, n, size=n)
+            else:
+                idx = np.arange(n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=tree_rng,
+            )
+            sw = None if sample_weight is None else np.asarray(sample_weight)[idx]
+            tree.fit(X[idx], y[idx], sample_weight=sw)
+            self.estimators_.append(tree)
+        return self
+
+    def predict_proba(self, X):
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        out = np.zeros((X.shape[0], self.classes_.size))
+        for tree in self.estimators_:
+            probs = tree.predict_proba(X)
+            # Align the tree's (possibly smaller) class set to the forest's.
+            for j, cls in enumerate(tree.classes_):
+                k = int(np.searchsorted(self.classes_, cls))
+                out[:, k] += probs[:, j]
+        return out / len(self.estimators_)

@@ -1,0 +1,122 @@
+"""L2-regularised logistic regression (binary and one-vs-rest multiclass).
+
+Fitted by iteratively reweighted least squares (Newton steps) with a
+gradient-descent fallback when the Hessian is ill-conditioned.  This is the
+paper's default classifier ("sklearn's logistic regression with default
+settings" = L2, C=1.0).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro.exceptions import ConvergenceWarning
+from repro.ml.base import Classifier, check_Xy, normalize_weights
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+class LogisticRegression(Classifier):
+    """Binary / one-vs-rest logistic regression with L2 penalty.
+
+    ``C`` is the inverse regularisation strength (sklearn convention); the
+    intercept is unpenalised.
+    """
+
+    def __init__(self, C: float = 1.0, max_iter: int = 100,
+                 tol: float = 1e-6, fit_intercept: bool = True) -> None:
+        if C <= 0:
+            raise ValueError(f"C must be positive, got {C}")
+        self.C = C
+        self.max_iter = max_iter
+        self.tol = tol
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | None = None
+        self.n_iter_: int = 0
+
+    # -- fitting -----------------------------------------------------------
+
+    def fit(self, X, y, sample_weight=None):
+        X, y = check_Xy(X, y)
+        encoded = self._encode_labels(y)
+        n, d = X.shape
+        weights = normalize_weights(sample_weight, n) * n  # keep scale ~n
+        n_classes = self.classes_.size
+        if n_classes < 2:
+            # Degenerate single-class training set: predict it always.
+            self.coef_ = np.zeros((1, d))
+            self.intercept_ = np.array([0.0])
+            return self
+
+        design = np.column_stack([np.ones(n), X]) if self.fit_intercept else X
+        n_models = 1 if n_classes == 2 else n_classes
+        all_beta = np.zeros((n_models, design.shape[1]))
+        for m in range(n_models):
+            target = (encoded == (m + 1 if n_classes == 2 else m)).astype(float)
+            if n_classes == 2:
+                target = (encoded == 1).astype(float)
+            all_beta[m] = self._fit_binary(design, target, weights)
+        if self.fit_intercept:
+            self.intercept_ = all_beta[:, 0].copy()
+            self.coef_ = all_beta[:, 1:].copy()
+        else:
+            self.intercept_ = np.zeros(n_models)
+            self.coef_ = all_beta.copy()
+        return self
+
+    def _fit_binary(self, design: np.ndarray, target: np.ndarray,
+                    weights: np.ndarray) -> np.ndarray:
+        n, d = design.shape
+        lam = 1.0 / self.C
+        penalty = np.full(d, lam)
+        if self.fit_intercept:
+            penalty[0] = 0.0
+        beta = np.zeros(d)
+        converged = False
+        for iteration in range(self.max_iter):
+            p = _sigmoid(design @ beta)
+            grad = design.T @ (weights * (p - target)) + penalty * beta
+            w_irls = weights * p * (1.0 - p) + 1e-10
+            hessian = (design * w_irls[:, None]).T @ design + np.diag(penalty + 1e-10)
+            try:
+                step = np.linalg.solve(hessian, grad)
+            except np.linalg.LinAlgError:
+                step = grad / (np.abs(np.diag(hessian)) + 1.0)
+            beta -= step
+            self.n_iter_ = iteration + 1
+            if np.max(np.abs(step)) < self.tol:
+                converged = True
+                break
+        if not converged and self.max_iter >= 25:
+            warnings.warn(
+                f"logistic regression did not converge in {self.max_iter} iters",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
+        return beta
+
+    # -- prediction --------------------------------------------------------
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Linear scores, shape ``(n,)`` binary or ``(n, k)`` multiclass."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        scores = X @ self.coef_.T + self.intercept_
+        return scores[:, 0] if scores.shape[1] == 1 else scores
+
+    def predict_proba(self, X):
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if self.classes_.size == 1:
+            return np.ones((X.shape[0], 1))
+        scores = X @ self.coef_.T + self.intercept_
+        if self.classes_.size == 2:
+            p1 = _sigmoid(scores[:, 0])
+            return np.column_stack([1.0 - p1, p1])
+        exp = np.exp(scores - scores.max(axis=1, keepdims=True))
+        return exp / exp.sum(axis=1, keepdims=True)

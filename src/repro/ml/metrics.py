@@ -1,0 +1,95 @@
+"""Classification metrics: accuracy, confusion counts, ROC AUC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("cannot score empty arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Binary confusion-matrix cells (positive class given explicitly)."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def tpr(self) -> float:
+        """True positive rate (recall); 0 when no positives exist."""
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def fpr(self) -> float:
+        """False positive rate; 0 when no negatives exist."""
+        denom = self.fp + self.tn
+        return self.fp / denom if denom else 0.0
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def n(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+
+def confusion_counts(y_true: np.ndarray, y_pred: np.ndarray,
+                     positive=1) -> ConfusionCounts:
+    """Binary confusion counts with an explicit positive label."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    pos_t = y_true == positive
+    pos_p = y_pred == positive
+    return ConfusionCounts(
+        tp=int(np.sum(pos_t & pos_p)),
+        fp=int(np.sum(~pos_t & pos_p)),
+        tn=int(np.sum(~pos_t & ~pos_p)),
+        fn=int(np.sum(pos_t & ~pos_p)),
+    )
+
+
+def roc_auc(y_true: np.ndarray, scores: np.ndarray, positive=1) -> float:
+    """Area under the ROC curve via the rank (Mann–Whitney) formulation."""
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=float)
+    pos = scores[y_true == positive]
+    neg = scores[y_true != positive]
+    if pos.size == 0 or neg.size == 0:
+        raise ValueError("ROC AUC needs both classes present")
+    order = np.argsort(np.concatenate([pos, neg]), kind="stable")
+    ranks = np.empty(order.size, dtype=float)
+    ranks[order] = np.arange(1, order.size + 1)
+    # Average ties so the AUC is exact under duplicated scores.
+    combined = np.concatenate([pos, neg])
+    for value in np.unique(combined):
+        mask = combined == value
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    rank_sum = ranks[: pos.size].sum()
+    u = rank_sum - pos.size * (pos.size + 1) / 2.0
+    return float(u / (pos.size * neg.size))
+
+
+def log_loss(y_true: np.ndarray, probs: np.ndarray, classes: np.ndarray) -> float:
+    """Cross-entropy of predicted probabilities against true labels."""
+    y_true = np.asarray(y_true)
+    probs = np.clip(np.asarray(probs, dtype=float), 1e-12, 1.0)
+    class_index = {c: i for i, c in enumerate(classes.tolist())}
+    idx = np.array([class_index[v] for v in y_true.tolist()])
+    return float(-np.mean(np.log(probs[np.arange(y_true.size), idx])))

@@ -1,0 +1,76 @@
+"""Train/test splitting and cross-validation utilities."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.rng import SeedLike, as_generator
+
+
+def train_test_split(X: np.ndarray, y: np.ndarray, test_fraction: float = 0.25,
+                     seed: SeedLike = None, stratify: bool = False
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled (optionally stratified) split; returns X_tr, X_te, y_tr, y_te."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y row counts differ")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = as_generator(seed)
+    n = X.shape[0]
+    if stratify:
+        test_idx: list[int] = []
+        for cls in np.unique(y):
+            members = np.flatnonzero(y == cls)
+            members = members[rng.permutation(members.size)]
+            k = int(round(test_fraction * members.size))
+            test_idx.extend(members[:k].tolist())
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[test_idx] = True
+    else:
+        perm = rng.permutation(n)
+        k = int(round(test_fraction * n))
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[perm[:k]] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+class KFold:
+    """K-fold cross-validation index generator."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True,
+                 seed: SeedLike = None) -> None:
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self._seed = seed
+
+    def split(self, n: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_index, test_index)`` pairs over ``range(n)``."""
+        if n < self.n_splits:
+            raise ValueError(f"cannot split {n} samples into {self.n_splits} folds")
+        indices = np.arange(n)
+        if self.shuffle:
+            indices = as_generator(self._seed).permutation(n)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train, test
+
+
+def cross_val_accuracy(model_factory, X: np.ndarray, y: np.ndarray,
+                       n_splits: int = 5, seed: SeedLike = None) -> float:
+    """Mean accuracy of ``model_factory()`` across K folds."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train, test in KFold(n_splits=n_splits, seed=seed).split(X.shape[0]):
+        model = model_factory()
+        model.fit(X[train], y[train])
+        scores.append(model.score(X[test], y[test]))
+    return float(np.mean(scores))

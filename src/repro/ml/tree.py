@@ -1,0 +1,192 @@
+"""CART decision trees (classification).
+
+Binary axis-aligned splits chosen by weighted Gini impurity (or entropy),
+with the usual regularisers: ``max_depth``, ``min_samples_split``,
+``min_samples_leaf``, and ``max_features`` for random-forest-style column
+subsampling.  Sample weights are supported throughout so AdaBoost can reuse
+the same tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_Xy, normalize_weights
+from repro.rng import SeedLike, as_generator
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a class distribution."""
+
+    prediction: np.ndarray            # class probability vector
+    feature: int = -1                 # split feature (-1 for leaf)
+    threshold: float = 0.0            # go left iff x[feature] <= threshold
+    left: "._Node | None" = None
+    right: "._Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+def _gini(class_weights: np.ndarray) -> float:
+    total = class_weights.sum()
+    if total <= 0:
+        return 0.0
+    p = class_weights / total
+    return float(1.0 - np.sum(p * p))
+
+
+def _entropy(class_weights: np.ndarray) -> float:
+    total = class_weights.sum()
+    if total <= 0:
+        return 0.0
+    p = class_weights / total
+    p = p[p > 0]
+    return float(-np.sum(p * np.log2(p)))
+
+
+class DecisionTreeClassifier(Classifier):
+    """CART classification tree."""
+
+    def __init__(self, max_depth: int | None = None, min_samples_split: int = 2,
+                 min_samples_leaf: int = 1, criterion: str = "gini",
+                 max_features: int | float | str | None = None,
+                 seed: SeedLike = None) -> None:
+        if criterion not in ("gini", "entropy"):
+            raise ValueError(f"unknown criterion: {criterion!r}")
+        self.max_depth = max_depth
+        self.min_samples_split = max(2, min_samples_split)
+        self.min_samples_leaf = max(1, min_samples_leaf)
+        self.criterion = criterion
+        self.max_features = max_features
+        self._seed = seed
+        self._root: _Node | None = None
+        self.n_features_: int = 0
+
+    def _impurity(self, class_weights: np.ndarray) -> float:
+        return _gini(class_weights) if self.criterion == "gini" else _entropy(class_weights)
+
+    def _n_split_features(self, d: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return d
+        if mf == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        if mf == "log2":
+            return max(1, int(np.log2(d)))
+        if isinstance(mf, float):
+            return max(1, int(mf * d))
+        return max(1, min(int(mf), d))
+
+    def fit(self, X, y, sample_weight=None):
+        X, y = check_Xy(X, y)
+        encoded = self._encode_labels(y)
+        weights = normalize_weights(sample_weight, X.shape[0])
+        self.n_features_ = X.shape[1]
+        self._rng = as_generator(self._seed)
+        self._root = self._build(X, encoded, weights, depth=0)
+        return self
+
+    def _class_weight_vector(self, encoded: np.ndarray,
+                             weights: np.ndarray) -> np.ndarray:
+        out = np.zeros(self.classes_.size)
+        np.add.at(out, encoded, weights)
+        return out
+
+    def _build(self, X: np.ndarray, encoded: np.ndarray,
+               weights: np.ndarray, depth: int) -> _Node:
+        class_w = self._class_weight_vector(encoded, weights)
+        total = class_w.sum()
+        probs = class_w / total if total > 0 else np.full(
+            self.classes_.size, 1.0 / self.classes_.size)
+        node = _Node(prediction=probs)
+
+        if (self.max_depth is not None and depth >= self.max_depth) \
+                or encoded.size < self.min_samples_split \
+                or np.count_nonzero(class_w) < 2:
+            return node
+
+        best = self._best_split(X, encoded, weights, class_w)
+        if best is None:
+            return node
+        feature, threshold, mask = best
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], encoded[mask], weights[mask], depth + 1)
+        node.right = self._build(X[~mask], encoded[~mask], weights[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X, encoded, weights, class_w):
+        parent_impurity = self._impurity(class_w)
+        total_weight = class_w.sum()
+        n, d = X.shape
+        features = np.arange(d)
+        n_try = self._n_split_features(d)
+        if n_try < d:
+            features = self._rng.choice(d, size=n_try, replace=False)
+
+        best_gain = 1e-12
+        best = None
+        for feature in features:
+            order = np.argsort(X[:, feature], kind="stable")
+            xs = X[order, feature]
+            es = encoded[order]
+            ws = weights[order]
+            left = np.zeros(self.classes_.size)
+            right = class_w.copy()
+            left_n = 0
+            for i in range(n - 1):
+                left[es[i]] += ws[i]
+                right[es[i]] -= ws[i]
+                left_n += 1
+                if xs[i] == xs[i + 1]:
+                    continue
+                if left_n < self.min_samples_leaf or (n - left_n) < self.min_samples_leaf:
+                    continue
+                lw, rw = left.sum(), right.sum()
+                child = (lw * self._impurity(left) + rw * self._impurity(right)) / total_weight
+                gain = parent_impurity - child
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feature), float((xs[i] + xs[i + 1]) / 2.0))
+        if best is None:
+            return None
+        feature, threshold = best
+        return feature, threshold, X[:, feature] <= threshold
+
+    def predict_proba(self, X):
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        out = np.empty((X.shape[0], self.classes_.size))
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        self._check_fitted()
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    def n_leaves(self) -> int:
+        """Number of leaves of the fitted tree."""
+        self._check_fitted()
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self._root)

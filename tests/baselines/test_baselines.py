@@ -1,0 +1,157 @@
+"""Tests for the baseline selectors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AdmissibleOnly,
+    AllFeatures,
+    Capuchin,
+    FairPC,
+    Hamlet,
+    Reweighing,
+    SPred,
+    independence_repair_weights,
+    reweighing_weights,
+)
+from repro.ci.adaptive import AdaptiveCI
+from repro.ci.base import encode_rows
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.data.loaders import load_german
+
+
+@pytest.fixture(scope="module")
+def german():
+    return load_german(seed=0)
+
+
+@pytest.fixture(scope="module")
+def german_problem(german):
+    return german.problem()
+
+
+class TestTrivialBaselines:
+    def test_admissible_only_selects_nothing(self, german_problem):
+        result = AdmissibleOnly().select(german_problem)
+        assert result.selected == []
+        assert set(result.rejected) == set(german_problem.candidates)
+
+    def test_all_features_selects_everything(self, german_problem):
+        result = AllFeatures().select(german_problem)
+        assert result.selected == german_problem.candidates
+        assert result.rejected == []
+
+
+class TestHamlet:
+    def test_keeps_predictive_drops_noise(self, german_problem):
+        result = Hamlet(gain_threshold=0.01).select(german_problem)
+        # Strong predictors of credit_risk survive.
+        assert "employment_duration" in result or "savings" in result
+        # Pure noise has ~zero gain.
+        assert "num_dependents" in result.rejected
+
+    def test_fairness_blind(self, german_problem):
+        """Hamlet keeps biased proxies when predictive — the paper's point."""
+        result = Hamlet(gain_threshold=0.005).select(german_problem)
+        assert "employment_duration" in result
+
+    def test_threshold_monotone(self, german_problem):
+        loose = Hamlet(gain_threshold=0.0).select(german_problem)
+        strict = Hamlet(gain_threshold=0.2).select(german_problem)
+        assert len(strict.selected) <= len(loose.selected)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            Hamlet(gain_threshold=-1)
+
+
+class TestSPred:
+    def test_removes_strong_proxy(self, german_problem):
+        result = SPred(importance_threshold=0.005, seed=0).select(german_problem)
+        removed = set(result.rejected)
+        # The strongest age proxies should rank top for predicting age.
+        assert removed & {"employment_duration", "housing", "telephone"}
+
+    def test_max_removed_fraction_cap(self, german_problem):
+        result = SPred(importance_threshold=0.0, max_removed_fraction=0.2,
+                       seed=0).select(german_problem)
+        n = len(german_problem.candidates)
+        assert len(result.rejected) <= int(round(0.2 * n))
+
+    def test_empty_pool(self, german_problem):
+        empty = german_problem.with_candidates([])
+        assert SPred(seed=0).select(empty).selected == []
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            SPred(max_removed_fraction=1.5)
+
+
+class TestCapuchin:
+    def test_repair_weights_enforce_independence(self, german):
+        table = german.train
+        weights = independence_repair_weights(
+            table, ["age"], ["account_status"], "credit_risk")
+        assert weights.shape == (table.n_rows,)
+        assert abs(weights.mean() - 1.0) < 1e-9
+        # Weighted empirical P(Y | S, A) should now be ~equal across S.
+        s = np.asarray(table["age"])
+        y = np.asarray(table["credit_risk"])
+        a = np.asarray(table["account_status"])
+        for a_val in (0, 1):
+            rates = []
+            for s_val in (0, 1):
+                mask = (a == a_val) & (s == s_val)
+                if mask.sum() == 0:
+                    continue
+                rates.append(np.average(y[mask], weights=weights[mask]))
+            if len(rates) == 2:
+                assert abs(rates[0] - rates[1]) < 0.05
+
+    def test_selector_keeps_all_features(self, german_problem):
+        selector = Capuchin()
+        result = selector.select(german_problem)
+        assert result.selected == german_problem.candidates
+        assert selector.last_weights_ is not None
+
+    def test_training_weights_lazy(self, german_problem):
+        selector = Capuchin()
+        weights = selector.training_weights(german_problem)
+        assert weights.shape == (german_problem.table.n_rows,)
+
+
+class TestReweighing:
+    def test_weights_balance_joint(self, german):
+        table = german.train
+        weights = reweighing_weights(table, "age", "credit_risk")
+        s = np.asarray(table["age"])
+        y = np.asarray(table["credit_risk"])
+        # Weighted P(S=1, Y=1) should equal P(S=1) * P(Y=1).
+        n = table.n_rows
+        p_joint = np.sum(weights[(s == 1) & (y == 1)]) / n
+        p_s = np.sum(weights[s == 1]) / n
+        p_y = np.sum(weights[y == 1]) / n
+        assert p_joint == pytest.approx(p_s * p_y, abs=0.01)
+
+    def test_selector_facade(self, german_problem):
+        selector = Reweighing()
+        result = selector.select(german_problem)
+        assert result.selected == german_problem.candidates
+        assert selector.training_weights(german_problem).shape[0] == \
+            german_problem.table.n_rows
+
+
+class TestFairPC:
+    def test_prunes_proxies_keeps_mediated(self, german):
+        # Use a bigger sample for stable skeleton discovery.
+        from repro.data.loaders import load_german
+        ds = load_german(seed=1, n_train=3000, n_test=200)
+        problem = ds.problem()
+        result = FairPC(tester=AdaptiveCI(seed=0),
+                        max_conditioning=1).select(problem)
+        # The hard proxies are direct children of age: must be pruned.
+        assert "employment_duration" in result.rejected
+        assert "housing" in result.rejected
+        # Independent noise must survive.
+        assert "num_dependents" in result
+        assert result.n_ci_tests > 0

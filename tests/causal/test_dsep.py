@@ -1,0 +1,114 @@
+"""Tests for d-separation, including the textbook structures."""
+
+import pytest
+
+from repro.causal.dag import CausalDAG
+from repro.causal.dsep import active_reachable, d_connected, d_separated
+from repro.exceptions import GraphError
+
+
+class TestChains:
+    def test_chain_blocked_by_middle(self):
+        g = CausalDAG(edges=[("a", "b"), ("b", "c")])
+        assert d_separated(g, "a", "c", "b")
+        assert not d_separated(g, "a", "c")
+
+    def test_long_chain(self):
+        g = CausalDAG(edges=[("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")])
+        assert d_separated(g, "a", "e", "c")
+        assert not d_separated(g, "a", "e")
+
+
+class TestForks:
+    def test_fork_blocked_by_root(self):
+        g = CausalDAG(edges=[("b", "a"), ("b", "c")])
+        assert not d_separated(g, "a", "c")
+        assert d_separated(g, "a", "c", "b")
+
+
+class TestColliders:
+    def test_collider_blocks_by_default(self):
+        g = CausalDAG(edges=[("a", "b"), ("c", "b")])
+        assert d_separated(g, "a", "c")
+
+    def test_conditioning_on_collider_opens(self):
+        g = CausalDAG(edges=[("a", "b"), ("c", "b")])
+        assert not d_separated(g, "a", "c", "b")
+
+    def test_conditioning_on_collider_descendant_opens(self):
+        g = CausalDAG(edges=[("a", "b"), ("c", "b"), ("b", "d")])
+        assert not d_separated(g, "a", "c", "d")
+
+    def test_m_structure(self):
+        # a -> m <- b, m -> y: conditioning on y opens a--b.
+        g = CausalDAG(edges=[("a", "m"), ("b", "m"), ("m", "y")])
+        assert d_separated(g, "a", "b")
+        assert not d_separated(g, "a", "b", "y")
+
+
+class TestSetQueries:
+    def test_set_valued_separation(self):
+        g = CausalDAG(edges=[("s", "a"), ("a", "x1"), ("a", "x2"), ("x1", "y")])
+        assert d_separated(g, {"x1", "x2"}, "s", "a")
+        assert not d_separated(g, {"x1", "x2"}, "s")
+
+    def test_empty_sets_are_separated(self):
+        g = CausalDAG(nodes=["a", "b"])
+        assert d_separated(g, set(), {"b"})
+
+    def test_overlapping_xy_raises(self):
+        g = CausalDAG(nodes=["a", "b"])
+        with pytest.raises(GraphError, match="overlap"):
+            d_separated(g, "a", "a")
+
+    def test_z_overlapping_x_raises(self):
+        g = CausalDAG(nodes=["a", "b", "c"])
+        with pytest.raises(GraphError, match="overlap"):
+            d_separated(g, "a", "b", "a")
+
+    def test_unknown_node_raises(self):
+        g = CausalDAG(nodes=["a", "b"])
+        with pytest.raises(GraphError):
+            d_separated(g, "a", "ghost")
+
+
+class TestPaperGraphs:
+    """The Figure 1 graphs of the paper."""
+
+    def fig1a(self):
+        # S1 -> A1 -> X1, S1 -> X2, X1 -> Y, X2 -> Y (C1 node omitted).
+        return CausalDAG(edges=[
+            ("S1", "A1"), ("A1", "X1"), ("S1", "X2"), ("X1", "Y"), ("X2", "Y"),
+        ])
+
+    def test_fig1a_x1_blocked_given_a(self):
+        g = self.fig1a()
+        assert d_separated(g, "X1", "S1", "A1")
+
+    def test_fig1a_x2_biased(self):
+        g = self.fig1a()
+        assert not d_separated(g, "X2", "S1", "A1")
+
+    def fig1c(self):
+        # X3 independent of S1 given A2 where A2 is X3's parent:
+        # S1 -> A1 -> X1; S1 -> X2; A2 -> X3; A2 -> Y paths.
+        return CausalDAG(edges=[
+            ("S1", "A1"), ("A1", "X1"), ("S1", "X2"),
+            ("S1", "A2"), ("A2", "X3"), ("X1", "Y"), ("A2", "Y"),
+        ])
+
+    def test_fig1c_x3_needs_a2(self):
+        g = self.fig1c()
+        assert not d_separated(g, "X3", "S1")
+        assert d_separated(g, "X3", "S1", "A2")
+
+
+class TestActiveReachable:
+    def test_reachable_excludes_sources(self):
+        g = CausalDAG(edges=[("a", "b")])
+        assert "a" not in active_reachable(g, "a")
+
+    def test_d_connected_negation(self):
+        g = CausalDAG(edges=[("a", "b"), ("b", "c")])
+        assert d_connected(g, "a", "c")
+        assert not d_connected(g, "a", "c", "b")

@@ -1,0 +1,119 @@
+"""Property-based tests: d-separation vs brute-force path enumeration,
+and the graphoid axioms on random DAGs."""
+
+from itertools import combinations
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.causal.dag import CausalDAG
+from repro.causal.dsep import d_separated
+from repro.causal.graphoid import (
+    check_composition,
+    check_decomposition,
+    check_symmetry,
+    check_weak_union,
+)
+from repro.ci.oracle import GraphoidOracleBackend
+
+
+@st.composite
+def random_dags(draw, max_nodes=7):
+    n = draw(st.integers(min_value=3, max_value=max_nodes))
+    names = [f"v{i}" for i in range(n)]
+    edges = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                edges.append((names[i], names[j]))
+    return CausalDAG(nodes=names, edges=edges)
+
+
+def blocked_by_enumeration(dag: CausalDAG, x: str, y: str, z: set) -> bool:
+    """Literal Definition 3: every undirected path must be blocked."""
+    ug = nx.Graph()
+    ug.add_nodes_from(dag.nodes)
+    ug.add_edges_from(dag.edges)
+    z_desc = set(z)
+    for node in z:
+        z_desc |= dag.ancestors(node)  # nodes whose descendant is in z
+
+    for path in nx.all_simple_paths(ug, x, y):
+        path_blocked = False
+        for idx in range(1, len(path) - 1):
+            prev, mid, nxt = path[idx - 1], path[idx], path[idx + 1]
+            into_mid = dag.has_edge(prev, mid)
+            out_of_mid = dag.has_edge(mid, nxt)
+            is_collider = into_mid and dag.has_edge(nxt, mid)
+            if is_collider:
+                if mid not in z_desc:
+                    path_blocked = True
+                    break
+            else:
+                if mid in z:
+                    path_blocked = True
+                    break
+        if not path_blocked:
+            return False
+    return True
+
+
+@given(random_dags(), st.data())
+@settings(max_examples=120, deadline=None)
+def test_dsep_matches_path_enumeration(dag, data):
+    nodes = dag.nodes
+    x = data.draw(st.sampled_from(nodes))
+    y = data.draw(st.sampled_from([n for n in nodes if n != x]))
+    rest = [n for n in nodes if n not in (x, y)]
+    z = set(data.draw(st.lists(st.sampled_from(rest), unique=True))) if rest else set()
+    assert d_separated(dag, x, y, z) == blocked_by_enumeration(dag, x, y, z)
+
+
+@given(random_dags(), st.data())
+@settings(max_examples=80, deadline=None)
+def test_graphoid_axioms_hold_for_dsep(dag, data):
+    """Decomposition, composition, weak union, symmetry on the d-sep oracle."""
+    nodes = dag.nodes
+    backend = GraphoidOracleBackend(dag)
+    # Draw four disjoint nonempty-ish sets A, B, C, Z.
+    pool = list(nodes)
+    a = {data.draw(st.sampled_from(pool))}
+    pool = [n for n in pool if n not in a]
+    b = {data.draw(st.sampled_from(pool))}
+    pool = [n for n in pool if n not in b]
+    c = {data.draw(st.sampled_from(pool))}
+    pool = [n for n in pool if n not in c]
+    z = set(data.draw(st.lists(st.sampled_from(pool), unique=True))) if pool else set()
+
+    assert check_decomposition(backend, a, b, c, z)
+    assert check_composition(backend, a, b, c, z)
+    assert check_weak_union(backend, a, b, c, z)
+    assert check_symmetry(backend, a, b, z)
+
+
+@given(random_dags())
+@settings(max_examples=40, deadline=None)
+def test_mutilation_removes_all_sensitive_influence(dag):
+    """After removing incoming edges of every non-root, only root edges remain."""
+    non_roots = [n for n in dag.nodes if dag.parents(n)]
+    mutilated = dag.remove_incoming(non_roots) if non_roots else dag
+    for node in non_roots:
+        assert mutilated.parents(node) == set()
+
+
+@given(random_dags(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_separated_pairs_stay_separated_in_subgraph(dag, data):
+    """Removing nodes cannot create new active paths."""
+    nodes = dag.nodes
+    x = data.draw(st.sampled_from(nodes))
+    y = data.draw(st.sampled_from([n for n in nodes if n != x]))
+    if not d_separated(dag, x, y, set()):
+        return
+    removable = [n for n in nodes if n not in (x, y)]
+    if not removable:
+        return
+    drop = data.draw(st.sampled_from(removable))
+    sub = dag.subgraph([n for n in nodes if n != drop])
+    assert d_separated(sub, x, y, set())

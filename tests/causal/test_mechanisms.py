@@ -1,0 +1,148 @@
+"""Tests for the structural mechanism library."""
+
+import numpy as np
+import pytest
+
+from repro.causal.mechanisms import (
+    BernoulliRoot,
+    CategoricalRoot,
+    DiscreteCPT,
+    FunctionMechanism,
+    GaussianRoot,
+    LinearGaussian,
+    LogisticBinary,
+    NoisyCopy,
+)
+from repro.exceptions import MechanismError
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestRoots:
+    def test_bernoulli_rate(self):
+        samples = BernoulliRoot(0.3).sample({}, 20_000, np.random.default_rng(1))
+        assert abs(samples.mean() - 0.3) < 0.02
+        assert set(np.unique(samples)) <= {0, 1}
+
+    def test_bernoulli_invalid_p(self):
+        with pytest.raises(MechanismError):
+            BernoulliRoot(1.5)
+
+    def test_categorical_distribution(self):
+        mech = CategoricalRoot([0.2, 0.5, 0.3])
+        samples = mech.sample({}, 30_000, np.random.default_rng(2))
+        freq = np.bincount(samples, minlength=3) / samples.size
+        np.testing.assert_allclose(freq, [0.2, 0.5, 0.3], atol=0.02)
+
+    def test_categorical_must_sum_to_one(self):
+        with pytest.raises(MechanismError):
+            CategoricalRoot([0.5, 0.2])
+
+    def test_gaussian_moments(self):
+        samples = GaussianRoot(2.0, 3.0).sample({}, 50_000, np.random.default_rng(3))
+        assert abs(samples.mean() - 2.0) < 0.1
+        assert abs(samples.std() - 3.0) < 0.1
+
+    def test_gaussian_bad_std(self):
+        with pytest.raises(MechanismError):
+            GaussianRoot(0.0, -1.0)
+
+
+class TestLinearGaussian:
+    def test_regression_recovers_weights(self):
+        n = 50_000
+        rng = np.random.default_rng(4)
+        parents = {"a": rng.normal(size=n), "b": rng.normal(size=n)}
+        mech = LinearGaussian(["a", "b"], [2.0, -1.0], intercept=0.5,
+                              noise_std=0.1)
+        out = mech.sample(parents, n, rng)
+        design = np.column_stack([np.ones(n), parents["a"], parents["b"]])
+        coef, *_ = np.linalg.lstsq(design, out, rcond=None)
+        np.testing.assert_allclose(coef, [0.5, 2.0, -1.0], atol=0.01)
+
+    def test_zero_noise_is_deterministic(self):
+        parents = {"a": np.array([1.0, 2.0])}
+        mech = LinearGaussian(["a"], [3.0], noise_std=0.0)
+        np.testing.assert_allclose(mech.sample(parents, 2, RNG), [3.0, 6.0])
+
+    def test_weight_shape_mismatch(self):
+        with pytest.raises(MechanismError):
+            LinearGaussian(["a", "b"], [1.0])
+
+    def test_missing_parent_raises(self):
+        mech = LinearGaussian(["a"], [1.0])
+        with pytest.raises(MechanismError, match="missing"):
+            mech.sample({}, 5, RNG)
+
+
+class TestLogisticBinary:
+    def test_monotone_in_parent(self):
+        n = 20_000
+        rng = np.random.default_rng(5)
+        low = LogisticBinary(["a"], [2.0]).sample({"a": np.full(n, -1.0)}, n, rng)
+        high = LogisticBinary(["a"], [2.0]).sample({"a": np.full(n, 1.0)}, n, rng)
+        assert high.mean() > low.mean() + 0.4
+
+    def test_output_binary(self):
+        rng = np.random.default_rng(6)
+        out = LogisticBinary(["a"], [1.0]).sample({"a": rng.normal(size=100)},
+                                                  100, rng)
+        assert set(np.unique(out)) <= {0, 1}
+
+
+class TestDiscreteCPT:
+    def test_rows_respected(self):
+        mech = DiscreteCPT(["p"], {(0,): [1.0, 0.0], (1,): [0.0, 1.0]})
+        parents = {"p": np.array([0, 1, 0, 1])}
+        out = mech.sample(parents, 4, np.random.default_rng(7))
+        np.testing.assert_array_equal(out, [0, 1, 0, 1])
+
+    def test_missing_row_uses_default(self):
+        mech = DiscreteCPT(["p"], {(0,): [1.0, 0.0]}, default=[0.0, 1.0])
+        out = mech.sample({"p": np.array([5])}, 1, np.random.default_rng(8))
+        assert out[0] == 1
+
+    def test_missing_row_without_default_raises(self):
+        mech = DiscreteCPT(["p"], {(0,): [1.0, 0.0]})
+        with pytest.raises(MechanismError):
+            mech.sample({"p": np.array([9])}, 1, RNG)
+
+    def test_invalid_row_rejected(self):
+        with pytest.raises(MechanismError):
+            DiscreteCPT(["p"], {(0,): [0.7, 0.7]})
+
+
+class TestNoisyCopy:
+    def test_flip_rate(self):
+        n = 40_000
+        rng = np.random.default_rng(9)
+        base = (rng.random(n) < 0.5).astype(int)
+        out = NoisyCopy("s", flip=0.2).sample({"s": base}, n, rng)
+        assert abs((out != base).mean() - 0.2) < 0.01
+
+    def test_zero_flip_is_identity(self):
+        base = np.array([0, 1, 1, 0])
+        out = NoisyCopy("s", flip=0.0).sample({"s": base}, 4, RNG)
+        np.testing.assert_array_equal(out, base)
+
+    def test_invalid_flip(self):
+        with pytest.raises(MechanismError):
+            NoisyCopy("s", flip=-0.1)
+
+
+class TestFunctionMechanism:
+    def test_applies_function(self):
+        mech = FunctionMechanism(["a", "b"], lambda m, rng: m[:, 0] * m[:, 1])
+        out = mech.sample({"a": np.array([2.0, 3.0]), "b": np.array([4.0, 5.0])},
+                          2, RNG)
+        np.testing.assert_allclose(out, [8.0, 15.0])
+
+    def test_wrong_output_length_raises(self):
+        mech = FunctionMechanism(["a"], lambda m, rng: m[:1, 0])
+        with pytest.raises(MechanismError):
+            mech.sample({"a": np.zeros(5)}, 5, RNG)
+
+    def test_requires_parents(self):
+        with pytest.raises(MechanismError):
+            FunctionMechanism([], lambda m, rng: m)

@@ -1,0 +1,129 @@
+"""Tests for the PC algorithm and CPDAG."""
+
+import pytest
+
+from repro.causal.dag import CausalDAG
+from repro.causal.discovery.cpdag import CPDAG
+from repro.causal.discovery.pc import PCAlgorithm
+from repro.causal.random_graphs import random_linear_scm
+from repro.ci.base import CITestLedger
+from repro.ci.fisher_z import FisherZCI
+from repro.ci.oracle import OracleCI
+from repro.exceptions import GraphError
+
+
+class TestCPDAG:
+    def make(self):
+        g = CPDAG(["a", "b", "c"])
+        g.add_undirected("a", "b")
+        g.add_undirected("b", "c")
+        return g
+
+    def test_orient(self):
+        g = self.make()
+        g.orient("a", "b")
+        assert g.is_directed("a", "b")
+        assert not g.is_undirected("a", "b")
+        assert g.parents("b") == {"a"}
+        assert g.children("a") == {"b"}
+
+    def test_orient_missing_edge_raises(self):
+        g = self.make()
+        with pytest.raises(GraphError):
+            g.orient("a", "c")
+
+    def test_add_duplicate_direction_conflict(self):
+        g = self.make()
+        g.orient("a", "b")
+        with pytest.raises(GraphError):
+            g.add_undirected("a", "b")
+
+    def test_neighbors(self):
+        g = self.make()
+        assert g.neighbors("b") == {"a", "c"}
+        assert g.undirected_neighbors("b") == {"a", "c"}
+
+    def test_possible_descendants_follow_undirected(self):
+        g = self.make()
+        assert g.possible_descendants(["a"]) == {"b", "c"}
+
+    def test_possible_descendants_respect_direction(self):
+        g = CPDAG(["a", "b", "c"])
+        g.add_undirected("a", "b")
+        g.add_undirected("b", "c")
+        g.orient("b", "a")  # b -> a: a cannot reach b anymore
+        assert g.possible_descendants(["a"]) == set()
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(GraphError):
+            self.make().neighbors("ghost")
+
+
+class TestPCWithOracle:
+    """Against a d-separation oracle, PC must recover exact structure."""
+
+    def run_pc(self, dag: CausalDAG, max_conditioning=None):
+        oracle = OracleCI(dag)
+        pc = PCAlgorithm(oracle, max_conditioning=max_conditioning)
+        # Oracle ignores the table; build a trivial one.
+        import numpy as np
+        from repro.data.table import Table
+        table = Table({n: np.zeros(4) for n in dag.nodes})
+        return pc.fit(table, dag.nodes)
+
+    def test_chain_skeleton(self):
+        dag = CausalDAG(edges=[("a", "b"), ("b", "c")])
+        cpdag = self.run_pc(dag)
+        assert cpdag.has_any_edge("a", "b")
+        assert cpdag.has_any_edge("b", "c")
+        assert not cpdag.has_any_edge("a", "c")
+
+    def test_collider_oriented(self):
+        dag = CausalDAG(edges=[("a", "c"), ("b", "c")])
+        cpdag = self.run_pc(dag)
+        assert cpdag.is_directed("a", "c")
+        assert cpdag.is_directed("b", "c")
+
+    def test_chain_remains_undirected(self):
+        """a - b - c chain: Markov equivalent both ways, no compelled edges."""
+        dag = CausalDAG(edges=[("a", "b"), ("b", "c")])
+        cpdag = self.run_pc(dag)
+        assert cpdag.is_undirected("a", "b")
+        assert cpdag.is_undirected("b", "c")
+
+    def test_meek_rule_1(self):
+        """a -> b - c with a,c non-adjacent forces b -> c."""
+        dag = CausalDAG(edges=[("a", "b"), ("d", "b"), ("b", "c")])
+        cpdag = self.run_pc(dag)
+        # a -> b <- d is a v-structure; then R1 orients b -> c.
+        assert cpdag.is_directed("b", "c")
+
+    def test_empty_graph(self):
+        dag = CausalDAG(nodes=["a", "b", "c"])
+        cpdag = self.run_pc(dag)
+        assert not cpdag.has_any_edge("a", "b")
+        assert not cpdag.has_any_edge("b", "c")
+
+    def test_ledger_counts_pc_tests(self):
+        dag = CausalDAG(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        ledger = CITestLedger(OracleCI(dag))
+        import numpy as np
+        from repro.data.table import Table
+        table = Table({n: np.zeros(4) for n in dag.nodes})
+        PCAlgorithm(ledger).fit(table, dag.nodes)
+        assert ledger.n_tests > 0
+
+
+class TestPCOnData:
+    def test_recovers_linear_gaussian_skeleton(self):
+        scm = random_linear_scm(5, edge_probability=0.4, seed=2,
+                                noise_std=0.5)
+        table = scm.sample(6000, seed=3)
+        cpdag = PCAlgorithm(FisherZCI(alpha=0.01),
+                            max_conditioning=3).fit(table)
+        true_edges = {frozenset(e) for e in scm.dag.edges}
+        found_edges = ({frozenset(e) for e in cpdag.undirected_edges}
+                       | {frozenset(e) for e in cpdag.directed_edges})
+        # Allow one error in each direction on 5-node graphs.
+        assert len(true_edges - found_edges) <= 1
+        assert len(found_edges - true_edges) <= 1

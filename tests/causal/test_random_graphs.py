@@ -1,0 +1,123 @@
+"""Tests for the fairness-graph and random-DAG generators."""
+
+import numpy as np
+import pytest
+
+from repro.causal.dag import CausalDAG
+from repro.causal.dsep import d_separated
+from repro.causal.random_graphs import (
+    FairnessGraphSpec,
+    fairness_scm,
+    random_dag,
+    random_linear_scm,
+)
+from repro.exceptions import GraphError
+
+
+class TestFairnessSpec:
+    def test_defaults_fill_n_null(self):
+        spec = FairnessGraphSpec(n_features=20, n_biased=4)
+        assert spec.n_null == 8
+
+    def test_biased_exceeds_features_rejected(self):
+        with pytest.raises(GraphError):
+            FairnessGraphSpec(n_features=3, n_biased=5)
+
+    def test_bad_redundant_fraction(self):
+        with pytest.raises(GraphError):
+            FairnessGraphSpec(redundant_fraction=1.5)
+
+    def test_needs_admissible(self):
+        with pytest.raises(GraphError):
+            FairnessGraphSpec(n_admissible=0)
+
+
+class TestFairnessSCM:
+    def test_feature_partition_sizes(self):
+        spec = FairnessGraphSpec(n_features=20, n_biased=5, n_null=6, seed=0)
+        _, ground = fairness_scm(spec)
+        assert len(ground.biased) == 5
+        assert len(ground.null) == 6
+        assert len(ground.mediated) == 9
+        assert len(ground.safe) == 15
+
+    def test_redundant_fraction_creates_c2_features(self):
+        spec = FairnessGraphSpec(n_features=10, n_biased=4,
+                                 redundant_fraction=0.5, seed=0)
+        _, ground = fairness_scm(spec)
+        assert len(ground.redundant) == 2
+        assert len(ground.biased) == 2
+
+    def test_ground_truth_dseparation(self):
+        """Planted labels agree with d-separation on the generated graph."""
+        spec = FairnessGraphSpec(n_features=15, n_biased=4, n_admissible=2,
+                                 redundant_fraction=0.5, seed=1)
+        scm, ground = fairness_scm(spec)
+        dag = scm.dag
+        admissible = set(scm.admissible)
+        sensitive = set(scm.sensitive)
+        for name in ground.mediated:
+            assert d_separated(dag, name, sensitive, admissible)
+        for name in ground.null:
+            assert d_separated(dag, name, sensitive)
+        for name in ground.biased:
+            assert not d_separated(dag, name, sensitive, admissible)
+            assert not d_separated(dag, name, "Y",
+                                   admissible | set(ground.mediated)
+                                   | set(ground.null))
+        for name in ground.redundant:
+            # Not phase-1 (dependent on S2 given A) but phase-2 safe
+            # (all Y-paths blocked by the admissible set + C1).
+            assert not d_separated(dag, name, sensitive, admissible)
+            assert d_separated(dag, name, "Y",
+                               admissible | set(ground.mediated)
+                               | set(ground.null))
+
+    def test_biased_features_feed_target(self):
+        spec = FairnessGraphSpec(n_features=10, n_biased=3, seed=2)
+        scm, ground = fairness_scm(spec)
+        for name in ground.biased:
+            assert "Y" in scm.dag.children(name)
+
+    def test_redundant_features_do_not_feed_target(self):
+        spec = FairnessGraphSpec(n_features=10, n_biased=4,
+                                 redundant_fraction=0.5, seed=2)
+        scm, ground = fairness_scm(spec)
+        for name in ground.redundant:
+            assert "Y" not in scm.dag.children(name)
+
+    def test_sampling_works(self):
+        spec = FairnessGraphSpec(n_features=8, n_biased=2, seed=3)
+        scm, _ = fairness_scm(spec)
+        table = scm.sample(200, seed=4)
+        assert table.n_rows == 200
+        assert table.schema.target == "Y"
+
+
+class TestRandomDAG:
+    def test_edges_are_forward_only(self):
+        edges = random_dag(20, 0.3, seed=0)
+        for u, v in edges:
+            assert int(u[1:]) < int(v[1:])
+
+    def test_probability_zero_gives_no_edges(self):
+        assert random_dag(10, 0.0, seed=0) == []
+
+    def test_probability_one_gives_complete(self):
+        edges = random_dag(5, 1.0, seed=0)
+        assert len(edges) == 10
+
+    def test_invalid_args(self):
+        with pytest.raises(GraphError):
+            random_dag(0)
+        with pytest.raises(GraphError):
+            random_dag(5, 1.5)
+
+
+class TestRandomLinearSCM:
+    def test_structure_is_acyclic_and_samplable(self):
+        scm = random_linear_scm(10, 0.3, seed=1)
+        assert isinstance(scm.dag, CausalDAG)
+        table = scm.sample(100, seed=2)
+        assert table.n_rows == 100
+        assert all(np.isfinite(table[c]).all() for c in table.columns)

@@ -1,0 +1,96 @@
+"""Tests for StructuralCausalModel sampling and interventions."""
+
+import numpy as np
+import pytest
+
+from repro.causal.mechanisms import BernoulliRoot, LogisticBinary, NoisyCopy
+from repro.causal.scm import StructuralCausalModel
+from repro.data.schema import Role
+from repro.exceptions import GraphError, MechanismError
+
+
+def simple_scm():
+    return StructuralCausalModel(
+        {
+            "s": BernoulliRoot(0.5),
+            "x": NoisyCopy("s", flip=0.1),
+            "y": LogisticBinary(["x"], [2.0], intercept=-1.0),
+        },
+        roles={"s": Role.SENSITIVE, "x": Role.CANDIDATE, "y": Role.TARGET},
+    )
+
+
+class TestConstruction:
+    def test_dag_derived_from_parents(self):
+        scm = simple_scm()
+        assert scm.dag.has_edge("s", "x")
+        assert scm.dag.has_edge("x", "y")
+        assert not scm.dag.has_edge("s", "y")
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(GraphError, match="unknown parent"):
+            StructuralCausalModel({"x": NoisyCopy("ghost")})
+
+    def test_roles_for_unknown_node_rejected(self):
+        with pytest.raises(GraphError):
+            StructuralCausalModel({"s": BernoulliRoot()},
+                                  roles={"ghost": Role.TARGET})
+
+    def test_role_accessors(self):
+        scm = simple_scm()
+        assert scm.sensitive == ["s"]
+        assert scm.candidates == ["x"]
+        assert scm.target == "y"
+        assert scm.admissible == []
+
+
+class TestSampling:
+    def test_sample_shape_and_roles(self):
+        table = simple_scm().sample(500, seed=0)
+        assert table.n_rows == 500
+        assert table.schema.sensitive == ["s"]
+        assert table.schema.target == "y"
+
+    def test_sample_deterministic_under_seed(self):
+        scm = simple_scm()
+        assert scm.sample(100, seed=5).equals(scm.sample(100, seed=5))
+
+    def test_sample_nonpositive_raises(self):
+        with pytest.raises(MechanismError):
+            simple_scm().sample(0)
+
+    def test_children_track_parents(self):
+        table = simple_scm().sample(20_000, seed=1)
+        s, x = table["s"], table["x"]
+        assert (s == x).mean() > 0.85  # flip = 0.1
+
+
+class TestInterventions:
+    def test_do_clamps_value(self):
+        table = simple_scm().sample(100, seed=2, interventions={"x": 1})
+        assert (table["x"] == 1).all()
+
+    def test_do_breaks_upstream_dependence(self):
+        scm = simple_scm()
+        t0 = scm.sample(20_000, seed=3, interventions={"x": 0})
+        t1 = scm.sample(20_000, seed=3, interventions={"x": 1})
+        # y distribution differs (x -> y causal) ...
+        assert abs(t1["y"].mean() - t0["y"].mean()) > 0.2
+        # ... but s distribution is untouched (s upstream of x).
+        assert abs(t1["s"].mean() - t0["s"].mean()) < 0.02
+
+    def test_do_on_unknown_node_raises(self):
+        with pytest.raises(GraphError):
+            simple_scm().sample(10, interventions={"ghost": 1})
+
+    def test_interventioned_view(self):
+        view = simple_scm().do({"x": 1})
+        assert view.dag.parents("x") == set()
+        table = view.sample(50, seed=4)
+        assert (table["x"] == 1).all()
+
+    def test_mutilated_dag(self):
+        scm = simple_scm()
+        g = scm.mutilated_dag(["x"])
+        assert g.parents("x") == set()
+        assert g.has_edge("x", "y")

@@ -1,0 +1,130 @@
+"""Tests for CI query normalisation and the test ledger."""
+
+import numpy as np
+import pytest
+
+from repro.ci.base import (
+    CIQuery,
+    CIResult,
+    CITestLedger,
+    contingency_counts,
+    encode_rows,
+)
+from repro.ci.gtest import GTestCI
+from repro.data.table import Table
+from repro.exceptions import CITestError
+
+
+def binary_table(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    s = (rng.random(n) < 0.5).astype(int)
+    x = (rng.random(n) < 0.5).astype(int)
+    y = s ^ (rng.random(n) < 0.1).astype(int)
+    return Table({"s": s, "x": x, "y": y})
+
+
+class TestCIQuery:
+    def test_normalisation_sorts_and_dedupes(self):
+        q = CIQuery.make(["b", "a", "a"], "c", ["e", "d"])
+        assert q.x == ("a", "b")
+        assert q.y == ("c",)
+        assert q.z == ("d", "e")
+
+    def test_symmetric_key(self):
+        q1 = CIQuery.make("a", "b", "c")
+        q2 = CIQuery.make("b", "a", "c")
+        assert q1.key == q2.key
+
+    def test_empty_x_rejected(self):
+        with pytest.raises(CITestError):
+            CIQuery.make([], "y")
+
+    def test_overlap_rejected(self):
+        with pytest.raises(CITestError, match="overlap"):
+            CIQuery.make("a", "a")
+        with pytest.raises(CITestError, match="overlap"):
+            CIQuery.make("a", "b", "a")
+
+
+class TestCITester:
+    def test_unknown_column_raises(self):
+        with pytest.raises(CITestError, match="unknown column"):
+            GTestCI().test(binary_table(), "ghost", "y")
+
+    def test_too_few_samples_raises(self):
+        t = binary_table(3)
+        with pytest.raises(CITestError, match="too few"):
+            GTestCI().test(t, "x", "y")
+
+    def test_result_truthiness(self):
+        res = CIResult(independent=True, p_value=0.5)
+        assert bool(res)
+        assert not CIResult(independent=False, p_value=0.001)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(CITestError):
+            GTestCI(alpha=0.0)
+
+
+class TestLedger:
+    def test_counts_every_test(self):
+        ledger = CITestLedger(GTestCI())
+        t = binary_table()
+        ledger.test(t, "x", "y")
+        ledger.test(t, "s", "y")
+        assert ledger.n_tests == 2
+
+    def test_reset(self):
+        ledger = CITestLedger(GTestCI())
+        ledger.test(binary_table(), "x", "y")
+        ledger.reset()
+        assert ledger.n_tests == 0
+
+    def test_cache_dedupes_without_counting(self):
+        ledger = CITestLedger(GTestCI(), cache=True)
+        t = binary_table()
+        r1 = ledger.test(t, "x", "y")
+        r2 = ledger.test(t, "y", "x")  # symmetric query hits cache
+        assert ledger.n_tests == 1
+        assert r1.p_value == r2.p_value
+
+    def test_uncached_by_default(self):
+        ledger = CITestLedger(GTestCI())
+        t = binary_table()
+        ledger.test(t, "x", "y")
+        ledger.test(t, "x", "y")
+        assert ledger.n_tests == 2
+
+    def test_conditioning_size_histogram(self):
+        ledger = CITestLedger(GTestCI())
+        t = binary_table()
+        ledger.test(t, "x", "y")
+        ledger.test(t, "x", "y", ["s"])
+        assert ledger.counts_by_conditioning_size() == {0: 1, 1: 1}
+
+    def test_total_seconds_positive(self):
+        ledger = CITestLedger(GTestCI())
+        ledger.test(binary_table(), "x", "y")
+        assert ledger.total_seconds > 0
+
+
+class TestHelpers:
+    def test_contingency_counts(self):
+        x = np.array([0, 0, 1, 1, 1])
+        y = np.array([0, 1, 0, 1, 1])
+        counts = contingency_counts(x, y)
+        np.testing.assert_array_equal(counts, [[1, 1], [1, 2]])
+
+    def test_encode_rows_distinct(self):
+        m = np.array([[0, 0], [0, 1], [0, 0], [1, 1]])
+        codes = encode_rows(m)
+        assert codes[0] == codes[2]
+        assert len(np.unique(codes)) == 3
+
+    def test_encode_rows_empty_matrix(self):
+        codes = encode_rows(np.zeros((5, 0)))
+        assert (codes == 0).all()
+
+    def test_encode_rows_requires_2d(self):
+        with pytest.raises(CITestError):
+            encode_rows(np.zeros(5))

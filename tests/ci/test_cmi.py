@@ -1,0 +1,100 @@
+"""Tests for conditional mutual information estimators."""
+
+import numpy as np
+import pytest
+
+from repro.ci.cmi import ClassifierCMI, discrete_cmi, knn_cmi
+from repro.data.table import Table
+from repro.exceptions import CITestError
+
+
+def discrete_table(n=20_000, seed=0):
+    rng = np.random.default_rng(seed)
+    s = (rng.random(n) < 0.5).astype(int)
+    a = np.where(rng.random(n) < 0.85, s, 1 - s)
+    x_med = np.where(rng.random(n) < 0.85, a, 1 - a)   # mediated by a
+    proxy = np.where(rng.random(n) < 0.05, 1 - s, s)   # direct copy
+    noise = (rng.random(n) < 0.5).astype(int)
+    return Table({"s": s, "a": a, "x": x_med, "proxy": proxy, "noise": noise})
+
+
+class TestDiscreteCMI:
+    def test_independent_pair_near_zero(self):
+        assert discrete_cmi(discrete_table(), "noise", "s") < 0.001
+
+    def test_copy_has_high_mi(self):
+        # MI of a 5%-flipped copy of a fair coin ≈ ln2 - H(0.05) ≈ 0.49 nats.
+        value = discrete_cmi(discrete_table(), "proxy", "s")
+        assert 0.35 < value < 0.7
+
+    def test_conditioning_reduces_mediated_dependence(self):
+        t = discrete_table()
+        marginal = discrete_cmi(t, "x", "s")
+        conditional = discrete_cmi(t, "x", "s", "a")
+        assert marginal > 0.05
+        assert conditional < 0.005
+
+    def test_symmetry(self):
+        t = discrete_table()
+        assert discrete_cmi(t, "proxy", "s") == pytest.approx(
+            discrete_cmi(t, "s", "proxy"))
+
+    def test_empty_x_rejected(self):
+        with pytest.raises(CITestError):
+            discrete_cmi(discrete_table(), [], "s")
+
+    def test_known_value_perfect_copy(self):
+        """CMI(X; X-copy) = H(X) = ln 2 for a fair coin."""
+        rng = np.random.default_rng(1)
+        s = (rng.random(50_000) < 0.5).astype(int)
+        t = Table({"a": s, "b": s.copy()})
+        assert discrete_cmi(t, "a", "b") == pytest.approx(np.log(2), abs=0.01)
+
+
+class TestKnnCMI:
+    def test_independent_gaussians_near_zero(self):
+        rng = np.random.default_rng(2)
+        t = Table({"a": rng.normal(size=600), "b": rng.normal(size=600)})
+        assert knn_cmi(t, "a", "b") < 0.1
+
+    def test_dependent_gaussians_positive(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=600)
+        b = a + 0.3 * rng.normal(size=600)
+        t = Table({"a": a, "b": b})
+        assert knn_cmi(t, "a", "b") > 0.5
+
+    def test_conditional_version(self):
+        rng = np.random.default_rng(4)
+        z = rng.normal(size=700)
+        a = z + 0.5 * rng.normal(size=700)
+        b = z + 0.5 * rng.normal(size=700)
+        t = Table({"z": z, "a": a, "b": b})
+        assert knn_cmi(t, "a", "b") > 0.2
+        assert knn_cmi(t, "a", "b", "z") < 0.15
+
+    def test_k_too_large_rejected(self):
+        t = Table({"a": np.arange(5.0), "b": np.arange(5.0)})
+        with pytest.raises(CITestError):
+            knn_cmi(t, "a", "b", k=10)
+
+
+class TestClassifierCMI:
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(5)
+        t = Table({"a": rng.normal(size=2000), "b": rng.normal(size=2000)})
+        est = ClassifierCMI(seed=0).estimate(t, "a", "b")
+        assert est < 0.1
+
+    def test_dependent_positive(self):
+        rng = np.random.default_rng(6)
+        a = rng.normal(size=2000)
+        b = a + 0.2 * rng.normal(size=2000)
+        t = Table({"a": a, "b": b})
+        est = ClassifierCMI(seed=0).estimate(t, "a", "b")
+        assert est > 0.2
+
+    def test_truncation_keeps_nonnegative(self):
+        rng = np.random.default_rng(7)
+        t = Table({"a": rng.normal(size=500), "b": rng.normal(size=500)})
+        assert ClassifierCMI(seed=1).estimate(t, "a", "b") >= 0.0

@@ -1,0 +1,81 @@
+"""Tests for the Fisher-z partial-correlation CI test."""
+
+import numpy as np
+import pytest
+
+from repro.ci.fisher_z import FisherZCI, partial_correlation
+from repro.data.table import Table
+from repro.exceptions import CITestError
+
+
+def gaussian_table(n=2000, seed=0):
+    """z -> x, z -> y: x ⊥ y | z but x correlated with y."""
+    rng = np.random.default_rng(seed)
+    z = rng.normal(size=n)
+    x = 1.5 * z + rng.normal(size=n)
+    y = -1.0 * z + rng.normal(size=n)
+    w = rng.normal(size=n)  # independent of everything
+    direct = 0.8 * x + rng.normal(size=n)  # direct child of x
+    return Table({"z": z, "x": x, "y": y, "w": w, "direct": direct})
+
+
+class TestPartialCorrelation:
+    def test_marginal_is_pearson(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=5000)
+        b = 0.5 * a + rng.normal(size=5000)
+        r = partial_correlation(a, b, None)
+        expected = np.corrcoef(a, b)[0, 1]
+        assert abs(r - expected) < 1e-9
+
+    def test_conditioning_removes_confounded_correlation(self):
+        t = gaussian_table()
+        r_marg = partial_correlation(t["x"], t["y"], None)
+        r_cond = partial_correlation(t["x"], t["y"],
+                                     t.matrix(["z"]))
+        assert abs(r_marg) > 0.3
+        assert abs(r_cond) < 0.05
+
+    def test_constant_column_gives_zero(self):
+        assert partial_correlation(np.ones(50), np.arange(50.0), None) == 0.0
+
+
+class TestFisherZ:
+    def test_confounder_pattern(self):
+        tester = FisherZCI(alpha=0.01)
+        t = gaussian_table()
+        assert not tester.independent(t, "x", "y")
+        assert tester.independent(t, "x", "y", ["z"])
+
+    def test_direct_dependence_survives_conditioning(self):
+        tester = FisherZCI(alpha=0.01)
+        t = gaussian_table()
+        assert not tester.independent(t, "direct", "x", ["z"])
+
+    def test_independent_feature(self):
+        tester = FisherZCI(alpha=0.01)
+        assert tester.independent(gaussian_table(), "w", "x")
+
+    def test_group_semantics(self):
+        tester = FisherZCI(alpha=0.01)
+        t = gaussian_table()
+        # Group {w, direct}: dependent on x because direct is.
+        assert not tester.independent(t, ["w", "direct"], "x")
+
+    def test_insufficient_samples_raise(self):
+        rng = np.random.default_rng(2)
+        t = Table({f"c{i}": rng.normal(size=6) for i in range(5)})
+        tester = FisherZCI()
+        with pytest.raises(CITestError, match="samples"):
+            tester.test(t, "c0", "c1", ["c2", "c3", "c4"])
+
+    def test_calibration_under_null(self):
+        tester = FisherZCI(alpha=0.05)
+        rejections = 0
+        trials = 200
+        for i in range(trials):
+            rng = np.random.default_rng(2000 + i)
+            t = Table({"a": rng.normal(size=300), "b": rng.normal(size=300)})
+            if not tester.independent(t, "a", "b"):
+                rejections += 1
+        assert rejections / trials < 0.12

@@ -1,0 +1,102 @@
+"""Tests for the oracle, permutation, and adaptive CI testers."""
+
+import numpy as np
+import pytest
+
+from repro.causal.dag import CausalDAG
+from repro.ci.adaptive import AdaptiveCI
+from repro.ci.oracle import GraphoidOracleBackend, OracleCI
+from repro.ci.permutation import PermutationCI
+from repro.data.schema import Kind, Role
+from repro.data.table import Table
+from repro.exceptions import CITestError
+
+
+class TestOracleCI:
+    def chain(self):
+        return CausalDAG(edges=[("a", "b"), ("b", "c")])
+
+    def test_matches_dseparation(self):
+        oracle = OracleCI(self.chain())
+        assert oracle.independent(None, "a", "c", "b")
+        assert not oracle.independent(None, "a", "c")
+
+    def test_pvalues_degenerate(self):
+        oracle = OracleCI(self.chain())
+        assert oracle.test(None, "a", "c", "b").p_value == 1.0
+        assert oracle.test(None, "a", "c").p_value == 0.0
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(CITestError, match="lacks"):
+            OracleCI(self.chain()).test(None, "a", "ghost")
+
+    def test_graphoid_backend(self):
+        backend = GraphoidOracleBackend(self.chain())
+        assert backend.independent({"a"}, {"c"}, {"b"})
+
+
+class TestPermutationCI:
+    def test_detects_dependence(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=500)
+        b = a + 0.3 * rng.normal(size=500)
+        t = Table({"a": a, "b": b})
+        assert not PermutationCI(seed=0).independent(t, "a", "b")
+
+    def test_accepts_independence(self):
+        rng = np.random.default_rng(1)
+        t = Table({"a": rng.normal(size=400), "b": rng.normal(size=400)})
+        assert PermutationCI(seed=0).independent(t, "a", "b")
+
+    def test_conditional_clears_confounder(self):
+        rng = np.random.default_rng(2)
+        z = (rng.random(800) < 0.5).astype(float)
+        a = 2.0 * z + 0.5 * rng.normal(size=800)
+        b = -2.0 * z + 0.5 * rng.normal(size=800)
+        t = Table({"z": z, "a": a, "b": b})
+        tester = PermutationCI(seed=0)
+        assert not tester.independent(t, "a", "b")
+        assert tester.independent(t, "a", "b", ["z"])
+
+    def test_resolution_guard(self):
+        with pytest.raises(CITestError, match="resolve"):
+            PermutationCI(alpha=0.001, n_permutations=100)
+
+    def test_minimum_permutations(self):
+        with pytest.raises(CITestError):
+            PermutationCI(n_permutations=5)
+
+
+class TestAdaptiveCI:
+    def make_mixed_table(self, n=3000, seed=0):
+        rng = np.random.default_rng(seed)
+        s = (rng.random(n) < 0.5).astype(int)
+        d = np.where(rng.random(n) < 0.1, 1 - s, s)   # discrete proxy
+        c = s + rng.normal(size=n)                      # continuous child
+        w = rng.normal(size=n)
+        return Table(
+            {"s": s, "d": d, "c": c, "w": w},
+            roles={"s": Role.SENSITIVE},
+        )
+
+    def test_discrete_query_routed_to_gtest(self):
+        t = self.make_mixed_table()
+        result = AdaptiveCI(seed=0).test(t, "d", "s")
+        assert "g-test" in result.method
+
+    def test_continuous_query_routed_to_rcit(self):
+        t = self.make_mixed_table()
+        result = AdaptiveCI(seed=0).test(t, "c", "s")
+        assert "rcit" in result.method
+
+    def test_verdicts_sensible(self):
+        t = self.make_mixed_table()
+        tester = AdaptiveCI(seed=0)
+        assert not tester.independent(t, "d", "s")
+        assert not tester.independent(t, "c", "s")
+        assert tester.independent(t, "w", "s")
+
+    def test_kind_metadata_respected(self):
+        t = self.make_mixed_table()
+        assert t.schema.spec("d").kind is Kind.BINARY
+        assert t.schema.spec("c").kind is Kind.CONTINUOUS

@@ -1,0 +1,86 @@
+"""Tests for the RCIT randomized conditional independence test."""
+
+import numpy as np
+import pytest
+
+from repro.ci.rcit import RCIT, RIT, median_bandwidth, random_fourier_features
+from repro.data.table import Table
+
+
+def nonlinear_table(n=1500, seed=0):
+    """z -> x, z -> y via *nonlinear* links (defeats plain correlation)."""
+    rng = np.random.default_rng(seed)
+    z = rng.normal(size=n)
+    x = np.cos(2.0 * z) + 0.3 * rng.normal(size=n)
+    y = np.abs(z) + 0.3 * rng.normal(size=n)
+    w = rng.normal(size=n)
+    direct = x ** 2 + 0.3 * rng.normal(size=n)
+    return Table({"z": z, "x": x, "y": y, "w": w, "direct": direct})
+
+
+class TestHelpers:
+    def test_median_bandwidth_positive(self):
+        rng = np.random.default_rng(0)
+        assert median_bandwidth(rng.normal(size=(100, 3))) > 0
+
+    def test_median_bandwidth_constant_input(self):
+        assert median_bandwidth(np.zeros((50, 2))) == 1.0
+
+    def test_rff_shape_and_range(self):
+        rng = np.random.default_rng(1)
+        feats = random_fourier_features(rng.normal(size=(80, 2)), 25, 1.0, rng)
+        assert feats.shape == (80, 25)
+        bound = np.sqrt(2.0 / 25) + 1e-9
+        assert np.all(np.abs(feats) <= bound)
+
+
+class TestRCITVerdicts:
+    def test_nonlinear_confounding_detected_marginally(self):
+        tester = RCIT(alpha=0.01, seed=0)
+        assert not tester.independent(nonlinear_table(), "x", "y")
+
+    def test_conditioning_on_confounder_clears(self):
+        tester = RCIT(alpha=0.01, seed=0)
+        assert tester.independent(nonlinear_table(), "x", "y", ["z"])
+
+    def test_direct_nonlinear_edge_survives_conditioning(self):
+        tester = RCIT(alpha=0.01, seed=0)
+        assert not tester.independent(nonlinear_table(), "direct", "x", ["z"])
+
+    def test_pure_noise_independent(self):
+        tester = RCIT(alpha=0.01, seed=0)
+        assert tester.independent(nonlinear_table(), "w", "x")
+        assert tester.independent(nonlinear_table(), "w", "y", ["z"])
+
+    def test_group_query(self):
+        tester = RCIT(alpha=0.01, seed=0)
+        t = nonlinear_table()
+        assert not tester.independent(t, ["w", "direct"], "x", ["z"])
+
+    def test_deterministic_under_seed(self):
+        t = nonlinear_table()
+        p1 = RCIT(seed=42).test(t, "x", "y").p_value
+        p2 = RCIT(seed=42).test(t, "x", "y").p_value
+        assert p1 == p2
+
+
+class TestRIT:
+    def test_rit_ignores_conditioning(self):
+        t = nonlinear_table()
+        # RIT with Z should equal RCIT with no Z (same seed).
+        p_rit = RIT(seed=3).test(t, "x", "y", ["z"]).p_value
+        p_marg = RCIT(seed=3).test(t, "x", "y").p_value
+        assert p_rit == pytest.approx(p_marg)
+
+
+class TestCalibration:
+    def test_false_positive_rate_bounded(self):
+        rejections = 0
+        trials = 100
+        for i in range(trials):
+            rng = np.random.default_rng(3000 + i)
+            t = Table({"a": rng.normal(size=400), "b": rng.normal(size=400),
+                       "z": rng.normal(size=400)})
+            if not RCIT(alpha=0.05, seed=i).independent(t, "a", "b", ["z"]):
+                rejections += 1
+        assert rejections / trials < 0.15

@@ -1,0 +1,96 @@
+"""Property-based equivalence: GrpSel ≡ SeqSel under a d-separation oracle.
+
+The paper's group-testing correctness argument (graphoid composition +
+decomposition under faithfulness) implies that on *any* DAG — not just the
+planted fairness graphs — GrpSel's recursive group tests admit exactly the
+features SeqSel admits, at any partition order.  Hypothesis generates
+random DAGs and random role assignments and checks the equivalence, plus
+soundness against the Theorem-1 oracle.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.causal.dag import CausalDAG
+from repro.ci.oracle import OracleCI
+from repro.core.grpsel import GrpSel
+from repro.core.oracle_select import OracleSelector
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.core.seqsel import SeqSel
+from repro.core.subset_search import ExhaustiveSubsets
+from repro.data.schema import Role
+from repro.data.table import Table
+
+
+@st.composite
+def role_assigned_dags(draw):
+    """Random DAG over {S, A?, Y, X0..Xk} with random extra edges."""
+    n_candidates = draw(st.integers(min_value=1, max_value=6))
+    has_admissible = draw(st.booleans())
+    names = ["S"] + (["A"] if has_admissible else []) + ["Y"] \
+        + [f"X{i}" for i in range(n_candidates)]
+    # Random forward edges over a random topological order.
+    order = draw(st.permutations(names))
+    edges = []
+    for i, u in enumerate(order):
+        for v in order[i + 1:]:
+            if draw(st.booleans()):
+                edges.append((u, v))
+    dag = CausalDAG(nodes=names, edges=edges)
+    return dag, has_admissible, n_candidates
+
+
+def build_problem(dag: CausalDAG, has_admissible: bool, n_candidates: int):
+    roles = {"S": Role.SENSITIVE, "Y": Role.TARGET}
+    if has_admissible:
+        roles["A"] = Role.ADMISSIBLE
+    for i in range(n_candidates):
+        roles[f"X{i}"] = Role.CANDIDATE
+    table = Table({n: np.zeros(2) for n in dag.nodes}, roles=roles)
+    return FairFeatureSelectionProblem.from_table(table)
+
+
+@given(role_assigned_dags(), st.integers(0, 5))
+@settings(max_examples=120, deadline=None)
+def test_grpsel_equals_seqsel_on_any_dag(case, shuffle_seed):
+    dag, has_admissible, n_candidates = case
+    problem = build_problem(dag, has_admissible, n_candidates)
+    oracle = OracleCI(dag)
+    strategy = ExhaustiveSubsets()
+    seq = SeqSel(tester=oracle, subset_strategy=strategy).select(problem)
+    grp = GrpSel(tester=oracle, subset_strategy=strategy,
+                 seed=shuffle_seed).select(problem)
+    assert seq.selected_set == grp.selected_set
+    assert set(seq.c1) == set(grp.c1)
+
+
+@given(role_assigned_dags())
+@settings(max_examples=120, deadline=None)
+def test_seqsel_sound_against_theorem1(case):
+    """Everything SeqSel admits is sanctioned by the Theorem-1 oracle.
+
+    Conditions (i) and (ii) are what CI tests can certify; the oracle with
+    condition (iii) enabled is a superset, so SeqSel's selection must be
+    contained in it.
+    """
+    dag, has_admissible, n_candidates = case
+    problem = build_problem(dag, has_admissible, n_candidates)
+    seq = SeqSel(tester=OracleCI(dag),
+                 subset_strategy=ExhaustiveSubsets()).select(problem)
+    theorem1 = OracleSelector(dag, include_condition_iii=True).select(problem)
+    assert seq.selected_set <= theorem1.selected_set
+
+
+@given(role_assigned_dags())
+@settings(max_examples=80, deadline=None)
+def test_phase1_admissions_match_oracle_condition_i(case):
+    """SeqSel's C1 is exactly the oracle's condition-(i) set."""
+    dag, has_admissible, n_candidates = case
+    problem = build_problem(dag, has_admissible, n_candidates)
+    seq = SeqSel(tester=OracleCI(dag),
+                 subset_strategy=ExhaustiveSubsets()).select(problem)
+    oracle = OracleSelector(dag, include_condition_iii=False).select(problem)
+    oracle_c1 = {f for f, r in oracle.reasons.items()
+                 if r.name == "PHASE1_INDEPENDENT"}
+    assert set(seq.c1) == oracle_c1

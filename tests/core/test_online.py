@@ -1,0 +1,103 @@
+"""Tests for the online (incremental) selector."""
+
+import pytest
+
+from repro.causal.random_graphs import FairnessGraphSpec, fairness_scm
+from repro.ci.adaptive import AdaptiveCI
+from repro.ci.oracle import OracleCI
+from repro.core.online import OnlineSelector
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.core.seqsel import SeqSel
+from repro.core.subset_search import MarginalThenFull
+from repro.exceptions import SelectionError
+
+
+@pytest.fixture()
+def planted():
+    spec = FairnessGraphSpec(n_features=16, n_biased=4, seed=21,
+                             redundant_fraction=0.5)
+    scm, ground = fairness_scm(spec)
+    table = scm.sample(10, seed=21)  # oracle mode: rows irrelevant
+    problem = FairFeatureSelectionProblem.from_table(table)
+    return scm, ground, problem
+
+
+class TestOnlineOracle:
+    def test_batched_equals_batch_run(self, planted):
+        scm, ground, problem = planted
+        strategy = MarginalThenFull()
+        batch_result = SeqSel(tester=OracleCI(scm.dag),
+                              subset_strategy=strategy).select(problem)
+
+        online = OnlineSelector(tester=OracleCI(scm.dag),
+                                subset_strategy=strategy)
+        pool = problem.candidates
+        for i in range(0, len(pool), 5):
+            online.observe(problem, pool[i:i + 5])
+        assert online.current.selected_set == batch_result.selected_set
+        assert online.current.selected_set == ground.safe
+
+    def test_single_feature_batches(self, planted):
+        scm, ground, problem = planted
+        online = OnlineSelector(tester=OracleCI(scm.dag),
+                                subset_strategy=MarginalThenFull())
+        for feature in problem.candidates:
+            online.observe(problem, [feature])
+        assert online.current.selected_set == ground.safe
+
+    def test_rejected_features_get_second_chance(self, planted):
+        """A C2-eligible feature arriving before its blockers must recover.
+
+        R features need C1 context only through A (they're blocked by the
+        admissible set), so ordering doesn't hurt them — but this documents
+        the retry path: rejected features are re-tested on later batches.
+        """
+        scm, ground, problem = planted
+        online = OnlineSelector(tester=OracleCI(scm.dag),
+                                subset_strategy=MarginalThenFull())
+        # Feed redundant features first, then everything else.
+        pool = (ground.redundant + ground.biased + ground.mediated
+                + ground.null)
+        for i in range(0, len(pool), 4):
+            online.observe(problem, pool[i:i + 4])
+        assert online.current.selected_set == ground.safe
+
+    def test_duplicate_observation_rejected(self, planted):
+        scm, _, problem = planted
+        online = OnlineSelector(tester=OracleCI(scm.dag))
+        first = problem.candidates[0]
+        online.observe(problem, [first])
+        with pytest.raises(SelectionError, match="twice"):
+            online.observe(problem, [first])
+
+    def test_unknown_feature_rejected(self, planted):
+        scm, _, problem = planted
+        online = OnlineSelector(tester=OracleCI(scm.dag))
+        with pytest.raises(SelectionError, match="not in table"):
+            online.observe(problem, ["ghost"])
+
+    def test_ledger_accumulates(self, planted):
+        scm, _, problem = planted
+        online = OnlineSelector(tester=OracleCI(scm.dag),
+                                subset_strategy=MarginalThenFull())
+        online.observe(problem, problem.candidates[:4])
+        first = online.n_ci_tests
+        online.observe(problem, problem.candidates[4:8])
+        assert online.n_ci_tests > first
+
+
+class TestOnlineStatistical:
+    def test_matches_batch_on_sampled_data(self):
+        spec = FairnessGraphSpec(n_features=10, n_biased=3, seed=5)
+        scm, ground = fairness_scm(spec)
+        table = scm.sample(4000, seed=6)
+        problem = FairFeatureSelectionProblem.from_table(table)
+        tester = AdaptiveCI(seed=0)
+
+        online = OnlineSelector(tester=tester)
+        pool = problem.candidates
+        online.observe(problem, pool[:5])
+        online.observe(problem, pool[5:])
+
+        batch = SeqSel(tester=tester).select(problem)
+        assert online.current.selected_set == batch.selected_set

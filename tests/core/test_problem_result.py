@@ -1,0 +1,99 @@
+"""Tests for problem definition and selection results."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.core.result import Reason, SelectionResult
+from repro.data.schema import Role
+from repro.data.table import Table
+from repro.exceptions import SelectionError
+
+
+def role_table():
+    return Table(
+        {
+            "s": np.array([0, 1, 0, 1]),
+            "a": np.array([0, 1, 1, 1]),
+            "x1": np.array([0.0, 1.0, 2.0, 3.0]),
+            "x2": np.array([1.0, 1.0, 0.0, 0.0]),
+            "y": np.array([0, 1, 0, 1]),
+        },
+        roles={"s": Role.SENSITIVE, "a": Role.ADMISSIBLE,
+               "x1": Role.CANDIDATE, "x2": Role.CANDIDATE, "y": Role.TARGET},
+    )
+
+
+class TestProblem:
+    def test_from_table_reads_roles(self):
+        problem = FairFeatureSelectionProblem.from_table(role_table())
+        assert problem.sensitive == ["s"]
+        assert problem.admissible == ["a"]
+        assert problem.candidates == ["x1", "x2"]
+        assert problem.target == "y"
+
+    def test_candidates_can_be_restricted(self):
+        problem = FairFeatureSelectionProblem.from_table(
+            role_table(), candidates=["x2"])
+        assert problem.candidates == ["x2"]
+
+    def test_missing_target_raises(self):
+        t = role_table().drop(["y"])
+        with pytest.raises(SelectionError, match="target"):
+            FairFeatureSelectionProblem.from_table(t)
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SelectionError):
+            FairFeatureSelectionProblem(
+                table=role_table(), sensitive=["ghost"], admissible=[],
+                candidates=[], target="y")
+
+    def test_overlapping_roles_raise(self):
+        with pytest.raises(SelectionError, match="disjoint"):
+            FairFeatureSelectionProblem(
+                table=role_table(), sensitive=["s"], admissible=["s"],
+                candidates=[], target="y")
+
+    def test_requires_sensitive(self):
+        with pytest.raises(SelectionError, match="sensitive"):
+            FairFeatureSelectionProblem(
+                table=role_table(), sensitive=[], admissible=["a"],
+                candidates=["x1"], target="y")
+
+    def test_training_features_prepends_admissible(self):
+        problem = FairFeatureSelectionProblem.from_table(role_table())
+        assert problem.training_features(["x1"]) == ["a", "x1"]
+
+    def test_training_features_rejects_nonpool(self):
+        problem = FairFeatureSelectionProblem.from_table(role_table())
+        with pytest.raises(SelectionError, match="outside"):
+            problem.training_features(["s"])
+
+    def test_with_candidates(self):
+        problem = FairFeatureSelectionProblem.from_table(role_table())
+        restricted = problem.with_candidates(["x1"])
+        assert restricted.candidates == ["x1"]
+        assert problem.candidates == ["x1", "x2"]  # original untouched
+
+
+class TestSelectionResult:
+    def test_selected_union_order(self):
+        result = SelectionResult(c1=["a", "b"], c2=["c"])
+        assert result.selected == ["a", "b", "c"]
+        assert result.selected_set == {"a", "b", "c"}
+
+    def test_contains(self):
+        result = SelectionResult(c1=["a"], c2=[], rejected=["b"])
+        assert "a" in result
+        assert "b" not in result
+
+    def test_summary_mentions_counts(self):
+        result = SelectionResult(c1=["a"], c2=["b"], rejected=["c"],
+                                 n_ci_tests=7, algorithm="SeqSel")
+        text = result.summary()
+        assert "SeqSel" in text
+        assert "7" in text
+        assert "2 of 3" in text
+
+    def test_reason_enum_values_distinct(self):
+        assert len({r.value for r in Reason}) == len(Reason)

@@ -1,0 +1,83 @@
+"""Tests for the ∃A'⊆A subset-search strategies."""
+
+import pytest
+
+from repro.core.subset_search import (
+    ExhaustiveSubsets,
+    FullSetOnly,
+    GreedySubsets,
+    MarginalThenFull,
+    strategy_by_name,
+)
+
+
+ADMISSIBLE = ["a1", "a2", "a3"]
+
+
+class TestExhaustive:
+    def test_enumerates_all_subsets(self):
+        subsets = list(ExhaustiveSubsets().subsets(ADMISSIBLE))
+        assert len(subsets) == 8
+        assert () in subsets
+        assert ("a1", "a2", "a3") in subsets
+
+    def test_smallest_first(self):
+        subsets = list(ExhaustiveSubsets().subsets(ADMISSIBLE))
+        sizes = [len(s) for s in subsets]
+        assert sizes == sorted(sizes)
+
+    def test_max_tests(self):
+        assert ExhaustiveSubsets().max_tests(3) == 8
+
+
+class TestFullSetOnly:
+    def test_single_subset(self):
+        assert list(FullSetOnly().subsets(ADMISSIBLE)) == [("a1", "a2", "a3")]
+        assert FullSetOnly().max_tests(3) == 1
+
+
+class TestMarginalThenFull:
+    def test_two_subsets(self):
+        subsets = list(MarginalThenFull().subsets(ADMISSIBLE))
+        assert subsets == [(), ("a1", "a2", "a3")]
+
+    def test_empty_admissible(self):
+        assert list(MarginalThenFull().subsets([])) == [()]
+
+    def test_max_tests(self):
+        assert MarginalThenFull().max_tests(3) == 2
+        assert MarginalThenFull().max_tests(0) == 1
+
+
+class TestGreedy:
+    def test_includes_key_subsets(self):
+        subsets = list(GreedySubsets().subsets(ADMISSIBLE))
+        assert () in subsets
+        assert ("a1", "a2", "a3") in subsets
+        assert ("a2",) in subsets
+        assert ("a1", "a3") in subsets  # leave-one-out of a2
+
+    def test_no_duplicates(self):
+        subsets = list(GreedySubsets().subsets(ADMISSIBLE))
+        assert len(subsets) == len(set(subsets))
+
+    def test_linear_bound(self):
+        strategy = GreedySubsets()
+        for k in range(1, 8):
+            produced = len(list(strategy.subsets([f"a{i}" for i in range(k)])))
+            assert produced <= strategy.max_tests(k)
+
+    def test_single_admissible(self):
+        subsets = list(GreedySubsets().subsets(["a1"]))
+        assert set(subsets) == {(), ("a1",)}
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["exhaustive", "full-set",
+                                      "marginal+full", "greedy"])
+    def test_lookup(self, name):
+        assert strategy_by_name(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown"):
+            strategy_by_name("nope")

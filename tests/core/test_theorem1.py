@@ -1,0 +1,166 @@
+"""Theorem-1 oracle tests, including the paper's Figure 1 and Figure 6 graphs."""
+
+import numpy as np
+import pytest
+
+from repro.causal.dag import CausalDAG
+from repro.ci.oracle import OracleCI
+from repro.core.oracle_select import OracleSelector
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.core.result import Reason
+from repro.core.seqsel import SeqSel
+from repro.data.schema import Role
+from repro.data.table import Table
+from repro.exceptions import SelectionError
+
+
+def problem_for(dag: CausalDAG, sensitive, admissible, candidates, target="Y"):
+    """Wrap a DAG in a (data-free) problem for oracle-based selection."""
+    columns = {name: np.zeros(2) for name in dag.nodes}
+    roles = {name: Role.CANDIDATE for name in candidates}
+    roles |= {name: Role.SENSITIVE for name in sensitive}
+    roles |= {name: Role.ADMISSIBLE for name in admissible}
+    roles[target] = Role.TARGET
+    table = Table(columns, roles=roles)
+    return FairFeatureSelectionProblem.from_table(table)
+
+
+class TestFigure1a:
+    """S1 -> A1 -> X1; S1 -> X2; X1, X2 -> Y.  X2 is biased."""
+
+    def dag(self):
+        return CausalDAG(edges=[
+            ("S1", "A1"), ("A1", "X1"), ("S1", "X2"),
+            ("X1", "Y"), ("X2", "Y"),
+        ])
+
+    def test_oracle_classification(self):
+        problem = problem_for(self.dag(), ["S1"], ["A1"], ["X1", "X2"])
+        result = OracleSelector(self.dag()).select(problem)
+        assert "X1" in result
+        assert result.rejected == ["X2"]
+
+    def test_seqsel_with_oracle_ci_agrees(self):
+        problem = problem_for(self.dag(), ["S1"], ["A1"], ["X1", "X2"])
+        result = SeqSel(tester=OracleCI(self.dag())).select(problem)
+        assert result.selected == ["X1"]
+
+
+class TestFigure1b:
+    """Adds X3 ⊥ S1 (independent root feeding Y) and X2 ⊥ Y | A1, X1, X3."""
+
+    def dag(self):
+        return CausalDAG(edges=[
+            ("S1", "A1"), ("A1", "X1"), ("S1", "X2"),
+            ("X3", "Y"), ("X1", "Y"), ("A1", "Y"),
+        ])
+
+    def test_all_three_safe(self):
+        problem = problem_for(self.dag(), ["S1"], ["A1"], ["X1", "X2", "X3"])
+        result = OracleSelector(self.dag()).select(problem)
+        assert result.selected_set == {"X1", "X2", "X3"}
+        # X2 captures sensitive info but is irrelevant to Y: phase 2.
+        assert result.reasons["X2"] == Reason.PHASE2_IRRELEVANT
+
+
+class TestFigure1c:
+    """X3 ⊥ S1 | A2 where A2 is a *strict* subset of A = {A1, A2}."""
+
+    def dag(self):
+        return CausalDAG(edges=[
+            ("S1", "A1"), ("A1", "X1"), ("S1", "X2"),
+            ("S1", "A2"), ("A2", "X3"),
+            ("X1", "Y"), ("A1", "Y"), ("A2", "Y"),
+        ])
+
+    def test_x3_requires_subset_search(self):
+        problem = problem_for(self.dag(), ["S1"], ["A1", "A2"],
+                              ["X1", "X2", "X3"])
+        result = OracleSelector(self.dag()).select(problem)
+        assert result.selected_set == {"X1", "X2", "X3"}
+
+    def test_seqsel_exhaustive_subsets_find_x3(self):
+        problem = problem_for(self.dag(), ["S1"], ["A1", "A2"],
+                              ["X1", "X2", "X3"])
+        result = SeqSel(tester=OracleCI(self.dag())).select(problem)
+        assert "X3" in result.c1
+
+
+class TestFigure6:
+    """The appendix graph where CI tests cannot certify X2.
+
+    A1 -> X2 <- X3 with S1 -> A1: X2 is *not* a descendant of S1 in
+    G_bar(A1) (safe by condition (iii)), but X2 ̸⊥ S1 and X2 ̸⊥ S1 | A1
+    (conditioning on collider child A1... here A1 is X2's parent so the
+    path S1 -> A1 -> X2 is open marginally and blocked only given A1 —
+    wait: given A1 it IS blocked; the paper's actual graph keeps it
+    unblocked both ways via an additional confounding path).
+    """
+
+    def dag(self):
+        # Paper Figure 6: S1 -> A1, A1 -> X2, X3 -> X2, X3 -> Y, and a
+        # latent-style path S1 -> X2 making X2 dependent on S1 given A1 too.
+        return CausalDAG(edges=[
+            ("S1", "A1"), ("A1", "X2"), ("X3", "X2"), ("X3", "Y"),
+            ("S1", "X2"),
+        ])
+
+    def test_x2_unidentifiable_by_ci_but_oracle_condition_iii_fails_too(self):
+        dag = self.dag()
+        problem = problem_for(dag, ["S1"], ["A1"], ["X2", "X3"])
+        # CI-based SeqSel cannot admit X2 in phase 1 (dependent on S1 both
+        # marginally and given A1); phase 2 fails too when X2 -> nothing
+        # blocks its Y-association through X3... X2 ⊥ Y | A1, X3? X2's only
+        # Y-path is via X3 (conditioned) => admitted in phase 2 here.
+        seq = SeqSel(tester=OracleCI(dag)).select(problem)
+        assert "X2" not in seq.c1  # phase 1 cannot certify it
+
+    def test_condition_iii_catches_pure_collider_case(self):
+        # Variant without the direct S1 -> X2 edge: X2 is A1's child only.
+        dag = CausalDAG(edges=[
+            ("S1", "A1"), ("A1", "X2"), ("X3", "X2"), ("X3", "Y"),
+        ])
+        problem = problem_for(dag, ["S1"], ["A1"], ["X2", "X3"])
+        with_iii = OracleSelector(dag, include_condition_iii=True).select(problem)
+        without_iii = OracleSelector(dag, include_condition_iii=False).select(problem)
+        assert "X2" in with_iii
+        # X2 ⊥ S1 | A1 holds here, so condition (i) also catches it; the
+        # reason should be phase 1, not the non-descendant clause.
+        assert with_iii.reasons["X2"] == Reason.PHASE1_INDEPENDENT
+        assert "X2" in without_iii
+
+
+class TestConditionIII:
+    def test_non_descendant_via_admissible_only_path(self):
+        """X1 <- X3 with X3 -> ... no S ancestry: Fig 1(b) + X3 -> X1 variant.
+
+        The paper: adding X3 -> X1 keeps X1 fair but X1 ̸⊥ S1 | A1 because
+        conditioning on A1 ... X1 remains dependent through S1 -> X2? In the
+        simplest rendering: X1 has parents {A1, X3}; removing incoming
+        edges of A1 disconnects S1 from X1, so condition (iii) admits X1
+        even where condition (i) may fail for strict subsets.
+        """
+        dag = CausalDAG(edges=[
+            ("S1", "A1"), ("A1", "X1"), ("X3", "X1"), ("X3", "Y"),
+            ("X1", "Y"),
+        ])
+        problem = problem_for(dag, ["S1"], ["A1"], ["X1", "X3"])
+        result = OracleSelector(dag).select(problem)
+        assert result.selected_set == {"X1", "X3"}
+
+    def test_oracle_missing_variable_raises(self):
+        dag = CausalDAG(edges=[("S1", "Y")])
+        table = Table({"S1": np.zeros(2), "Y": np.zeros(2), "X9": np.zeros(2)},
+                      roles={"S1": Role.SENSITIVE, "Y": Role.TARGET,
+                             "X9": Role.CANDIDATE})
+        problem = FairFeatureSelectionProblem.from_table(table)
+        with pytest.raises(SelectionError, match="lacks"):
+            OracleSelector(dag).select(problem)
+
+    def test_is_causally_fair_addition(self):
+        dag = CausalDAG(edges=[("S1", "A1"), ("A1", "X1"), ("S1", "X2"),
+                               ("X1", "Y"), ("X2", "Y")])
+        problem = problem_for(dag, ["S1"], ["A1"], ["X1", "X2"])
+        oracle = OracleSelector(dag)
+        assert oracle.is_causally_fair_addition(problem, "X1")
+        assert not oracle.is_causally_fair_addition(problem, "X2")

@@ -1,0 +1,81 @@
+"""Tests for CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import read_csv, write_csv
+from repro.data.schema import Role
+from repro.data.table import Table
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture()
+def table():
+    return Table(
+        {
+            "s": np.array([0, 1, 1, 0]),
+            "x": np.array([0.5, -1.25, 3.0, 0.0]),
+            "y": np.array([1, 0, 1, 1]),
+        },
+        roles={"s": Role.SENSITIVE, "y": Role.TARGET},
+    )
+
+
+class TestRoundTrip:
+    def test_values_preserved(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert loaded.columns == table.columns
+        for col in table.columns:
+            np.testing.assert_allclose(loaded[col], table[col])
+
+    def test_roles_preserved(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert loaded.schema.sensitive == ["s"]
+        assert loaded.schema.target == "y"
+
+    def test_integer_columns_stay_integer(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert np.issubdtype(loaded["s"].dtype, np.integer)
+        assert np.issubdtype(loaded["x"].dtype, np.floating)
+
+    def test_no_roles_header_when_all_other(self, tmp_path):
+        t = Table({"a": np.array([1.5, 2.5])})
+        path = tmp_path / "plain.csv"
+        write_csv(t, path)
+        first = path.read_text().splitlines()[0]
+        assert first == "a"
+        loaded = read_csv(path)
+        np.testing.assert_allclose(loaded["a"], t["a"])
+
+
+class TestErrors:
+    def test_comma_in_column_name_rejected(self, tmp_path):
+        t = Table({"a,b": np.zeros(2)})
+        with pytest.raises(SchemaError, match="comma"):
+            write_csv(t, tmp_path / "bad.csv")
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(SchemaError, match="cells"):
+            read_csv(path)
+
+    def test_empty_header_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("\n")
+        with pytest.raises(SchemaError, match="header"):
+            read_csv(path)
+
+    def test_empty_table_roundtrip(self, tmp_path):
+        t = Table({"a": np.zeros(0), "b": np.zeros(0)})
+        path = tmp_path / "zero.csv"
+        write_csv(t, path)
+        loaded = read_csv(path)
+        assert loaded.n_rows == 0
+        assert loaded.columns == ["a", "b"]

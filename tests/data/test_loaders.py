@@ -1,0 +1,94 @@
+"""Tests for the dataset loaders (SCM-backed stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.causal.dsep import d_separated
+from repro.data.loaders import (
+    LOADERS,
+    load_adult,
+    load_compas,
+    load_german,
+    load_meps,
+)
+from repro.data.loaders.german import BIASED_FEATURES as GERMAN_BIASED
+
+
+ALL_LOADERS = [
+    ("german", lambda: load_german(seed=0)),
+    ("compas", lambda: load_compas(seed=0, n_train=2000, n_test=600)),
+    ("adult", lambda: load_adult(seed=0, n_train=3000, n_test=1000)),
+    ("meps1", lambda: load_meps(1, seed=0, n_train=2000, n_test=600)),
+    ("meps2", lambda: load_meps(2, seed=0, n_train=2000, n_test=600)),
+]
+
+
+@pytest.mark.parametrize("name,loader", ALL_LOADERS)
+class TestAllLoaders:
+    def test_roles_complete(self, name, loader):
+        ds = loader()
+        assert len(ds.sensitive) >= 1
+        assert len(ds.admissible) >= 1
+        assert len(ds.candidates) >= 5
+        assert ds.target
+
+    def test_split_sizes(self, name, loader):
+        ds = loader()
+        assert ds.train.n_rows > 0
+        assert ds.test.n_rows > 0
+        assert ds.train.columns == ds.test.columns
+
+    def test_problem_construction(self, name, loader):
+        problem = loader().problem()
+        assert problem.n_candidates >= 5
+
+    def test_biased_features_are_unblocked_descendants(self, name, loader):
+        """Declared biased features must violate X ⊥ S | A in the DAG."""
+        ds = loader()
+        dag = ds.scm.dag
+        for feature in ds.biased_features:
+            assert not d_separated(dag, feature, set(ds.sensitive),
+                                   set(ds.admissible)), feature
+
+    def test_target_depends_on_biased(self, name, loader):
+        """The fairness/accuracy trade-off requires biased features feed Y."""
+        ds = loader()
+        dag = ds.scm.dag
+        assert any(ds.target in dag.children(f) for f in ds.biased_features)
+
+    def test_sampling_deterministic(self, name, loader):
+        assert loader().train.equals(loader().train)
+
+
+class TestSpecifics:
+    def test_paper_split_sizes_default(self):
+        german = load_german(seed=0)
+        assert german.train.n_rows == 800
+        assert german.test.n_rows == 200
+        meps = load_meps(1, seed=0)
+        assert meps.train.n_rows == 7915
+        assert meps.test.n_rows == 3100
+
+    def test_meps_variant_changes_admissible(self):
+        m1 = load_meps(1, seed=0, n_train=100, n_test=50)
+        m2 = load_meps(2, seed=0, n_train=100, n_test=50)
+        assert "mental_health" not in m1.admissible
+        assert "mental_health" in m2.admissible
+        assert "mental_health" in m1.candidates
+        assert "mental_health" in m1.biased_features
+
+    def test_meps_invalid_variant(self):
+        with pytest.raises(ValueError):
+            load_meps(3)
+
+    def test_registry_contains_all(self):
+        assert set(LOADERS) == {"german", "compas", "adult", "meps1", "meps2"}
+
+    def test_german_biased_constant_matches_dataset(self):
+        ds = load_german(seed=0)
+        assert set(ds.biased_features) == set(GERMAN_BIASED)
+
+    def test_privileged_value_present(self):
+        ds = load_german(seed=0)
+        s = np.asarray(ds.test[ds.sensitive[0]])
+        assert ds.privileged in np.unique(s)

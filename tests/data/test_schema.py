@@ -1,0 +1,100 @@
+"""Tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.schema import ColumnSpec, Kind, Role, TableSchema
+from repro.exceptions import SchemaError
+
+
+def make_schema():
+    return TableSchema([
+        ColumnSpec("s", Kind.BINARY, Role.SENSITIVE),
+        ColumnSpec("a", Kind.DISCRETE, Role.ADMISSIBLE),
+        ColumnSpec("x1", Kind.CONTINUOUS, Role.CANDIDATE),
+        ColumnSpec("x2", Kind.CONTINUOUS, Role.CANDIDATE),
+        ColumnSpec("y", Kind.BINARY, Role.TARGET),
+    ])
+
+
+class TestColumnSpec:
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("")
+
+    def test_with_role_returns_new_spec(self):
+        spec = ColumnSpec("x", Kind.BINARY, Role.OTHER)
+        new = spec.with_role(Role.SENSITIVE)
+        assert new.role is Role.SENSITIVE
+        assert spec.role is Role.OTHER
+        assert new.kind is Kind.BINARY
+
+    def test_kind_is_discrete(self):
+        assert Kind.BINARY.is_discrete
+        assert Kind.DISCRETE.is_discrete
+        assert not Kind.CONTINUOUS.is_discrete
+
+
+class TestTableSchema:
+    def test_role_accessors(self):
+        schema = make_schema()
+        assert schema.sensitive == ["s"]
+        assert schema.admissible == ["a"]
+        assert schema.candidates == ["x1", "x2"]
+        assert schema.target == "y"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            TableSchema([ColumnSpec("x"), ColumnSpec("x")])
+
+    def test_two_targets_rejected(self):
+        with pytest.raises(SchemaError, match="target"):
+            TableSchema([
+                ColumnSpec("y1", role=Role.TARGET),
+                ColumnSpec("y2", role=Role.TARGET),
+            ])
+
+    def test_no_target_is_none(self):
+        schema = TableSchema([ColumnSpec("x")])
+        assert schema.target is None
+
+    def test_spec_lookup(self):
+        schema = make_schema()
+        assert schema.spec("x1").kind is Kind.CONTINUOUS
+        with pytest.raises(SchemaError, match="unknown"):
+            schema.spec("nope")
+
+    def test_contains_and_len(self):
+        schema = make_schema()
+        assert "s" in schema
+        assert "nope" not in schema
+        assert len(schema) == 5
+
+    def test_select_preserves_requested_order(self):
+        schema = make_schema().select(["y", "s"])
+        assert schema.names == ["y", "s"]
+
+    def test_select_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            make_schema().select(["ghost"])
+
+    def test_add(self):
+        schema = make_schema().add(ColumnSpec("z"))
+        assert "z" in schema
+        assert len(schema) == 6
+
+    def test_rename(self):
+        schema = make_schema().rename({"x1": "feat1"})
+        assert "feat1" in schema
+        assert "x1" not in schema
+        assert schema.spec("feat1").role is Role.CANDIDATE
+
+    def test_with_roles(self):
+        schema = make_schema().with_roles({"x1": Role.OTHER})
+        assert schema.candidates == ["x2"]
+
+    def test_with_roles_unknown_raises(self):
+        with pytest.raises(SchemaError, match="unknown"):
+            make_schema().with_roles({"ghost": Role.OTHER})
+
+    def test_iteration_order(self):
+        assert [c.name for c in make_schema()] == ["s", "a", "x1", "x2", "y"]

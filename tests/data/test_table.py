@@ -1,0 +1,190 @@
+"""Tests for repro.data.table."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import Kind, Role
+from repro.data.table import Table, _infer_kind
+from repro.exceptions import SchemaError
+
+
+def make_table(n=10):
+    return Table(
+        {
+            "s": np.arange(n) % 2,
+            "x": np.linspace(0.0, 1.0, n),
+            "y": (np.arange(n) % 3 == 0).astype(int),
+        },
+        roles={"s": Role.SENSITIVE, "y": Role.TARGET},
+    )
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        t = make_table()
+        assert t.n_rows == 10
+        assert t.n_cols == 3
+        assert len(t) == 10
+
+    def test_columns_are_copied(self):
+        source = np.zeros(5)
+        t = Table({"a": source})
+        source[0] = 99.0
+        assert t["a"][0] == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SchemaError, match="mismatched"):
+            Table({"a": np.zeros(3), "b": np.zeros(4)})
+
+    def test_2d_column_rejected(self):
+        with pytest.raises(SchemaError, match="1-D"):
+            Table({"a": np.zeros((3, 2))})
+
+    def test_roles_for_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Table({"a": np.zeros(3)}, roles={"ghost": Role.TARGET})
+
+    def test_kind_inference(self):
+        assert _infer_kind(np.array([0, 1, 0])) is Kind.BINARY
+        assert _infer_kind(np.array([0, 1, 2, 3, 4])) is Kind.DISCRETE
+        assert _infer_kind(np.array([0.1, 0.5, 0.7])) is Kind.CONTINUOUS
+
+
+class TestAccess:
+    def test_getitem_unknown_raises(self):
+        with pytest.raises(SchemaError, match="unknown"):
+            make_table()["ghost"]
+
+    def test_matrix_shape_and_order(self):
+        t = make_table()
+        m = t.matrix(["x", "s"])
+        assert m.shape == (10, 2)
+        np.testing.assert_allclose(m[:, 1], t["s"].astype(float))
+
+    def test_matrix_empty_names(self):
+        assert make_table().matrix([]).shape == (10, 0)
+
+    def test_xy(self):
+        X, y = make_table().xy(["x"])
+        assert X.shape == (10, 1)
+        assert y.shape == (10,)
+
+    def test_xy_without_target_raises(self):
+        t = Table({"a": np.zeros(4)})
+        with pytest.raises(SchemaError):
+            t.xy(["a"])
+
+
+class TestRelationalOps:
+    def test_select_and_drop(self):
+        t = make_table()
+        assert t.select(["x"]).columns == ["x"]
+        assert t.drop(["x"]).columns == ["s", "y"]
+
+    def test_drop_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            make_table().drop(["ghost"])
+
+    def test_take_boolean_and_integer(self):
+        t = make_table()
+        taken = t.take(np.array([0, 2, 4]))
+        assert taken.n_rows == 3
+        mask = t["s"] == 1
+        assert t.take(mask).n_rows == int(mask.sum())
+
+    def test_with_column_replaces_and_appends(self):
+        t = make_table()
+        t2 = t.with_column("z", np.ones(10), role=Role.CANDIDATE)
+        assert "z" in t2
+        assert t2.schema.spec("z").role is Role.CANDIDATE
+        t3 = t2.with_column("z", np.zeros(10))
+        assert t3.n_cols == t2.n_cols
+        assert float(t3["z"].sum()) == 0.0
+
+    def test_with_column_wrong_length_raises(self):
+        with pytest.raises(SchemaError):
+            make_table().with_column("z", np.ones(3))
+
+    def test_rename(self):
+        t = make_table().rename({"x": "feature"})
+        assert "feature" in t
+        assert "x" not in t
+
+    def test_roles_preserved_through_take(self):
+        t = make_table().take(np.array([1, 2]))
+        assert t.schema.sensitive == ["s"]
+        assert t.schema.target == "y"
+
+
+class TestJoin:
+    def test_inner_join_appends_columns(self):
+        left = Table({"k": np.array([0, 1, 2, 1]), "v": np.arange(4)})
+        right = Table({"k": np.array([0, 1, 2]), "w": np.array([10, 11, 12])})
+        joined = left.join(right, on="k")
+        assert joined.n_rows == 4
+        np.testing.assert_array_equal(joined["w"], [10, 11, 12, 11])
+
+    def test_inner_join_drops_unmatched(self):
+        left = Table({"k": np.array([0, 5]), "v": np.array([1, 2])})
+        right = Table({"k": np.array([0]), "w": np.array([9])})
+        joined = left.join(right, on="k")
+        assert joined.n_rows == 1
+
+    def test_left_join_missing_key_raises(self):
+        left = Table({"k": np.array([0, 5])})
+        right = Table({"k": np.array([0]), "w": np.array([9])})
+        with pytest.raises(SchemaError, match="drop"):
+            left.join(right, on="k", how="left")
+
+    def test_join_nonunique_right_key_raises(self):
+        left = Table({"k": np.array([0])})
+        right = Table({"k": np.array([0, 0]), "w": np.array([1, 2])})
+        with pytest.raises(SchemaError, match="unique"):
+            left.join(right, on="k")
+
+    def test_join_duplicate_column_raises(self):
+        left = Table({"k": np.array([0]), "w": np.array([5])})
+        right = Table({"k": np.array([0]), "w": np.array([9])})
+        with pytest.raises(SchemaError, match="duplicate"):
+            left.join(right, on="k")
+
+    def test_join_role_propagation(self):
+        left = Table({"k": np.array([0, 1])})
+        right = Table({"k": np.array([0, 1]), "f": np.array([3, 4])},
+                      roles={"f": Role.CANDIDATE})
+        joined = left.join(right, on="k")
+        assert joined.schema.spec("f").role is Role.CANDIDATE
+
+
+class TestSplit:
+    def test_split_partitions_rows(self):
+        t = make_table()
+        train, test = t.split(0.7, seed=0)
+        assert train.n_rows + test.n_rows == t.n_rows
+        assert train.n_rows == 7
+
+    def test_split_bad_fraction(self):
+        with pytest.raises(SchemaError):
+            make_table().split(1.5)
+
+    def test_split_deterministic(self):
+        t = make_table()
+        a1, _ = t.split(0.5, seed=3)
+        a2, _ = t.split(0.5, seed=3)
+        assert a1.equals(a2)
+
+
+class TestEquality:
+    def test_equals_self(self):
+        t = make_table()
+        assert t.equals(t)
+
+    def test_not_equals_different_values(self):
+        t = make_table()
+        t2 = t.with_column("x", np.zeros(10))
+        assert not t.equals(t2)
+
+    def test_to_dict_roundtrip(self):
+        t = make_table()
+        t2 = Table(t.to_dict(), schema=t.schema)
+        assert t.equals(t2)

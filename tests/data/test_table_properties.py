@@ -1,0 +1,75 @@
+"""Property-based tests on Table invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.table import Table
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    k = draw(st.integers(min_value=1, max_value=5))
+    data = {}
+    for i in range(k):
+        data[f"c{i}"] = draw(hnp.arrays(
+            np.float64, (n,), elements=st.floats(-100, 100, allow_nan=False)))
+    return Table(data)
+
+
+@given(tables())
+@settings(max_examples=50, deadline=None)
+def test_select_then_drop_roundtrip(table):
+    cols = table.columns
+    half = cols[: len(cols) // 2] or cols[:1]
+    selected = table.select(half)
+    assert selected.columns == half
+    assert selected.n_rows == table.n_rows
+
+
+@given(tables(), st.data())
+@settings(max_examples=50, deadline=None)
+def test_take_preserves_values(table, data):
+    idx = data.draw(st.lists(st.integers(0, table.n_rows - 1),
+                             min_size=0, max_size=10))
+    taken = table.take(np.array(idx, dtype=int))
+    assert taken.n_rows == len(idx)
+    for j, i in enumerate(idx):
+        for col in table.columns:
+            assert taken[col][j] == table[col][i]
+
+
+@given(tables(), st.floats(0.1, 0.9))
+@settings(max_examples=50, deadline=None)
+def test_split_partitions_all_rows(table, fraction):
+    if table.n_rows < 2:
+        return
+    train, test = table.split(fraction, seed=0)
+    assert train.n_rows + test.n_rows == table.n_rows
+    combined = np.sort(np.concatenate([train[table.columns[0]],
+                                       test[table.columns[0]]]))
+    np.testing.assert_array_equal(combined, np.sort(table[table.columns[0]]))
+
+
+@given(tables())
+@settings(max_examples=50, deadline=None)
+def test_matrix_matches_columns(table):
+    m = table.matrix()
+    assert m.shape == (table.n_rows, table.n_cols)
+    for j, col in enumerate(table.columns):
+        np.testing.assert_array_equal(m[:, j], table[col].astype(float))
+
+
+@given(tables())
+@settings(max_examples=30, deadline=None)
+def test_join_on_self_key_is_identity_width(table):
+    """Joining a keyed copy of a table back onto itself adds its columns."""
+    keyed = table.with_column("k", np.arange(table.n_rows, dtype=np.int64))
+    renamed = keyed.rename({c: f"r_{c}" for c in table.columns})
+    joined = keyed.join(renamed, on="k")
+    assert joined.n_rows == table.n_rows
+    assert joined.n_cols == 2 * table.n_cols + 1
+    for col in table.columns:
+        np.testing.assert_array_equal(joined[col], joined[f"r_{col}"])

@@ -1,0 +1,33 @@
+"""Tests for the p-value threshold sensitivity experiment (§5.2)."""
+
+import pytest
+
+from repro.data.loaders import load_german
+from repro.experiments.alpha_sweep import sweep_alpha
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    dataset = load_german(seed=0, n_train=2000, n_test=800)
+    return sweep_alpha(dataset, alphas=[0.01, 0.05], seed=0)
+
+
+class TestAlphaSweep:
+    def test_paper_stability_claim(self, sweep):
+        """Accuracy and fairness barely move from alpha 0.01 to 0.05."""
+        assert sweep.accuracy_range < 0.03
+        assert sweep.odds_range < 0.05
+
+    def test_selection_mostly_stable(self, sweep):
+        assert sweep.selection_jaccard() >= 0.75
+
+    def test_stricter_alpha_selects_no_fewer(self, sweep):
+        """Lower alpha = harder to reject independence = more admissions."""
+        by_alpha = {p.alpha: p.n_selected for p in sweep.points}
+        assert by_alpha[0.01] >= by_alpha[0.05]
+
+    def test_rows_shape(self, sweep):
+        rows = sweep.rows()
+        assert len(rows) == 2
+        assert set(rows[0]) == {"alpha", "accuracy", "abs_odds_diff",
+                                "n_selected"}

@@ -1,0 +1,97 @@
+"""Tests for the experiment harness and trade-off sweep (Figure 2 shapes)."""
+
+import pytest
+
+from repro.baselines import AdmissibleOnly, AllFeatures
+from repro.ci.adaptive import AdaptiveCI
+from repro.core.grpsel import GrpSel
+from repro.data.loaders import load_german
+from repro.experiments.harness import run_method
+from repro.experiments.tradeoff import default_method_suite, run_tradeoff
+from repro.ml.forest import RandomForestClassifier
+
+
+@pytest.fixture(scope="module")
+def german():
+    # Larger training set than the paper's 800 for stable CI verdicts.
+    return load_german(seed=0, n_train=2000, n_test=1000)
+
+
+@pytest.fixture(scope="module")
+def tradeoff(german):
+    methods = [
+        GrpSel(tester=AdaptiveCI(seed=0), seed=0),
+        AdmissibleOnly(),
+        AllFeatures(),
+    ]
+    return run_tradeoff(german, methods=methods)
+
+
+class TestRunMethod:
+    def test_produces_report_and_model(self, german):
+        run = run_method(german, AllFeatures())
+        assert run.report.method == "ALL"
+        assert 0.5 < run.report.accuracy <= 1.0
+        assert len(run.feature_names) == 1 + len(german.candidates)
+
+    def test_admissible_only_trains_on_a(self, german):
+        run = run_method(german, AdmissibleOnly())
+        assert run.feature_names == german.admissible
+
+
+class TestFigure2Shapes:
+    """The qualitative claims of Figure 2 that must reproduce."""
+
+    def test_all_is_least_fair(self, tradeoff):
+        all_odds = tradeoff.by_method("ALL").abs_odds_difference
+        for report in tradeoff.reports:
+            assert all_odds >= report.abs_odds_difference - 1e-9
+
+    def test_a_is_most_fair(self, tradeoff):
+        a_odds = tradeoff.by_method("A").abs_odds_difference
+        for report in tradeoff.reports:
+            assert a_odds <= report.abs_odds_difference + 1e-9
+
+    def test_all_is_most_accurate(self, tradeoff):
+        all_acc = tradeoff.by_method("ALL").accuracy
+        for report in tradeoff.reports:
+            assert all_acc >= report.accuracy - 0.02
+
+    def test_grpsel_dominates_extremes(self, tradeoff):
+        """GrpSel: much fairer than ALL, much more accurate than A."""
+        grp = tradeoff.by_method("GrpSel")
+        all_r = tradeoff.by_method("ALL")
+        a_r = tradeoff.by_method("A")
+        assert grp.abs_odds_difference < 0.6 * all_r.abs_odds_difference
+        assert grp.accuracy > a_r.accuracy + 0.02
+
+    def test_grpsel_low_cmi(self, tradeoff):
+        """Lemma 2 proxy: CMI(S, Y'|A) near zero for the selected features."""
+        assert tradeoff.by_method("GrpSel").cmi_s_pred_given_a < 0.01
+
+    def test_table_sorted_by_accuracy(self, tradeoff):
+        rows = tradeoff.table()
+        accs = [r["accuracy"] for r in rows]
+        assert accs == sorted(accs, reverse=True)
+
+
+class TestMethodSuite:
+    def test_default_suite_has_eight_methods(self):
+        suite = default_method_suite(seed=0)
+        names = {m.name for m in suite}
+        assert names == {"GrpSel", "SeqSel", "Hamlet", "SPred", "A", "ALL",
+                         "Capuchin", "FairPC"}
+
+
+class TestModelSelection:
+    """§5.2: fairness of the selected features persists across classifiers."""
+
+    def test_random_forest_stays_fair(self, german):
+        run_lr = run_method(german, GrpSel(tester=AdaptiveCI(seed=0), seed=0))
+        run_rf = run_method(
+            german, GrpSel(tester=AdaptiveCI(seed=0), seed=0),
+            classifier_factory=lambda: RandomForestClassifier(
+                n_estimators=20, max_depth=6, seed=0),
+        )
+        assert run_rf.report.abs_odds_difference < 0.15
+        assert abs(run_rf.report.accuracy - run_lr.report.accuracy) < 0.1

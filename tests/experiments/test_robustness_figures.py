@@ -1,0 +1,106 @@
+"""Tests for the distribution-shift experiment and ASCII figure rendering."""
+
+import pytest
+
+from repro.causal.mechanisms import LogisticBinary, NoisyCopy
+from repro.data.loaders import load_german
+from repro.exceptions import ExperimentError
+from repro.experiments.figures import ascii_scatter, render_series, render_table
+from repro.experiments.robustness import run_robustness, shift_scm
+
+
+@pytest.fixture(scope="module")
+def german():
+    return load_german(seed=0, n_train=2000, n_test=800)
+
+
+# The §5.4 shift: strengthen the age->proxy edges and reverse the
+# proxy->target edges, so models that kept the proxies err group-dependently.
+SHIFT = {
+    ("age", "housing"): 4.0,
+    ("housing", "credit_risk"): -2.0,
+    ("age", "employment_duration"): 4.0,
+    ("employment_duration", "credit_risk"): -2.0,
+}
+
+
+class TestShiftSCM:
+    def test_logistic_edge_weight_scaled(self, german):
+        shifted = shift_scm(german.scm, {("housing", "credit_risk"): 2.0})
+        original = german.scm.mechanisms["credit_risk"]
+        new = shifted.mechanisms["credit_risk"]
+        assert isinstance(new, LogisticBinary)
+        idx = list(original.parents).index("housing")
+        assert new.weights[idx] == pytest.approx(2.0 * original.weights[idx])
+        # Other edges untouched.
+        other = list(original.parents).index("savings")
+        assert new.weights[other] == pytest.approx(original.weights[other])
+
+    def test_noisy_copy_flip_scaled(self, german):
+        shifted = shift_scm(german.scm, {("age", "housing"): 2.0})
+        assert isinstance(shifted.mechanisms["housing"], NoisyCopy)
+        assert shifted.mechanisms["housing"].flip == pytest.approx(
+            german.scm.mechanisms["housing"].flip / 2.0)
+
+    def test_untouched_mechanisms_shared(self, german):
+        shifted = shift_scm(german.scm, {("age", "housing"): 2.0})
+        assert shifted.mechanisms["savings"] is german.scm.mechanisms["savings"]
+
+    def test_unsupported_mechanism_raises(self, german):
+        with pytest.raises(ExperimentError):
+            # credit_amount is LinearGaussian: not a supported shift target.
+            shift_scm(german.scm, {("account_status", "credit_amount"): 2.0})
+
+    def test_unknown_edge_raises(self, german):
+        with pytest.raises(ExperimentError):
+            shift_scm(german.scm, {("savings", "housing"): 2.0})
+
+    def test_roles_preserved(self, german):
+        shifted = shift_scm(german.scm, {("age", "housing"): 2.0})
+        assert shifted.sensitive == german.scm.sensitive
+
+
+class TestRobustness:
+    def test_selection_stable_repair_degrades(self, german):
+        """§5.4: feature selection survives shift better than tuple repair."""
+        result = run_robustness(german, shift=SHIFT, n_shifted_test=6000,
+                                seed=0)
+        # Degradation ordering: selection < repair baselines.
+        assert result.degradation("GrpSel") < result.degradation("Reweighing")
+        assert result.degradation("GrpSel") < result.degradation("Capuchin")
+        # Levels under shift: selection stays much fairer.
+        assert result.shifted["GrpSel"] < 0.6 * result.shifted["Reweighing"]
+        assert result.shifted["GrpSel"] < 0.6 * result.shifted["Capuchin"]
+
+    def test_result_contains_all_methods(self, german):
+        result = run_robustness(german, shift={("age", "housing"): 2.0},
+                                n_shifted_test=500, seed=0)
+        for name in ("GrpSel", "SeqSel", "Reweighing", "Capuchin"):
+            assert name in result.original
+            assert name in result.shifted
+
+
+class TestFigures:
+    def test_render_table_alignment(self):
+        rows = [{"a": 1, "bb": "x"}, {"a": 22, "bb": "yy"}]
+        text = render_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_table_empty(self):
+        assert "(empty)" in render_table([], title="T")
+
+    def test_render_series(self):
+        text = render_series([1, 2], {"s": [10, 20]}, x_label="n")
+        assert "10" in text and "20" in text
+
+    def test_ascii_scatter_markers_and_legend(self):
+        text = ascii_scatter({"GrpSel": (0.1, 0.9), "ALL": (0.5, 0.95)})
+        assert "G" in text
+        assert "A" in text
+        assert "legend" in text
+
+    def test_ascii_scatter_empty(self):
+        assert ascii_scatter({}) == "(no points)"

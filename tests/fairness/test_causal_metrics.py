@@ -1,0 +1,128 @@
+"""Tests for causal fairness metrics (CMI and simulated interventions)."""
+
+import numpy as np
+import pytest
+
+from repro.causal.mechanisms import BernoulliRoot, LogisticBinary, NoisyCopy
+from repro.causal.scm import StructuralCausalModel
+from repro.data.schema import Role
+from repro.fairness.causal_metrics import (
+    conditional_mutual_information,
+    interventional_unfairness,
+    is_causally_fair,
+)
+from repro.fairness.report import evaluate_classifier
+from repro.ml.logistic import LogisticRegression
+
+
+def biased_scm():
+    """S -> A -> Y and S -> P -> Y: P is a proxy route around A."""
+    return StructuralCausalModel(
+        {
+            "S": BernoulliRoot(0.5),
+            "A": LogisticBinary(["S"], [1.5], intercept=-0.75),
+            "P": NoisyCopy("S", flip=0.05),
+            "Y": LogisticBinary(["A", "P"], [1.0, 2.0], intercept=-1.5),
+        },
+        roles={"S": Role.SENSITIVE, "A": Role.ADMISSIBLE,
+               "P": Role.CANDIDATE, "Y": Role.TARGET},
+    )
+
+
+class TestCMI:
+    def test_biased_target_has_positive_cmi(self):
+        table = biased_scm().sample(20_000, seed=0)
+        cmi = conditional_mutual_information(table, ["S"], "Y", ["A"])
+        assert cmi > 0.05
+
+    def test_admissible_only_prediction_is_fair(self):
+        table = biased_scm().sample(20_000, seed=1)
+        # A "classifier" that uses only A: prediction = A.
+        with_pred = table.with_column("pred", table["A"])
+        cmi = conditional_mutual_information(with_pred, ["S"], "pred", ["A"])
+        assert cmi < 1e-9
+        assert is_causally_fair(with_pred, ["S"], "pred", ["A"])
+
+    def test_proxy_prediction_is_unfair(self):
+        table = biased_scm().sample(20_000, seed=2)
+        with_pred = table.with_column("pred", table["P"])
+        assert not is_causally_fair(with_pred, ["S"], "pred", ["A"],
+                                    tolerance=0.01)
+
+
+class TestInterventionalUnfairness:
+    def test_fair_predictor_scores_zero(self):
+        scm = biased_scm()
+
+        def predictor(table):
+            return np.asarray(table["A"])
+
+        tv = interventional_unfairness(
+            scm, predictor,
+            sensitive_values={"S": [0, 1]},
+            admissible_values={"A": [0, 1]},
+            n_samples=2000, seed=0,
+        )
+        assert tv == 0.0  # A is clamped by do(A=a): prediction constant
+
+    def test_proxy_predictor_scores_high(self):
+        scm = biased_scm()
+
+        def predictor(table):
+            return np.asarray(table["P"])
+
+        tv = interventional_unfairness(
+            scm, predictor,
+            sensitive_values={"S": [0, 1]},
+            admissible_values={"A": [0, 1]},
+            n_samples=4000, seed=0,
+        )
+        assert tv > 0.8  # P tracks S almost perfectly
+
+    def test_trained_model_on_safe_features_fair(self):
+        scm = biased_scm()
+        train = scm.sample(5000, seed=3)
+        model = LogisticRegression().fit(train.matrix(["A"]),
+                                         np.asarray(train["Y"]))
+
+        def predictor(table):
+            return model.predict(table.matrix(["A"]))
+
+        tv = interventional_unfairness(
+            scm, predictor,
+            sensitive_values={"S": [0, 1]},
+            admissible_values={"A": [0, 1]},
+            n_samples=2000, seed=4,
+        )
+        assert tv == 0.0
+
+    def test_requires_sensitive(self):
+        from repro.exceptions import ExperimentError
+        with pytest.raises(ExperimentError):
+            interventional_unfairness(biased_scm(), lambda t: t["A"],
+                                      {}, {"A": [0, 1]})
+
+
+class TestEvaluateClassifier:
+    def test_report_fields_populated(self):
+        scm = biased_scm()
+        train = scm.sample(4000, seed=5)
+        test = scm.sample(2000, seed=6)
+        model = LogisticRegression().fit(train.matrix(["A", "P"]),
+                                         np.asarray(train["Y"]))
+        report = evaluate_classifier(model, test, ["A", "P"], "Y", ["S"],
+                                     ["A"], method="demo")
+        assert 0.5 < report.accuracy <= 1.0
+        assert report.abs_odds_difference > 0.05  # proxy used -> unfair
+        assert report.cmi_s_pred_given_a > 0.01
+        assert report.method == "demo"
+        assert report.n_features == 2
+
+    def test_row_rounding(self):
+        scm = biased_scm()
+        train = scm.sample(1000, seed=7)
+        model = LogisticRegression().fit(train.matrix(["A"]),
+                                         np.asarray(train["Y"]))
+        report = evaluate_classifier(model, train, ["A"], "Y", ["S"], ["A"])
+        row = report.row()
+        assert set(row) >= {"method", "accuracy", "abs_odds_diff", "n_features"}

@@ -1,0 +1,78 @@
+"""Property-based tests on classifier invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml.adaboost import AdaBoostClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.logistic import LogisticRegression
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.tree import DecisionTreeClassifier
+
+
+@st.composite
+def datasets(draw):
+    n = draw(st.integers(min_value=12, max_value=60))
+    d = draw(st.integers(min_value=1, max_value=4))
+    X = draw(hnp.arrays(np.float64, (n, d),
+                        elements=st.floats(-5, 5, allow_nan=False)))
+    y = draw(hnp.arrays(np.int64, (n,), elements=st.integers(0, 1)))
+    # Ensure both classes appear so every classifier can fit.
+    y[0], y[1] = 0, 1
+    return X, y
+
+
+MODELS = [
+    lambda: LogisticRegression(max_iter=25),
+    lambda: DecisionTreeClassifier(max_depth=3),
+    lambda: RandomForestClassifier(n_estimators=3, max_depth=3, seed=0),
+    lambda: AdaBoostClassifier(n_estimators=3, seed=0),
+    lambda: GaussianNB(),
+]
+
+
+@given(datasets(), st.integers(0, len(MODELS) - 1))
+@settings(max_examples=40, deadline=None)
+def test_probabilities_are_distributions(data, model_index):
+    X, y = data
+    model = MODELS[model_index]()
+    model.fit(X, y)
+    probs = model.predict_proba(X)
+    assert probs.shape == (X.shape[0], model.classes_.size)
+    assert np.all(probs >= -1e-9)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-6)
+
+
+@given(datasets(), st.integers(0, len(MODELS) - 1))
+@settings(max_examples=40, deadline=None)
+def test_predictions_come_from_training_labels(data, model_index):
+    X, y = data
+    model = MODELS[model_index]()
+    model.fit(X, y)
+    preds = model.predict(X)
+    assert set(np.unique(preds)) <= set(np.unique(y))
+
+
+@given(datasets())
+@settings(max_examples=30, deadline=None)
+def test_constant_features_give_majority_class(data):
+    X, y = data
+    X_const = np.zeros_like(X)
+    model = DecisionTreeClassifier().fit(X_const, y)
+    preds = model.predict(X_const)
+    majority = np.argmax(np.bincount(y))
+    assert np.all(preds == majority)
+
+
+@given(datasets())
+@settings(max_examples=30, deadline=None)
+def test_logistic_score_at_least_minority_rate(data):
+    """Training accuracy can't be worse than always predicting majority."""
+    X, y = data
+    model = LogisticRegression(max_iter=25).fit(X, y)
+    majority_rate = max(np.mean(y == 0), np.mean(y == 1))
+    # Logistic regression always attains at least majority-class accuracy
+    # on its training data (the intercept-only solution is available).
+    assert model.score(X, y) >= majority_rate - 0.15

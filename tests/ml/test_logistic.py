@@ -1,0 +1,110 @@
+"""Tests for logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.ml.logistic import LogisticRegression
+
+
+def separable_data(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+    return X, y
+
+
+def noisy_data(n=2000, seed=1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    logits = 1.5 * X[:, 0] - 1.0 * X[:, 1]
+    y = (rng.random(n) < 1 / (1 + np.exp(-logits))).astype(int)
+    return X, y
+
+
+class TestFitting:
+    def test_separable_accuracy(self):
+        X, y = separable_data()
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_coefficient_recovery(self):
+        X, y = noisy_data(20_000)
+        model = LogisticRegression(C=1e6).fit(X, y)  # effectively unregularised
+        coefs = model.coef_[0]
+        assert coefs[0] == pytest.approx(1.5, abs=0.15)
+        assert coefs[1] == pytest.approx(-1.0, abs=0.15)
+        assert coefs[2] == pytest.approx(0.0, abs=0.1)
+
+    def test_regularisation_shrinks(self):
+        X, y = noisy_data()
+        loose = LogisticRegression(C=1e6).fit(X, y)
+        tight = LogisticRegression(C=0.01).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_sample_weights_shift_boundary(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]] * 25)
+        y = np.array([0, 0, 1, 1] * 25)
+        w_up = np.where(y == 1, 10.0, 1.0)
+        base = LogisticRegression().fit(X, y)
+        upweighted = LogisticRegression().fit(X, y, sample_weight=w_up)
+        # Upweighting positives raises predicted probability everywhere.
+        assert (upweighted.predict_proba(X)[:, 1]
+                >= base.predict_proba(X)[:, 1] - 1e-9).all()
+
+    def test_single_class_degenerates_gracefully(self):
+        X = np.zeros((10, 2))
+        y = np.ones(10)
+        model = LogisticRegression().fit(X, y)
+        assert (model.predict(X) == 1).all()
+
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(C=0)
+
+
+class TestPrediction:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(np.zeros((3, 2)))
+
+    def test_probabilities_sum_to_one(self):
+        X, y = noisy_data()
+        probs = LogisticRegression().fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+        assert (probs >= 0).all()
+
+    def test_classes_preserved(self):
+        X, _ = separable_data()
+        y = np.where(X[:, 0] > 0, 5, -3)
+        model = LogisticRegression().fit(X, y)
+        assert set(model.predict(X)) <= {5, -3}
+        np.testing.assert_array_equal(model.classes_, [-3, 5])
+
+    def test_multiclass_one_vs_rest(self):
+        rng = np.random.default_rng(4)
+        X = np.vstack([rng.normal(loc=c * 3, size=(100, 2)) for c in range(3)])
+        y = np.repeat([0, 1, 2], 100)
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) > 0.9
+        assert model.predict_proba(X).shape == (300, 3)
+
+    def test_decision_function_binary_shape(self):
+        X, y = separable_data()
+        scores = LogisticRegression().fit(X, y).decision_function(X)
+        assert scores.shape == (X.shape[0],)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_non_finite_rejected(self):
+        X = np.array([[np.nan, 1.0]])
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(X, np.array([1]))
+
+    def test_1d_X_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros(5), np.zeros(5))

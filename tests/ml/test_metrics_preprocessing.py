@@ -1,0 +1,191 @@
+"""Tests for metrics, preprocessing, model selection, naive Bayes, importance."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.ml.importance import (
+    coefficient_importance,
+    permutation_importance,
+    rank_features,
+)
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import accuracy, confusion_counts, log_loss, roc_auc
+from repro.ml.model_selection import KFold, cross_val_accuracy, train_test_split
+from repro.ml.naive_bayes import CategoricalNB, GaussianNB
+from repro.ml.preprocessing import LabelEncoder, OneHotEncoder, StandardScaler
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_confusion_counts(self):
+        cm = confusion_counts(np.array([1, 1, 0, 0]), np.array([1, 0, 1, 0]))
+        assert (cm.tp, cm.fn, cm.fp, cm.tn) == (1, 1, 1, 1)
+        assert cm.tpr == 0.5
+        assert cm.fpr == 0.5
+
+    def test_confusion_empty_groups(self):
+        cm = confusion_counts(np.array([0, 0]), np.array([0, 0]))
+        assert cm.tpr == 0.0  # no positives -> defined as 0
+
+    def test_roc_auc_perfect(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(y, scores) == 1.0
+
+    def test_roc_auc_random(self):
+        rng = np.random.default_rng(0)
+        y = (rng.random(4000) < 0.5).astype(int)
+        scores = rng.random(4000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_roc_auc_one_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.ones(5), np.arange(5.0))
+
+    def test_log_loss_confident_correct_small(self):
+        probs = np.array([[0.01, 0.99], [0.99, 0.01]])
+        classes = np.array([0, 1])
+        assert log_loss(np.array([1, 0]), probs, classes) < 0.02
+
+
+class TestStandardScaler:
+    def test_transform_standardises(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(5.0, 3.0, size=(500, 2))
+        Xs = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Xs.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(Xs.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_safe(self):
+        X = np.ones((10, 1))
+        Xs = StandardScaler().fit_transform(X)
+        assert np.isfinite(Xs).all()
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+
+class TestEncoders:
+    def test_label_encoder_roundtrip(self):
+        y = np.array(["b", "a", "b", "c"])
+        enc = LabelEncoder().fit(y)
+        codes = enc.transform(y)
+        np.testing.assert_array_equal(enc.inverse_transform(codes), y)
+
+    def test_label_encoder_unseen_raises(self):
+        enc = LabelEncoder().fit(np.array([1, 2]))
+        with pytest.raises(ValueError, match="unseen"):
+            enc.transform(np.array([3]))
+
+    def test_one_hot_shape(self):
+        X = np.array([[0, 1], [1, 0], [2, 1]])
+        enc = OneHotEncoder().fit(X)
+        out = enc.transform(X)
+        assert out.shape == (3, 5)
+        assert enc.n_output_features == 5
+        np.testing.assert_allclose(out.sum(axis=1), 2.0)
+
+    def test_one_hot_unseen_is_zero_row(self):
+        enc = OneHotEncoder().fit(np.array([[0], [1]]))
+        out = enc.transform(np.array([[7]]))
+        assert out.sum() == 0.0
+
+
+class TestModelSelection:
+    def test_split_sizes(self):
+        X = np.arange(100).reshape(-1, 1)
+        y = np.arange(100) % 2
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, 0.25, seed=0)
+        assert X_te.shape[0] == 25
+        assert X_tr.shape[0] + X_te.shape[0] == 100
+
+    def test_stratified_split_balances(self):
+        X = np.zeros((100, 1))
+        y = np.array([0] * 80 + [1] * 20)
+        _, _, _, y_te = train_test_split(X, y, 0.25, seed=0, stratify=True)
+        assert np.sum(y_te == 1) == 5
+
+    def test_kfold_partitions(self):
+        folds = list(KFold(n_splits=4, seed=0).split(20))
+        assert len(folds) == 4
+        all_test = np.concatenate([te for _, te in folds])
+        assert sorted(all_test.tolist()) == list(range(20))
+
+    def test_kfold_too_many_splits(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_cross_val_accuracy_reasonable(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(200, 2))
+        y = (X[:, 0] > 0).astype(int)
+        score = cross_val_accuracy(LogisticRegression, X, y, seed=0)
+        assert score > 0.9
+
+
+class TestNaiveBayes:
+    def test_gaussian_blobs(self):
+        rng = np.random.default_rng(4)
+        X = np.vstack([rng.normal(-2, 1, (100, 2)), rng.normal(2, 1, (100, 2))])
+        y = np.repeat([0, 1], 100)
+        model = GaussianNB().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_categorical_learns_cpt(self):
+        rng = np.random.default_rng(5)
+        X = (rng.random((500, 1)) < 0.5).astype(int)
+        y = X[:, 0]
+        model = CategoricalNB().fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_categorical_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CategoricalNB().fit(np.array([[-1]]), np.array([0]))
+
+    def test_gaussian_probabilities_valid(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(50, 3))
+        y = (rng.random(50) < 0.5).astype(int)
+        probs = GaussianNB().fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestImportance:
+    def make_model(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(1000, 3))
+        y = (X[:, 0] > 0).astype(int)  # only feature 0 matters
+        return LogisticRegression().fit(X, y), X, y
+
+    def test_coefficient_importance_identifies_signal(self):
+        model, _, _ = self.make_model()
+        imp = coefficient_importance(model)
+        assert imp[0] > 5 * max(imp[1], imp[2])
+
+    def test_permutation_importance_identifies_signal(self):
+        model, X, y = self.make_model()
+        imp = permutation_importance(model, X, y, seed=0)
+        assert imp[0] > 0.2
+        assert abs(imp[1]) < 0.05
+
+    def test_rank_features(self):
+        ranked = rank_features(["a", "b"], np.array([0.1, 0.9]))
+        assert ranked[0][0] == "b"
+
+    def test_rank_features_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rank_features(["a"], np.array([0.1, 0.2]))

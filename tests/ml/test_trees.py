@@ -1,0 +1,138 @@
+"""Tests for decision trees, random forests, and AdaBoost."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.ml.adaboost import AdaBoostClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def xor_data(n=400, seed=0):
+    """XOR: linearly inseparable, trees must get it."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+def blob_data(n=300, seed=1):
+    rng = np.random.default_rng(seed)
+    X = np.vstack([rng.normal(-2, 1, size=(n // 2, 2)),
+                   rng.normal(2, 1, size=(n // 2, 2))])
+    y = np.repeat([0, 1], n // 2)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_xor_solved(self):
+        X, y = xor_data()
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert tree.score(X, y) > 0.95
+
+    def test_max_depth_respected(self):
+        X, y = xor_data()
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_min_samples_leaf(self):
+        X, y = xor_data(100)
+        tree = DecisionTreeClassifier(min_samples_leaf=30).fit(X, y)
+        assert tree.n_leaves() <= 100 // 30 + 1
+
+    def test_pure_node_is_leaf(self):
+        X = np.zeros((20, 1))
+        y = np.zeros(20)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth() == 0
+
+    def test_sample_weights_dominate(self):
+        X = np.array([[0.0], [1.0]] * 50)
+        y = np.array([0, 1] * 50)
+        # Give all the weight to class-0 rows: tree should predict 0 mostly.
+        w = np.where(y == 0, 100.0, 0.001)
+        tree = DecisionTreeClassifier(max_depth=1).fit(X, y, sample_weight=w)
+        preds = tree.predict(np.array([[0.0], [1.0]]))
+        assert preds[0] == 0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.zeros((2, 2)))
+
+    def test_entropy_criterion(self):
+        X, y = xor_data()
+        tree = DecisionTreeClassifier(max_depth=4, criterion="entropy").fit(X, y)
+        assert tree.score(X, y) > 0.95
+
+    def test_invalid_criterion(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(criterion="nonsense")
+
+    def test_probabilities_valid(self):
+        X, y = xor_data()
+        probs = DecisionTreeClassifier(max_depth=3).fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+
+class TestRandomForest:
+    def test_blobs_high_accuracy(self):
+        X, y = blob_data()
+        forest = RandomForestClassifier(n_estimators=20, seed=0).fit(X, y)
+        assert forest.score(X, y) > 0.95
+
+    def test_xor_beats_stump(self):
+        X, y = xor_data()
+        forest = RandomForestClassifier(n_estimators=30, max_depth=4,
+                                        seed=0).fit(X, y)
+        assert forest.score(X, y) > 0.9
+
+    def test_deterministic_given_seed(self):
+        X, y = blob_data()
+        f1 = RandomForestClassifier(n_estimators=5, seed=3).fit(X, y)
+        f2 = RandomForestClassifier(n_estimators=5, seed=3).fit(X, y)
+        np.testing.assert_array_equal(f1.predict(X), f2.predict(X))
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_probability_shape(self):
+        X, y = blob_data()
+        probs = RandomForestClassifier(n_estimators=5, seed=0).fit(X, y) \
+            .predict_proba(X)
+        assert probs.shape == (X.shape[0], 2)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+
+class TestAdaBoost:
+    def test_boosting_improves_over_stump(self):
+        # 3-bit majority: a single stump caps at 75%, boosting reaches ~100%.
+        rng = np.random.default_rng(8)
+        X = (rng.random((500, 3)) < 0.5).astype(float)
+        y = (X.sum(axis=1) >= 2).astype(int)
+        stump = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        boosted = AdaBoostClassifier(n_estimators=50, seed=0).fit(X, y)
+        assert boosted.score(X, y) > stump.score(X, y) + 0.15
+
+    def test_blobs(self):
+        X, y = blob_data()
+        model = AdaBoostClassifier(n_estimators=10, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_perfect_learner_short_circuits(self):
+        X, y = blob_data()
+        model = AdaBoostClassifier(n_estimators=50, max_depth=6, seed=0).fit(X, y)
+        assert len(model.estimators_) < 50
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(learning_rate=0)
+
+    def test_probabilities_valid(self):
+        X, y = xor_data()
+        probs = AdaBoostClassifier(n_estimators=10, seed=0).fit(X, y) \
+            .predict_proba(X)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_select_args(self):
+        args = build_parser().parse_args(
+            ["select", "--dataset", "german", "--algorithm", "seqsel",
+             "--alpha", "0.05", "--seed", "3"])
+        assert args.dataset == "german"
+        assert args.algorithm == "seqsel"
+        assert args.alpha == 0.05
+        assert args.seed == 3
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["select", "--dataset", "nope"])
+
+
+class TestCommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("german", "compas", "adult", "meps1", "meps2"):
+            assert name in out
+
+    def test_select_german(self, capsys):
+        assert main(["select", "--dataset", "german"]) == 0
+        out = capsys.readouterr().out
+        assert "GrpSel" in out
+        assert "selected" in out
+        assert "rejected" in out
+
+    def test_select_seqsel(self, capsys):
+        assert main(["select", "--dataset", "german",
+                     "--algorithm", "seqsel"]) == 0
+        assert "SeqSel" in capsys.readouterr().out
+
+    def test_evaluate_prints_method_table(self, capsys):
+        assert main(["evaluate", "--dataset", "german",
+                     "--n-train", "1000"]) == 0
+        out = capsys.readouterr().out
+        for method in ("GrpSel", "SeqSel", "ALL", "Hamlet"):
+            assert method in out
+        assert "accuracy" in out

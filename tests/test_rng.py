@@ -1,0 +1,46 @@
+"""Tests for the RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.rng import as_generator, spawn
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+
+class TestSpawn:
+    def test_children_are_independent_streams(self):
+        children = spawn(3, 4)
+        assert len(children) == 4
+        draws = [c.random(3).tolist() for c in children]
+        # All four streams differ.
+        assert len({tuple(d) for d in draws}) == 4
+
+    def test_deterministic(self):
+        a = [c.random(2).tolist() for c in spawn(5, 3)]
+        b = [c.random(2).tolist() for c in spawn(5, 3)]
+        assert a == b
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn(0, -1)
+
+    def test_spawn_from_generator(self):
+        children = spawn(np.random.default_rng(1), 2)
+        assert len(children) == 2
+
+    def test_bad_seed_type(self):
+        with pytest.raises(TypeError):
+            spawn("seed", 2)
