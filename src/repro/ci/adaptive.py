@@ -4,11 +4,17 @@ Real datasets mix discrete and continuous columns; this tester routes each
 query to the appropriate backend: the G-test when every variable in the
 query is discrete, otherwise RCIT (which handles mixed data since RFFs only
 need numeric input).
+
+Queries are normalised through :meth:`~repro.ci.base.CIQuery.make` *before*
+dispatch, so validation order (overlap, unknown column, sample count)
+matches the :class:`~repro.ci.base.CITester` base class and bad input
+raises :class:`~repro.exceptions.CITestError` rather than leaking backend
+internals (a raw ``KeyError`` from the schema lookup, historically).
 """
 
 from __future__ import annotations
 
-from repro.ci.base import CIResult, CITester
+from repro.ci.base import CIQuery, CIResult, CITester, as_queries
 from repro.ci.gtest import GTestCI
 from repro.ci.rcit import RCIT
 from repro.data.table import Table
@@ -27,14 +33,42 @@ class AdaptiveCI(CITester):
         self.discrete = discrete or GTestCI(alpha=alpha)
         self.continuous = continuous or RCIT(alpha=alpha, seed=seed)
 
-    def test(self, table: Table, x, y, z=()) -> CIResult:
-        names = []
-        for group in (x, y, z):
-            names.extend([group] if isinstance(group, str) else list(group))
+    def _backend_for(self, table: Table, query: CIQuery) -> CITester:
         all_discrete = all(
-            table.schema.spec(name).kind.is_discrete for name in names
+            table.schema.spec(name).kind.is_discrete
+            for name in query.x + query.y + query.z
         )
-        backend = self.discrete if all_discrete else self.continuous
-        result = backend.test(table, x, y, z)
+        return self.discrete if all_discrete else self.continuous
+
+    @staticmethod
+    def _relabel(result: CIResult) -> CIResult:
         return CIResult(result.independent, result.p_value, result.statistic,
                         result.query, method=f"adaptive->{result.method}")
+
+    def test(self, table: Table, x, y, z=()) -> CIResult:
+        query = CIQuery.make(x, y, z)
+        self._check_query(table, query)
+        backend = self._backend_for(table, query)
+        return self._relabel(backend.test(table, query.x, query.y, query.z))
+
+    def test_batch(self, table: Table, queries) -> list[CIResult]:
+        """Batch per backend, preserving the relative order within each.
+
+        Discrete queries go to the discrete backend's batch path in one
+        call (sharing its code caches); the rest go to the continuous
+        backend likewise.  Per-query results are bitwise identical to
+        :meth:`test`.
+        """
+        normalised = as_queries(queries)
+        for query in normalised:
+            self._check_query(table, query)
+        by_backend: dict[int, tuple[CITester, list[int]]] = {}
+        for i, query in enumerate(normalised):
+            backend = self._backend_for(table, query)
+            by_backend.setdefault(id(backend), (backend, []))[1].append(i)
+        results: list[CIResult | None] = [None] * len(normalised)
+        for backend, indices in by_backend.values():
+            batch = backend.test_batch(table, [normalised[i] for i in indices])
+            for i, result in zip(indices, batch):
+                results[i] = self._relabel(result)
+        return results

@@ -8,6 +8,30 @@ whole point of GrpSel is testing a *group* of features at once.
 Tests return a :class:`CIResult` (p-value + boolean verdict at the tester's
 ``alpha``).  A :class:`CITestLedger` wraps any tester and counts invocations
 — the unit of cost in the paper's Table 2 and Figures 4-5.
+
+The CI engine
+-------------
+
+Selection algorithms issue *bursts* of related queries (phase 1: one
+candidate against every admissible subset; phase 2: every surviving
+candidate against the target under one fixed conditioning set).  Two layers
+turn those bursts into batch-oriented evaluation over shared encoded state:
+
+* :meth:`CITester.test_batch` evaluates a sequence of queries in one call.
+  The base implementation falls back to per-query :meth:`CITester.test`;
+  discrete backends override it to reuse per-table integer-code caches
+  (:meth:`repro.data.table.Table.discrete_codes`), so stratification of a
+  common conditioning set is computed once per table rather than per query.
+* :meth:`CITestLedger.test_batch` adds exact cost accounting on top.  Its
+  invariants: (1) recorded entries are precisely the tests a sequential
+  early-exit loop would have executed — with ``stop_on_independent=True``
+  evaluation stops at the first independent verdict and *never* speculates
+  past it, so ``n_tests`` is identical to the unbatched implementation;
+  (2) memoised results (``cache=True``) are keyed on
+  ``(table.fingerprint, query.key)`` — never on table identity — and a
+  cache hit increments :attr:`CITestLedger.cache_hits` without appending a
+  ledger entry, so cached reuse is visible but does not inflate the
+  paper's test counts.
 """
 
 from __future__ import annotations
@@ -68,6 +92,15 @@ class CIResult:
         return self.independent
 
 
+def as_queries(queries: Iterable[CIQuery | tuple]) -> list[CIQuery]:
+    """Normalise a batch of queries: ``CIQuery`` passes through, tuples of
+    ``(x, y)`` or ``(x, y, z)`` go through :meth:`CIQuery.make`."""
+    out: list[CIQuery] = []
+    for query in queries:
+        out.append(query if isinstance(query, CIQuery) else CIQuery.make(*query))
+    return out
+
+
 class CITester:
     """Base class for CI tests.
 
@@ -88,15 +121,40 @@ class CITester:
              z: Iterable[str] | str = ()) -> CIResult:
         """Test ``X ⊥ Y | Z`` on the given table."""
         query = CIQuery.make(x, y, z)
+        self._check_query(table, query)
+        p_value, statistic = self._test(
+            table.matrix(query.x), table.matrix(query.y),
+            table.matrix(query.z) if query.z else None,
+        )
+        return self._finalize(p_value, statistic, query)
+
+    def test_batch(self, table: Table,
+                   queries: Iterable["CIQuery" | tuple]) -> list[CIResult]:
+        """Evaluate a batch of queries; results align with the input order.
+
+        Equivalent to (and by default implemented as) one :meth:`test` call
+        per query, so results are bitwise identical to the sequential path.
+        Backends override this to share per-table encoded state across the
+        batch.  Cost accounting and early exit live in
+        :meth:`CITestLedger.test_batch`, not here.
+        """
+        return [self.test(table, q.x, q.y, q.z) for q in as_queries(queries)]
+
+    def independent(self, table: Table, x, y, z=()) -> bool:
+        """Boolean convenience wrapper around :meth:`test`."""
+        return self.test(table, x, y, z).independent
+
+    def _check_query(self, table: Table, query: CIQuery) -> None:
+        """Validate a normalised query against the table (shared by backends)."""
         for name in query.x + query.y + query.z:
             if name not in table:
                 raise CITestError(f"unknown column in CI query: {name!r}")
         if table.n_rows < 4:
             raise CITestError(f"too few samples for a CI test: {table.n_rows}")
-        p_value, statistic = self._test(
-            table.matrix(query.x), table.matrix(query.y),
-            table.matrix(query.z) if query.z else None,
-        )
+
+    def _finalize(self, p_value: float, statistic: float,
+                  query: CIQuery) -> CIResult:
+        """Clamp the p-value and threshold the verdict at ``alpha``."""
         p_value = float(min(max(p_value, 0.0), 1.0))
         return CIResult(
             independent=p_value >= self.alpha,
@@ -105,10 +163,6 @@ class CITester:
             query=query,
             method=self.method,
         )
-
-    def independent(self, table: Table, x, y, z=()) -> bool:
-        """Boolean convenience wrapper around :meth:`test`."""
-        return self.test(table, x, y, z).independent
 
     def _test(self, x: np.ndarray, y: np.ndarray,
               z: np.ndarray | None) -> tuple[float, float]:
@@ -140,6 +194,7 @@ class CITestLedger(CITester):
         self.inner = inner
         self.method = f"ledger({inner.method})"
         self.entries: list[LedgerEntry] = []
+        self.cache_hits = 0
         self._cache_enabled = cache
         self._cache: dict[tuple, CIResult] = {}
 
@@ -157,18 +212,91 @@ class CITestLedger(CITester):
         """Clear the ledger (and cache)."""
         self.entries.clear()
         self._cache.clear()
+        self.cache_hits = 0
+
+    def _cache_key(self, table: Table | None, query: CIQuery) -> tuple:
+        # Keyed on content, not identity: a rebuilt table with the same data
+        # hits, a same-shaped table with different data never does.
+        fingerprint = table.fingerprint if table is not None else None
+        return (fingerprint, query.key)
 
     def test(self, table: Table, x, y, z=()) -> CIResult:
         query = CIQuery.make(x, y, z)
-        if self._cache_enabled and query.key in self._cache:
-            return self._cache[query.key]
+        if self._cache_enabled:
+            key = self._cache_key(table, query)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
         start = time.perf_counter()
         result = self.inner.test(table, x, y, z)
         elapsed = time.perf_counter() - start
         self.entries.append(LedgerEntry(query, result, elapsed))
         if self._cache_enabled:
-            self._cache[query.key] = result
+            self._cache[key] = result
         return result
+
+    def test_batch(self, table: Table, queries: Iterable[CIQuery | tuple],
+                   stop_on_independent: bool = False
+                   ) -> list[CIResult | None]:
+        """Batched testing with exact sequential cost accounting.
+
+        With ``stop_on_independent=True`` queries are consumed lazily, in
+        order, and evaluation stops at the first independent verdict (the
+        phase-1 ``∃ A' ⊆ A`` pattern); the returned list holds only the
+        evaluated prefix.  No test beyond the stopping point is ever
+        executed — not even speculatively — so ``n_tests`` matches a
+        sequential loop exactly, including for any inner ledgers the caller
+        may have injected.  Without early exit the result list aligns with
+        the input and the cache-missing remainder is submitted to the inner
+        tester as one batch, sharing encoded state across queries.
+        """
+        if stop_on_independent:
+            prefix: list[CIResult] = []
+            for query in queries:
+                if not isinstance(query, CIQuery):
+                    query = CIQuery.make(*query)
+                result = self.test(table, query.x, query.y, query.z)
+                prefix.append(result)
+                if result.independent:
+                    break
+            return prefix
+
+        normalised = as_queries(queries)
+        results: list[CIResult | None] = [None] * len(normalised)
+        misses: list[int] = []
+        duplicate_of: dict[int, int] = {}
+        if self._cache_enabled:
+            first_by_key: dict[tuple, int] = {}
+            for i, query in enumerate(normalised):
+                key = self._cache_key(table, query)
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self.cache_hits += 1
+                    results[i] = cached
+                elif key in first_by_key:
+                    # A key-duplicate within the batch: sequentially it
+                    # would hit the cache once the first occurrence ran.
+                    duplicate_of[i] = first_by_key[key]
+                else:
+                    first_by_key[key] = i
+                    misses.append(i)
+        else:
+            misses = list(range(len(normalised)))
+        if misses:
+            start = time.perf_counter()
+            executed = self.inner.test_batch(
+                table, [normalised[i] for i in misses])
+            per_test = (time.perf_counter() - start) / len(misses)
+            for i, result in zip(misses, executed):
+                results[i] = result
+                self.entries.append(LedgerEntry(normalised[i], result, per_test))
+                if self._cache_enabled:
+                    self._cache[self._cache_key(table, normalised[i])] = result
+        for i, source in duplicate_of.items():
+            results[i] = results[source]
+            self.cache_hits += 1
+        return results
 
     def counts_by_conditioning_size(self) -> dict[int, int]:
         """Histogram of tests by |Z| (used for the Figure 3b analysis)."""

@@ -8,67 +8,182 @@ is asymptotically chi-squared with ``sum_z (|X|_z - 1)(|Y|_z - 1)`` degrees
 of freedom.  Multi-column X (group testing!) is handled by encoding the
 joint of the columns as a single variable, which is exactly the set-valued
 CI semantics the graphoid axioms reason about.
+
+The kernels are fully vectorised: (x, y, z) level codes are fused into one
+flat index and *all* strata are counted in a single :func:`numpy.bincount`
+pass over an ``(n_z, n_x, n_y)`` tensor — there is no Python loop over
+strata.  Queries against a :class:`~repro.data.table.Table` additionally
+reuse its :meth:`~repro.data.table.Table.discrete_codes` cache, so a batch
+of queries sharing a conditioning set encodes the stratification once.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 from scipy import stats
 
-from repro.ci.base import CITester, encode_rows
+from repro.ci.base import CIQuery, CIResult, CITester, as_queries, encode_rows
+from repro.data.table import Table
 from repro.exceptions import CITestError
+
+
+def _dense_codes(matrix: np.ndarray) -> tuple[np.ndarray, int]:
+    """Dense integer codes (and level count) of a rounded discrete matrix."""
+    codes = encode_rows(np.round(matrix).astype(np.int64))
+    n_levels = int(codes.max()) + 1 if codes.size else 0
+    return codes, n_levels
+
+
+def fused_counts(x_codes: np.ndarray, n_x: int, y_codes: np.ndarray, n_y: int,
+                 z_codes: np.ndarray, n_z: int) -> np.ndarray:
+    """Count tensor ``N[z, x, y]`` from one fused bincount pass."""
+    flat = (z_codes * n_x + x_codes) * n_y + y_codes
+    counts = np.bincount(flat, minlength=n_z * n_x * n_y)
+    return counts.reshape(n_z, n_x, n_y).astype(np.float64)
+
+
+# Cell budget for the dense (n_z, n_x, n_y) tensor.  High-cardinality group
+# queries (GrpSel can test dozens of features jointly) would otherwise
+# allocate gigabytes; past the budget we fall back to a per-stratum loop
+# with the seed implementation's O(levels-per-stratum) memory profile.
+MAX_DENSE_CELLS = 2_000_000
 
 
 class GTestCI(CITester):
     """Likelihood-ratio G-test for discrete data.
 
     ``min_expected`` guards the asymptotic approximation: strata whose
-    expected counts fall below it contribute no degrees of freedom rather
-    than a misleading statistic.
+    minimum *expected* cell count (over the levels present in the stratum)
+    falls below it contribute no degrees of freedom rather than a
+    misleading statistic.  ``min_count`` is a deprecated alias kept for
+    backwards compatibility — earlier releases thresholded the raw stratum
+    size instead of the documented expected counts.
     """
 
     method = "g-test"
 
-    def __init__(self, alpha: float = 0.01, min_count: int = 0) -> None:
+    def __init__(self, alpha: float = 0.01, *, min_expected: float = 0.0,
+                 min_count: int | None = None) -> None:
+        # Keyword-only: the second positional slot used to be the raw-size
+        # min_count guard, whose semantics this class no longer implements.
         super().__init__(alpha=alpha)
-        if min_count < 0:
-            raise CITestError(f"min_count must be >= 0, got {min_count}")
-        self.min_count = min_count
+        if min_count is not None:
+            warnings.warn(
+                "min_count is deprecated; use min_expected (expected-count "
+                "guard) instead", DeprecationWarning, stacklevel=2)
+            min_expected = float(min_count)
+        if min_expected < 0:
+            raise CITestError(f"min_expected must be >= 0, got {min_expected}")
+        self.min_expected = float(min_expected)
+
+    @property
+    def min_count(self) -> float:
+        """Deprecated alias of :attr:`min_expected`."""
+        return self.min_expected
+
+    # -- public API ---------------------------------------------------------
+
+    def test(self, table: Table, x, y, z=()) -> CIResult:
+        query = CIQuery.make(x, y, z)
+        self._check_query(table, query)
+        p_value, statistic = self._test_query(table, query)
+        return self._finalize(p_value, statistic, query)
+
+    def test_batch(self, table: Table, queries) -> list[CIResult]:
+        """Batched evaluation over the table's shared code caches.
+
+        Stratification (the Z encoding) is computed at most once per
+        distinct conditioning set in the batch; each query then costs one
+        fused bincount.  Results are bitwise identical to :meth:`test`.
+        """
+        normalised = as_queries(queries)
+        for query in normalised:
+            self._check_query(table, query)
+        return [self._finalize(*self._test_query(table, query), query)
+                for query in normalised]
+
+    # -- kernels ------------------------------------------------------------
+
+    def _test_query(self, table: Table, query: CIQuery) -> tuple[float, float]:
+        """Evaluate one query through the table's integer-code cache."""
+        x_codes, n_x = table.discrete_codes(query.x)
+        y_codes, n_y = table.discrete_codes(query.y)
+        z_codes, n_z = table.discrete_codes(query.z)
+        return self._from_codes(x_codes, n_x, y_codes, n_y, z_codes, n_z)
 
     def _test(self, x: np.ndarray, y: np.ndarray,
               z: np.ndarray | None) -> tuple[float, float]:
-        x_codes = encode_rows(np.round(x).astype(np.int64))
-        y_codes = encode_rows(np.round(y).astype(np.int64))
-        z_codes = (encode_rows(np.round(z).astype(np.int64))
-                   if z is not None else np.zeros_like(x_codes))
+        """Matrix-based path (same kernel, for table-free callers)."""
+        x_codes, n_x = _dense_codes(x)
+        y_codes, n_y = _dense_codes(y)
+        if z is not None:
+            z_codes, n_z = _dense_codes(z)
+        else:
+            z_codes, n_z = np.zeros_like(x_codes), 1
+        return self._from_codes(x_codes, n_x, y_codes, n_y, z_codes, n_z)
 
-        statistic = 0.0
-        dof = 0
-        for stratum in np.unique(z_codes):
-            mask = z_codes == stratum
-            if int(mask.sum()) <= self.min_count:
-                continue
-            xs = x_codes[mask]
-            ys = y_codes[mask]
-            x_vals, x_idx = np.unique(xs, return_inverse=True)
-            y_vals, y_idx = np.unique(ys, return_inverse=True)
-            if x_vals.size < 2 or y_vals.size < 2:
-                continue
-            counts = np.zeros((x_vals.size, y_vals.size))
-            np.add.at(counts, (x_idx, y_idx), 1)
-            total = counts.sum()
-            expected = np.outer(counts.sum(axis=1), counts.sum(axis=0)) / total
-            observed = counts
-            with np.errstate(divide="ignore", invalid="ignore"):
-                terms = np.where(observed > 0,
-                                 observed * np.log(observed / expected), 0.0)
-            statistic += 2.0 * terms.sum()
-            dof += (x_vals.size - 1) * (y_vals.size - 1)
+    def _from_codes(self, x_codes: np.ndarray, n_x: int, y_codes: np.ndarray,
+                    n_y: int, z_codes: np.ndarray, n_z: int
+                    ) -> tuple[float, float]:
+        if n_z * n_x * n_y <= MAX_DENSE_CELLS:
+            statistic, dof = self._stat_dof(
+                fused_counts(x_codes, n_x, y_codes, n_y, z_codes, n_z))
+        else:
+            statistic, dof = self._stat_dof_stratified(x_codes, y_codes,
+                                                       z_codes, n_z)
         if dof == 0:
             # Degenerate strata everywhere: no evidence against independence.
             return 1.0, 0.0
-        p_value = float(stats.chi2.sf(statistic, dof))
-        return p_value, statistic
+        return float(stats.chi2.sf(statistic, dof)), statistic
+
+    def _stat_dof(self, counts: np.ndarray) -> tuple[float, int]:
+        """``(statistic, dof)`` from an ``(n_z, n_x, n_y)`` count tensor."""
+        n_xz = counts.sum(axis=2)
+        n_yz = counts.sum(axis=1)
+        n_z = n_xz.sum(axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            expected = n_xz[:, :, None] * n_yz[:, None, :] / n_z[:, None, None]
+            cell_terms = self._cell_terms(counts, expected)
+        stat_z = cell_terms.sum(axis=(1, 2))
+        levels_x = (n_xz > 0).sum(axis=1)
+        levels_y = (n_yz > 0).sum(axis=1)
+        valid = (levels_x > 1) & (levels_y > 1)
+        if self.min_expected > 0.0:
+            # Expected counts restricted to the levels present per stratum.
+            support = (n_xz[:, :, None] > 0) & (n_yz[:, None, :] > 0)
+            min_exp = np.where(support, expected, np.inf).min(axis=(1, 2))
+            valid &= min_exp >= self.min_expected
+        dof = int(((levels_x - 1) * (levels_y - 1))[valid].sum())
+        statistic = float(stat_z[valid].sum())
+        return statistic, dof
+
+    def _stat_dof_stratified(self, x_codes: np.ndarray, y_codes: np.ndarray,
+                             z_codes: np.ndarray, n_z: int
+                             ) -> tuple[float, int]:
+        """Per-stratum accumulation: one small contingency table at a time."""
+        order = np.argsort(z_codes, kind="stable")
+        bounds = np.searchsorted(z_codes[order], np.arange(n_z + 1))
+        statistic = 0.0
+        dof = 0
+        for stratum in range(n_z):
+            rows = order[bounds[stratum]:bounds[stratum + 1]]
+            if rows.size == 0:
+                continue
+            _, x_idx = np.unique(x_codes[rows], return_inverse=True)
+            _, y_idx = np.unique(y_codes[rows], return_inverse=True)
+            counts = np.zeros((1, int(x_idx.max()) + 1, int(y_idx.max()) + 1))
+            np.add.at(counts[0], (x_idx, y_idx), 1)
+            stat_s, dof_s = self._stat_dof(counts)
+            statistic += stat_s
+            dof += dof_s
+        return statistic, dof
+
+    def _cell_terms(self, counts: np.ndarray,
+                    expected: np.ndarray) -> np.ndarray:
+        return np.where(counts > 0,
+                        2.0 * counts * np.log(counts / expected), 0.0)
 
 
 class ChiSquaredCI(GTestCI):
@@ -76,30 +191,6 @@ class ChiSquaredCI(GTestCI):
 
     method = "chi2"
 
-    def _test(self, x, y, z):
-        x_codes = encode_rows(np.round(x).astype(np.int64))
-        y_codes = encode_rows(np.round(y).astype(np.int64))
-        z_codes = (encode_rows(np.round(z).astype(np.int64))
-                   if z is not None else np.zeros_like(x_codes))
-        statistic = 0.0
-        dof = 0
-        for stratum in np.unique(z_codes):
-            mask = z_codes == stratum
-            if int(mask.sum()) <= self.min_count:
-                continue
-            xs, ys = x_codes[mask], y_codes[mask]
-            x_vals, x_idx = np.unique(xs, return_inverse=True)
-            y_vals, y_idx = np.unique(ys, return_inverse=True)
-            if x_vals.size < 2 or y_vals.size < 2:
-                continue
-            counts = np.zeros((x_vals.size, y_vals.size))
-            np.add.at(counts, (x_idx, y_idx), 1)
-            expected = np.outer(counts.sum(axis=1), counts.sum(axis=0)) / counts.sum()
-            with np.errstate(divide="ignore", invalid="ignore"):
-                contrib = np.where(expected > 0,
-                                   (counts - expected) ** 2 / expected, 0.0)
-            statistic += contrib.sum()
-            dof += (x_vals.size - 1) * (y_vals.size - 1)
-        if dof == 0:
-            return 1.0, 0.0
-        return float(stats.chi2.sf(statistic, dof)), statistic
+    def _cell_terms(self, counts: np.ndarray,
+                    expected: np.ndarray) -> np.ndarray:
+        return np.where(expected > 0, (counts - expected) ** 2 / expected, 0.0)

@@ -40,7 +40,9 @@ class GrpSel:
                  min_group: int = 1) -> None:
         if min_group < 1:
             raise ValueError(f"min_group must be >= 1, got {min_group}")
-        self.tester = tester if tester is not None else RCIT(seed=0)
+        # The default tester inherits ``seed`` so a fixed-seed run pins the
+        # partition order *and* the test's random features.
+        self.tester = tester if tester is not None else RCIT(seed=seed)
         self.subset_strategy = subset_strategy or ExhaustiveSubsets()
         self.shuffle = shuffle
         self.min_group = min_group
@@ -102,11 +104,11 @@ class GrpSel:
     def _group_independent_of_s(self, ledger: CITestLedger,
                                 problem: FairFeatureSelectionProblem,
                                 group: Sequence[str]) -> bool:
-        for subset in self.subset_strategy.subsets(problem.admissible):
-            if ledger.independent(problem.table, list(group),
-                                  problem.sensitive, list(subset)):
-                return True
-        return False
+        queries = self.subset_strategy.phase1_queries(
+            group, problem.sensitive, problem.admissible)
+        verdicts = ledger.test_batch(problem.table, queries,
+                                     stop_on_independent=True)
+        return bool(verdicts) and verdicts[-1].independent
 
     # -- Algorithm 4 --------------------------------------------------------
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
-from repro.ci.base import CITestLedger, CITester
+from repro.ci.base import CIQuery, CITestLedger, CITester
 from repro.ci.rcit import RCIT
 from repro.core.problem import FairFeatureSelectionProblem
 from repro.core.result import Reason, SelectionResult
@@ -117,10 +117,13 @@ class OnlineSelector:
         self._c2 = [] if c1_grew else self._c2
 
         conditioning = list(problem.admissible) + list(self._c1)
-        for feature in phase2_queue + retry + revalidate:
-            others = [c for c in conditioning if c != feature]
-            if self._ledger.independent(problem.table, feature,
-                                        problem.target, others):
+        phase2 = phase2_queue + retry + revalidate
+        queries = [CIQuery.make(feature, problem.target,
+                                [c for c in conditioning if c != feature])
+                   for feature in phase2]
+        verdicts = self._ledger.test_batch(problem.table, queries)
+        for feature, verdict in zip(phase2, verdicts):
+            if verdict.independent:
                 self._c2.append(feature)
             else:
                 self._rejected.append(feature)
@@ -131,8 +134,8 @@ class OnlineSelector:
 
     def _phase1_admits(self, problem: FairFeatureSelectionProblem,
                        feature: str) -> bool:
-        for subset in self.subset_strategy.subsets(problem.admissible):
-            if self._ledger.independent(problem.table, feature,
-                                        problem.sensitive, list(subset)):
-                return True
-        return False
+        queries = self.subset_strategy.phase1_queries(
+            feature, problem.sensitive, problem.admissible)
+        verdicts = self._ledger.test_batch(problem.table, queries,
+                                           stop_on_independent=True)
+        return bool(verdicts) and verdicts[-1].independent

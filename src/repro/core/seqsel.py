@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 
-from repro.ci.base import CITestLedger, CITester
+from repro.ci.base import CIQuery, CITestLedger, CITester
 from repro.ci.rcit import RCIT
 from repro.core.problem import FairFeatureSelectionProblem
 from repro.core.result import Reason, SelectionResult
@@ -56,11 +56,14 @@ class SeqSel:
             else:
                 remaining.append(candidate)
 
-        # Phase 2: C2 = {X in X \ C1 : X ⊥ Y | A ∪ C1}.
+        # Phase 2: C2 = {X in X \ C1 : X ⊥ Y | A ∪ C1}.  Every candidate
+        # shares the conditioning set, so the whole phase is one batch.
         conditioning = list(problem.admissible) + list(result.c1)
-        for candidate in remaining:
-            if ledger.independent(problem.table, candidate, problem.target,
-                                  conditioning):
+        phase2 = [CIQuery.make(candidate, problem.target, conditioning)
+                  for candidate in remaining]
+        verdicts = ledger.test_batch(problem.table, phase2)
+        for candidate, verdict in zip(remaining, verdicts):
+            if verdict.independent:
                 result.c2.append(candidate)
                 result.reasons[candidate] = Reason.PHASE2_IRRELEVANT
             else:
@@ -74,8 +77,8 @@ class SeqSel:
     def _phase1_admits(self, ledger: CITestLedger,
                        problem: FairFeatureSelectionProblem,
                        candidate: str) -> bool:
-        for subset in self.subset_strategy.subsets(problem.admissible):
-            if ledger.independent(problem.table, candidate,
-                                  problem.sensitive, list(subset)):
-                return True
-        return False
+        queries = self.subset_strategy.phase1_queries(
+            candidate, problem.sensitive, problem.admissible)
+        verdicts = ledger.test_batch(problem.table, queries,
+                                     stop_on_independent=True)
+        return bool(verdicts) and verdicts[-1].independent

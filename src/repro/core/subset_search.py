@@ -20,6 +20,8 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Iterator, Sequence
 
+from repro.ci.base import CIQuery
+
 
 class SubsetStrategy:
     """Enumerate conditioning subsets of the admissible set."""
@@ -32,6 +34,21 @@ class SubsetStrategy:
     def max_tests(self, n_admissible: int) -> int:
         """Upper bound on subsets enumerated (for complexity accounting)."""
         raise NotImplementedError
+
+    def phase1_queries(self, group: Sequence[str] | str,
+                       sensitive: Sequence[str],
+                       admissible: Sequence[str]) -> Iterator[CIQuery]:
+        """Lazily yield the phase-1 batch ``group ⊥ S | A'`` over all subsets.
+
+        Callers submit the stream to
+        :meth:`~repro.ci.base.CITestLedger.test_batch` with
+        ``stop_on_independent=True``, which consumes it lazily and preserves
+        the sequential first-independent-verdict-wins semantics (and test
+        counts) exactly — queries past the stopping point are never built.
+        """
+        group_names = [group] if isinstance(group, str) else list(group)
+        for subset in self.subsets(admissible):
+            yield CIQuery.make(group_names, list(sensitive), list(subset))
 
 
 class ExhaustiveSubsets(SubsetStrategy):

@@ -8,10 +8,18 @@ and train/test splitting.
 
 Columns are stored as 1-D :class:`numpy.ndarray`; the table never aliases
 caller arrays on construction (it copies) so instances behave as values.
+
+Because instances behave as values (every relational operation returns a
+new table), each table also carries lazy per-instance caches used by the CI
+engine: a content :attr:`fingerprint`, per-column float conversions
+(:meth:`float_column`), and joint integer codes for discrete queries
+(:meth:`discrete_codes`).  The caches are valid as long as callers respect
+the documented no-mutation contract on :meth:`__getitem__` views.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -83,6 +91,11 @@ class Table:
                 raise SchemaError(f"schema/column mismatch on: {sorted(missing)}")
         self.schema = schema
 
+        # Lazy caches for the CI engine (see module docstring).
+        self._fingerprint: str | None = None
+        self._float_cols: dict[str, np.ndarray] = {}
+        self._codes_cache: dict[tuple[str, ...], tuple[np.ndarray, int]] = {}
+
     # -- basic accessors --------------------------------------------------
 
     @property
@@ -121,7 +134,103 @@ class Table:
         use = list(names) if names is not None else self.columns
         if not use:
             return np.empty((self._n_rows, 0))
-        return np.column_stack([np.asarray(self[n], dtype=float) for n in use])
+        return np.column_stack([self.float_column(n) for n in use])
+
+    # -- CI-engine caches --------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the table (column names, dtypes, and values).
+
+        Two tables with identical columns share a fingerprint, which is what
+        lets CI caches key results on ``(fingerprint, query)`` and survive
+        table re-construction while never serving stale answers for a table
+        with different data.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            for name in self.columns:
+                arr = self._data[name]
+                digest.update(name.encode())
+                digest.update(str(arr.dtype).encode())
+                if arr.dtype.kind == "O":
+                    digest.update(repr(arr.tolist()).encode())
+                else:
+                    digest.update(np.ascontiguousarray(arr).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def float_column(self, name: str) -> np.ndarray:
+        """Cached read-only float conversion of one column."""
+        cached = self._float_cols.get(name)
+        if cached is None:
+            cached = np.asarray(self[name], dtype=float)
+            if cached is self._data[name]:
+                # Already float64: copy before freezing, so the read-only
+                # flag never leaks onto the table's own storage.
+                cached = cached.copy()
+            cached.setflags(write=False)
+            self._float_cols[name] = cached
+        return cached
+
+    def discrete_codes(self, names: Sequence[str] | str) -> tuple[np.ndarray, int]:
+        """Dense integer codes of the joint of rounded columns (cached).
+
+        Returns ``(codes, n_levels)`` where ``codes`` is a read-only int64
+        array with values in ``[0, n_levels)``.  Columns are viewed through
+        ``round(float(column))`` — the discrete testers' view of the data —
+        and a multi-column request encodes the *joint* level of the tuple,
+        labelled in lexicographic order of the per-column levels (identical
+        to :func:`repro.ci.base.encode_rows` on the stacked matrix).
+        """
+        key = (names,) if isinstance(names, str) else tuple(names)
+        cached = self._codes_cache.get(key)
+        if cached is not None:
+            return cached
+        if not key or self._n_rows == 0:
+            codes = np.zeros(self._n_rows, dtype=np.int64)
+            n_levels = 1 if self._n_rows else 0
+        elif len(key) == 1:
+            col = np.round(self.float_column(key[0])).astype(np.int64)
+            uniq, inverse = np.unique(col, return_inverse=True)
+            codes = inverse.astype(np.int64)
+            n_levels = int(uniq.size)
+        else:
+            codes, n_levels = self._joint_codes(key)
+        codes.setflags(write=False)
+        self._codes_cache[key] = (codes, n_levels)
+        return codes, n_levels
+
+    def _joint_codes(self, key: tuple[str, ...]) -> tuple[np.ndarray, int]:
+        """Mixed-radix combination of per-column codes, then densified."""
+        combined = np.zeros(self._n_rows, dtype=np.int64)
+        capacity = 1
+        for name in key:
+            col_codes, col_levels = self.discrete_codes(name)
+            capacity *= max(col_levels, 1)
+            if capacity > 2 ** 62:
+                # Radix overflow: fall back to row-wise unique.
+                stacked = np.round(self.matrix(list(key))).astype(np.int64)
+                _, inverse = np.unique(stacked, axis=0, return_inverse=True)
+                combined = inverse.astype(np.int64)
+                break
+            combined = combined * max(col_levels, 1) + col_codes
+        uniq, inverse = np.unique(combined, return_inverse=True)
+        return inverse.astype(np.int64), int(uniq.size)
+
+    def warm_cache(self, names: Iterable[str] | None = None) -> "Table":
+        """Precompute the fingerprint and per-column CI caches; returns self.
+
+        Discrete-kind columns additionally get their integer codes built so
+        a subsequent burst of CI queries starts from shared encoded state.
+        """
+        use = list(names) if names is not None else self.columns
+        _ = self.fingerprint
+        for name in use:
+            self.float_column(name)
+            if self.schema.spec(name).kind.is_discrete:
+                self.discrete_codes(name)
+        return self
 
     # -- relational operations --------------------------------------------
 

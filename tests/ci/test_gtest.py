@@ -75,3 +75,57 @@ class TestCalibration:
         stat_strong = tester.test(strong, "proxy", "s").statistic
         stat_weak = tester.test(weak, "proxy", "s").statistic
         assert stat_strong > stat_weak
+
+
+class TestMinExpectedGuard:
+    """The documented expected-count guard (regression for the old raw-size
+    ``min_count`` threshold)."""
+
+    def sparse_table(self):
+        # One big balanced stratum plus one tiny sparse stratum whose
+        # expected counts are far below 5.
+        x = np.array([0, 0, 1, 1] * 50 + [0, 1, 1, 1, 1])
+        y = np.array([0, 1, 0, 1] * 50 + [1, 0, 1, 1, 1])
+        z = np.array([0] * 200 + [1] * 5)
+        return Table({"x": x, "y": y, "z": z})
+
+    def test_sparse_stratum_contributes_no_dof(self):
+        t = self.sparse_table()
+        unguarded = GTestCI().test(t, "x", "y", ["z"])
+        guarded = GTestCI(min_expected=5.0).test(t, "x", "y", ["z"])
+        # The tiny stratum's misleading contribution is dropped: the guarded
+        # statistic is exactly the big stratum's (here 0: x, y balanced).
+        assert guarded.statistic < unguarded.statistic
+        assert guarded.statistic == pytest.approx(0.0)
+        assert guarded.p_value == pytest.approx(1.0)
+
+    def test_guard_applies_to_expected_not_raw_size(self):
+        # A large-but-skewed stratum can still fail the expected-count
+        # guard even though its raw size is big.
+        rng = np.random.default_rng(0)
+        n = 400
+        x = (rng.random(n) < 0.02).astype(int)  # rare level: tiny expecteds
+        y = (rng.random(n) < 0.5).astype(int)
+        t = Table({"x": x, "y": y})
+        guarded = GTestCI(min_expected=5.0).test(t, "x", "y")
+        assert guarded.p_value == 1.0 and guarded.statistic == 0.0
+
+    def test_min_count_deprecated_alias(self):
+        with pytest.warns(DeprecationWarning, match="min_count"):
+            tester = GTestCI(min_count=5)
+        assert tester.min_expected == 5.0
+        assert tester.min_count == 5.0
+        t = self.sparse_table()
+        modern = GTestCI(min_expected=5.0).test(t, "x", "y", ["z"])
+        legacy = tester.test(t, "x", "y", ["z"])
+        assert legacy.p_value == modern.p_value
+
+    def test_negative_min_expected_rejected(self):
+        from repro.exceptions import CITestError
+        with pytest.raises(CITestError):
+            GTestCI(min_expected=-1.0)
+
+    def test_all_strata_guarded_returns_independent(self):
+        t = self.sparse_table()
+        result = ChiSquaredCI(min_expected=1e6).test(t, "x", "y", ["z"])
+        assert result.independent and result.p_value == 1.0

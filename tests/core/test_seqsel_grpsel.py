@@ -135,6 +135,32 @@ class TestEdgeCases:
         with pytest.raises(ValueError):
             GrpSel(min_group=0)
 
+    def test_grpsel_default_tester_inherits_seed(self):
+        """Regression: the default RCIT used to hardcode seed=0, so
+        fixed-seed runs were not fully reproducible."""
+        assert GrpSel(seed=7).tester._seed == 7
+        assert GrpSel().tester._seed == 0
+
+    def test_grpsel_default_tester_reproducible(self):
+        rng = np.random.default_rng(4)
+        from repro.data.schema import Role
+        from repro.data.table import Table
+        n = 300
+        s = (rng.random(n) < 0.5).astype(int)
+        a = np.where(rng.random(n) < 0.8, s, 1 - s)
+        y = np.where(rng.random(n) < 0.8, a, 1 - a)
+        f1, f2 = rng.normal(size=n), rng.normal(size=n) + y
+        problem = FairFeatureSelectionProblem(
+            table=Table({"s": s, "a": a, "y": y, "f1": f1, "f2": f2},
+                        roles={"s": Role.SENSITIVE, "a": Role.ADMISSIBLE,
+                               "y": Role.TARGET}),
+            sensitive=["s"], admissible=["a"], candidates=["f1", "f2"],
+            target="y")
+        r1 = GrpSel(seed=3).select(problem)
+        r2 = GrpSel(seed=3).select(problem)
+        assert r1.selected == r2.selected
+        assert r1.n_ci_tests == r2.n_ci_tests
+
     def test_grpsel_min_group_fallback_matches_default(self):
         """Early-stop splitting with per-feature fallback selects the same
         set as full recursive splitting (only the test counts differ)."""

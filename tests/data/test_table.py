@@ -188,3 +188,92 @@ class TestEquality:
         t = make_table()
         t2 = Table(t.to_dict(), schema=t.schema)
         assert t.equals(t2)
+
+
+class TestCIEngineCaches:
+    def test_fingerprint_content_addressed(self):
+        assert make_table().fingerprint == make_table().fingerprint
+
+    def test_fingerprint_differs_on_data(self):
+        t = make_table()
+        t2 = t.with_column("x", np.zeros(t.n_rows))
+        assert t.fingerprint != t2.fingerprint
+
+    def test_fingerprint_differs_on_names(self):
+        t = Table({"a": np.arange(4)})
+        t2 = Table({"b": np.arange(4)})
+        assert t.fingerprint != t2.fingerprint
+
+    def test_fingerprint_cached(self):
+        t = make_table()
+        assert t.fingerprint is t.fingerprint
+
+    def test_float_column_cached_and_readonly(self):
+        t = make_table()
+        col = t.float_column("s")
+        assert col is t.float_column("s")
+        assert col.dtype == float
+        with pytest.raises(ValueError):
+            col[0] = 99.0
+
+    def test_matrix_unaffected_by_cache(self):
+        t = make_table()
+        m1 = t.matrix(["s", "y"])
+        m1[0, 0] = 42.0  # fresh writable copy, caches untouched
+        m2 = t.matrix(["s", "y"])
+        assert m2[0, 0] != 42.0
+
+    def test_discrete_codes_single_column(self):
+        t = Table({"a": np.array([5, 3, 5, 7])})
+        codes, n_levels = t.discrete_codes("a")
+        np.testing.assert_array_equal(codes, [1, 0, 1, 2])
+        assert n_levels == 3
+
+    def test_discrete_codes_rounds_floats(self):
+        t = Table({"a": np.array([0.9, 1.1, 2.0])})
+        codes, n_levels = t.discrete_codes("a")
+        np.testing.assert_array_equal(codes, [0, 0, 1])
+        assert n_levels == 2
+
+    def test_discrete_codes_joint_matches_encode_rows(self):
+        from repro.ci.base import encode_rows
+
+        rng = np.random.default_rng(0)
+        t = Table({"a": rng.integers(0, 3, 50), "b": rng.integers(0, 4, 50),
+                   "c": rng.integers(0, 2, 50)})
+        codes, n_levels = t.discrete_codes(("a", "b", "c"))
+        expected = encode_rows(np.round(t.matrix(["a", "b", "c"])).astype(np.int64))
+        np.testing.assert_array_equal(codes, expected)
+        assert n_levels == len(np.unique(expected))
+
+    def test_discrete_codes_empty_names(self):
+        t = make_table()
+        codes, n_levels = t.discrete_codes(())
+        assert (codes == 0).all() and n_levels == 1
+
+    def test_discrete_codes_cached(self):
+        t = make_table()
+        c1, _ = t.discrete_codes(("s", "y"))
+        c2, _ = t.discrete_codes(("s", "y"))
+        assert c1 is c2
+
+    def test_warm_cache_returns_self(self):
+        t = make_table()
+        assert t.warm_cache() is t
+        assert t._fingerprint is not None
+
+    def test_new_table_gets_fresh_caches(self):
+        t = make_table()
+        t.warm_cache()
+        t2 = t.take(np.arange(5))
+        assert t2._fingerprint is None
+        assert t2.fingerprint != t.fingerprint
+
+    def test_float_column_does_not_freeze_table_storage(self):
+        """Regression: caching a float64 column used to alias the stored
+        array and flip it read-only."""
+        t = Table({"a": np.array([1.0, 2.0, 3.0, 4.0])})
+        frozen = t.float_column("a")
+        assert frozen.flags.writeable is False
+        assert t["a"].flags.writeable is True
+        t["a"][0] = 9.0  # documented-as-discouraged, but must not raise
