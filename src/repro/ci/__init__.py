@@ -3,11 +3,14 @@
 from repro.ci.base import CIQuery, CIResult, CITestLedger, CITester, LedgerEntry
 from repro.ci.adaptive import AdaptiveCI
 from repro.ci.cmi import ClassifierCMI, discrete_cmi, knn_cmi
+from repro.ci.executor import (BatchExecutor, SerialExecutor,
+                               ThreadedExecutor, executor_by_name)
 from repro.ci.fisher_z import FisherZCI, partial_correlation
 from repro.ci.gtest import ChiSquaredCI, GTestCI
 from repro.ci.oracle import GraphoidOracleBackend, OracleCI
 from repro.ci.permutation import PermutationCI
 from repro.ci.rcit import RCIT, RIT, median_bandwidth, random_fourier_features
+from repro.ci.store import PersistentCICache
 
 __all__ = [
     "CIQuery",
@@ -16,6 +19,11 @@ __all__ = [
     "CITester",
     "LedgerEntry",
     "AdaptiveCI",
+    "BatchExecutor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "executor_by_name",
+    "PersistentCICache",
     "ClassifierCMI",
     "discrete_cmi",
     "knn_cmi",

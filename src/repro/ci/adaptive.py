@@ -15,6 +15,7 @@ internals (a raw ``KeyError`` from the schema lookup, historically).
 from __future__ import annotations
 
 from repro.ci.base import CIQuery, CIResult, CITester, as_queries
+from repro.ci.executor import BatchExecutor
 from repro.ci.gtest import GTestCI
 from repro.ci.rcit import RCIT
 from repro.data.table import Table
@@ -22,16 +23,31 @@ from repro.rng import SeedLike
 
 
 class AdaptiveCI(CITester):
-    """Dispatch to a discrete or kernel test by the queried columns' kinds."""
+    """Dispatch to a discrete or kernel test by the queried columns' kinds.
+
+    ``executor`` (optional) shards the *continuous* backend's sub-batch —
+    the wall-clock-dominant part of a mixed workload, since RCIT runs a
+    ridge solve per query while the discrete backend fuses its whole
+    sub-batch into a few counting passes.  The discrete sub-batch always
+    runs in the calling thread to keep that fusion intact.
+    """
 
     method = "adaptive"
 
     def __init__(self, alpha: float = 0.01, seed: SeedLike = None,
                  discrete: CITester | None = None,
-                 continuous: CITester | None = None) -> None:
+                 continuous: CITester | None = None,
+                 executor: BatchExecutor | None = None) -> None:
         super().__init__(alpha=alpha)
         self.discrete = discrete or GTestCI(alpha=alpha)
         self.continuous = continuous or RCIT(alpha=alpha, seed=seed)
+        self.executor = executor
+
+    def cache_token(self) -> tuple:
+        return (("discrete", self.discrete.method, self.discrete.alpha)
+                + self.discrete.cache_token(),
+                ("continuous", self.continuous.method, self.continuous.alpha)
+                + self.continuous.cache_token())
 
     def _backend_for(self, table: Table, query: CIQuery) -> CITester:
         all_discrete = all(
@@ -68,7 +84,11 @@ class AdaptiveCI(CITester):
             by_backend.setdefault(id(backend), (backend, []))[1].append(i)
         results: list[CIResult | None] = [None] * len(normalised)
         for backend, indices in by_backend.values():
-            batch = backend.test_batch(table, [normalised[i] for i in indices])
+            subqueries = [normalised[i] for i in indices]
+            if self.executor is not None and backend is self.continuous:
+                batch = self.executor.run(backend, table, subqueries)
+            else:
+                batch = backend.test_batch(table, subqueries)
             for i, result in zip(indices, batch):
                 results[i] = self._relabel(result)
         return results

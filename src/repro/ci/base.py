@@ -32,16 +32,33 @@ turn those bursts into batch-oriented evaluation over shared encoded state:
   cache hit increments :attr:`CITestLedger.cache_hits` without appending a
   ledger entry, so cached reuse is visible but does not inflate the
   paper's test counts.
+
+Two further layers are pluggable on the ledger:
+
+* ``cache`` also accepts a :class:`~repro.ci.store.PersistentCICache`
+  (or a path, which constructs one): results are then additionally keyed
+  on ``(inner.method, inner.alpha)`` and survive across processes, so a
+  warm harness rerun re-executes nothing.  Persistent hits obey the same
+  invariant — ``cache_hits``, never ledger entries.
+* ``executor`` (default :class:`~repro.ci.executor.SerialExecutor`)
+  decides how the cache-miss remainder of a batch is evaluated;
+  :class:`~repro.ci.executor.ThreadedExecutor` shards it across a thread
+  pool, which pays off for continuous-backend (RCIT) batches.  Executors
+  only ever see queries the ledger already decided to execute, so they
+  cannot change ``n_tests``.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
 
+from repro.ci.executor import BatchExecutor, SerialExecutor
+from repro.ci.store import PersistentCICache
 from repro.data.table import Table
 from repro.exceptions import CITestError
 
@@ -144,6 +161,18 @@ class CITester:
         """Boolean convenience wrapper around :meth:`test`."""
         return self.test(table, x, y, z).independent
 
+    def cache_token(self) -> tuple:
+        """Hashable description of configuration beyond ``(method, alpha)``.
+
+        Persistent cross-run caches key results on
+        ``(fingerprint, query, method, alpha, cache_token)``.  Subclasses
+        whose verdicts depend on further hyperparameters (a seed, a guard
+        threshold, feature budgets) MUST include them here — otherwise a
+        shared store would silently serve verdicts computed under a
+        different configuration.
+        """
+        return ()
+
     def _check_query(self, table: Table, query: CIQuery) -> None:
         """Validate a normalised query against the table (shared by backends)."""
         for name in query.x + query.y + query.z:
@@ -187,16 +216,39 @@ class CITestLedger(CITester):
     ledger.  Optional memoisation (``cache=True``) deduplicates repeated
     queries without inflating the count, mirroring how a practitioner would
     reuse results; the paper's counts are uncached, so the default is off.
+
+    ``cache`` may also be a :class:`~repro.ci.store.PersistentCICache`
+    (or a filesystem path, which opens one): hits are then shared across
+    runs, keyed additionally on the inner tester's ``(method, alpha)``.
+    Only pair a persistent store with deterministic testers (fixed-seed
+    RCIT is fine).  ``executor`` controls how cache-miss batches execute;
+    see :mod:`repro.ci.executor`.
     """
 
-    def __init__(self, inner: CITester, cache: bool = False) -> None:
+    def __init__(self, inner: CITester,
+                 cache: bool | str | os.PathLike | PersistentCICache = False,
+                 executor: BatchExecutor | None = None) -> None:
         super().__init__(alpha=inner.alpha)
         self.inner = inner
         self.method = f"ledger({inner.method})"
         self.entries: list[LedgerEntry] = []
         self.cache_hits = 0
-        self._cache_enabled = cache
+        if isinstance(cache, (str, os.PathLike)):
+            cache = PersistentCICache(cache)
+        self.store: PersistentCICache | None = (
+            cache if isinstance(cache, PersistentCICache) else None)
+        self._cache_enabled = bool(cache) or self.store is not None
         self._cache: dict[tuple, CIResult] = {}
+        self.executor: BatchExecutor = executor or SerialExecutor()
+
+    def cache_token(self) -> tuple:
+        # A ledger is configuration-transparent: forward the wrapped
+        # tester's token so nesting ledgers (Figures 4-5 inject inner
+        # ones) never erases hyperparameters like min_expected or an RCIT
+        # seed from a persistent store's key.  The innermost method/alpha
+        # are already visible — ``method`` is ``ledger(<inner>)`` and
+        # ``alpha`` is copied from the inner tester.
+        return self.inner.cache_token()
 
     @property
     def n_tests(self) -> int:
@@ -209,7 +261,11 @@ class CITestLedger(CITester):
         return sum(e.seconds for e in self.entries)
 
     def reset(self) -> None:
-        """Clear the ledger (and cache)."""
+        """Clear the ledger (and in-memory cache).
+
+        A persistent store attached via ``cache=`` is *not* wiped — it is
+        cross-run state by design; delete its file to invalidate it.
+        """
         self.entries.clear()
         self._cache.clear()
         self.cache_hits = 0
@@ -220,11 +276,49 @@ class CITestLedger(CITester):
         fingerprint = table.fingerprint if table is not None else None
         return (fingerprint, query.key)
 
+    def _cache_get(self, table: Table | None, query: CIQuery) -> CIResult | None:
+        """In-memory lookup, falling back to the persistent store."""
+        key = self._cache_key(table, query)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if self.store is not None and table is not None:
+            record = self.store.get(table.fingerprint, query.key,
+                                    self.inner.method, self.inner.alpha,
+                                    token=self.inner.cache_token())
+            if record is not None:
+                result = CIResult(
+                    independent=record["independent"],
+                    p_value=record["p_value"],
+                    statistic=record["statistic"],
+                    query=query,
+                    method=record["method"],
+                )
+                self._cache[key] = result
+                return result
+        return None
+
+    def _cache_put(self, table: Table | None, query: CIQuery,
+                   result: CIResult) -> None:
+        self._cache[self._cache_key(table, query)] = result
+        if self.store is not None and table is not None:
+            self.store.put(table.fingerprint, query.key, self.inner.method,
+                           self.inner.alpha,
+                           {"independent": result.independent,
+                            "p_value": result.p_value,
+                            "statistic": result.statistic,
+                            "method": result.method},
+                           token=self.inner.cache_token())
+
+    def flush_cache(self) -> None:
+        """Persist pending store writes (no-op without a persistent store)."""
+        if self.store is not None:
+            self.store.save()
+
     def test(self, table: Table, x, y, z=()) -> CIResult:
         query = CIQuery.make(x, y, z)
         if self._cache_enabled:
-            key = self._cache_key(table, query)
-            cached = self._cache.get(key)
+            cached = self._cache_get(table, query)
             if cached is not None:
                 self.cache_hits += 1
                 return cached
@@ -233,7 +327,7 @@ class CITestLedger(CITester):
         elapsed = time.perf_counter() - start
         self.entries.append(LedgerEntry(query, result, elapsed))
         if self._cache_enabled:
-            self._cache[key] = result
+            self._cache_put(table, query, result)
         return result
 
     def test_batch(self, table: Table, queries: Iterable[CIQuery | tuple],
@@ -249,7 +343,8 @@ class CITestLedger(CITester):
         sequential loop exactly, including for any inner ledgers the caller
         may have injected.  Without early exit the result list aligns with
         the input and the cache-missing remainder is submitted to the inner
-        tester as one batch, sharing encoded state across queries.
+        tester as one batch — through the configured executor — sharing
+        encoded state across queries.
         """
         if stop_on_independent:
             prefix: list[CIResult] = []
@@ -270,7 +365,7 @@ class CITestLedger(CITester):
             first_by_key: dict[tuple, int] = {}
             for i, query in enumerate(normalised):
                 key = self._cache_key(table, query)
-                cached = self._cache.get(key)
+                cached = self._cache_get(table, query)
                 if cached is not None:
                     self.cache_hits += 1
                     results[i] = cached
@@ -285,14 +380,14 @@ class CITestLedger(CITester):
             misses = list(range(len(normalised)))
         if misses:
             start = time.perf_counter()
-            executed = self.inner.test_batch(
-                table, [normalised[i] for i in misses])
+            executed = self.executor.run(
+                self.inner, table, [normalised[i] for i in misses])
             per_test = (time.perf_counter() - start) / len(misses)
             for i, result in zip(misses, executed):
                 results[i] = result
                 self.entries.append(LedgerEntry(normalised[i], result, per_test))
                 if self._cache_enabled:
-                    self._cache[self._cache_key(table, normalised[i])] = result
+                    self._cache_put(table, normalised[i], result)
         for i, source in duplicate_of.items():
             results[i] = results[source]
             self.cache_hits += 1

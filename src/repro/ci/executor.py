@@ -1,0 +1,110 @@
+"""Pluggable batch executors for the CI engine.
+
+:class:`~repro.ci.base.CITestLedger.test_batch` routes its cache-miss
+remainder through an executor, which decides *how* the inner tester's
+``test_batch`` is invoked:
+
+* :class:`SerialExecutor` (the default) — one call, in the caller's
+  thread.  Preserves whole-batch kernel fusion (the discrete backends fuse
+  same-``(Y, Z)`` queries into one counting pass), so it is the right
+  choice for discrete-dominated workloads.
+* :class:`ThreadedExecutor` — shards the batch into contiguous runs and
+  evaluates the shards on a thread pool.  Worthwhile for
+  continuous-backend batches (RCIT/KCIT spend their time in BLAS kernels,
+  which release the GIL), where per-query wall clock dominates and fusion
+  across queries buys nothing.  Sharding splits a discrete backend's
+  fusion groups at shard boundaries — results stay bitwise identical
+  (fusion is exact), only the counting passes multiply — so mixed batches
+  are safe, merely less fused.
+
+Executors are deliberately *mechanism only*: result order always matches
+the input order, every query is executed exactly once, and cost
+accounting (ledger entries, early exit, caching) stays in the ledger —
+an executor never sees cached queries and cannot change ``n_tests``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.ci.base import CIQuery, CIResult, CITester
+    from repro.data.table import Table
+
+
+class BatchExecutor:
+    """How a batch of cache-missing CI queries gets executed."""
+
+    name = "base"
+
+    def run(self, tester: "CITester", table: "Table",
+            queries: Sequence["CIQuery"]) -> list["CIResult"]:
+        """Evaluate ``queries`` with ``tester``; results align with input."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(BatchExecutor):
+    """Evaluate the whole batch in one call on the calling thread."""
+
+    name = "serial"
+
+    def run(self, tester: "CITester", table: "Table",
+            queries: Sequence["CIQuery"]) -> list["CIResult"]:
+        return tester.test_batch(table, queries)
+
+
+class ThreadedExecutor(BatchExecutor):
+    """Shard the batch across a thread pool.
+
+    ``n_workers`` defaults to ``min(8, cpu_count)``.  Batches smaller than
+    ``min_batch`` run serially — thread startup costs more than it saves
+    on a handful of queries.  Shards are contiguous runs of the input, so
+    result order is preserved by construction.
+
+    Callers sharing one table across threads should
+    :meth:`~repro.data.table.Table.warm_cache` it first: the table's lazy
+    per-column caches are safe under concurrent reads (worst case a value
+    is computed twice), but warming avoids that duplicated work.
+    """
+
+    name = "threads"
+
+    def __init__(self, n_workers: int | None = None,
+                 min_batch: int = 8) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers or min(8, os.cpu_count() or 1)
+        self.min_batch = min_batch
+
+    def run(self, tester: "CITester", table: "Table",
+            queries: Sequence["CIQuery"]) -> list["CIResult"]:
+        queries = list(queries)
+        if self.n_workers < 2 or len(queries) < max(2, self.min_batch):
+            return tester.test_batch(table, queries)
+        n_shards = min(self.n_workers, len(queries))
+        bounds = [round(i * len(queries) / n_shards)
+                  for i in range(n_shards + 1)]
+        shards = [queries[bounds[i]:bounds[i + 1]] for i in range(n_shards)]
+        with ThreadPoolExecutor(max_workers=n_shards) as pool:
+            futures = [pool.submit(tester.test_batch, table, shard)
+                       for shard in shards if shard]
+            return [result for future in futures for result in future.result()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ThreadedExecutor(n_workers={self.n_workers})"
+
+
+def executor_by_name(name: str, **kwargs) -> BatchExecutor:
+    """Look up an executor by its ``name`` attribute (``serial``/``threads``)."""
+    executors: dict[str, type[BatchExecutor]] = {
+        cls.name: cls for cls in (SerialExecutor, ThreadedExecutor)
+    }
+    if name not in executors:
+        raise ValueError(f"unknown executor {name!r}; "
+                         f"choose from {sorted(executors)}")
+    return executors[name](**kwargs)

@@ -15,6 +15,18 @@ pass over an ``(n_z, n_x, n_y)`` tensor — there is no Python loop over
 strata.  Queries against a :class:`~repro.data.table.Table` additionally
 reuse its :meth:`~repro.data.table.Table.discrete_codes` cache, so a batch
 of queries sharing a conditioning set encodes the stratification once.
+
+Multi-query fusion: :meth:`GTestCI.test_batch` goes further for the
+dominant selection workload (a phase-2 burst where *every* candidate shares
+one ``(Y, Z)`` pair) — queries in a batch are grouped by their ``(y, z)``
+name pair, each candidate's X codes are shifted into a private block of one
+flat index space, and the whole group is counted in a *single* offset
+bincount pass; p-values for the group come from one vectorised
+``chi2.sf`` call.  Per-query count tensors are sliced back out of the flat
+counts before the statistic is computed, so results are bitwise identical
+to sequential :meth:`GTestCI.test` calls, and groups whose fused tensor
+would exceed :data:`MAX_DENSE_CELLS` are chunked (with a per-query
+stratified fallback for queries that are individually over budget).
 """
 
 from __future__ import annotations
@@ -83,6 +95,9 @@ class GTestCI(CITester):
         """Deprecated alias of :attr:`min_expected`."""
         return self.min_expected
 
+    def cache_token(self) -> tuple:
+        return (("min_expected", self.min_expected),)
+
     # -- public API ---------------------------------------------------------
 
     def test(self, table: Table, x, y, z=()) -> CIResult:
@@ -94,15 +109,31 @@ class GTestCI(CITester):
     def test_batch(self, table: Table, queries) -> list[CIResult]:
         """Batched evaluation over the table's shared code caches.
 
-        Stratification (the Z encoding) is computed at most once per
-        distinct conditioning set in the batch; each query then costs one
-        fused bincount.  Results are bitwise identical to :meth:`test`.
+        Queries are grouped by their ``(y, z)`` pair; a group of two or
+        more (the phase-2 burst shape) is evaluated by the fused
+        multi-query kernel — one offset bincount for all candidates and
+        one vectorised ``chi2.sf`` call — instead of one pass per query.
+        Results are bitwise identical to sequential :meth:`test` calls.
         """
         normalised = as_queries(queries)
         for query in normalised:
             self._check_query(table, query)
-        return [self._finalize(*self._test_query(table, query), query)
-                for query in normalised]
+        results: list[CIResult | None] = [None] * len(normalised)
+        groups: dict[tuple, list[int]] = {}
+        for i, query in enumerate(normalised):
+            groups.setdefault((query.y, query.z), []).append(i)
+        for indices in groups.values():
+            if len(indices) == 1:
+                query = normalised[indices[0]]
+                results[indices[0]] = self._finalize(
+                    *self._test_query(table, query), query)
+            else:
+                group = [normalised[i] for i in indices]
+                for i, (p_value, statistic) in zip(
+                        indices, self._test_fused(table, group)):
+                    results[i] = self._finalize(p_value, statistic,
+                                                normalised[i])
+        return results
 
     # -- kernels ------------------------------------------------------------
 
@@ -112,6 +143,72 @@ class GTestCI(CITester):
         y_codes, n_y = table.discrete_codes(query.y)
         z_codes, n_z = table.discrete_codes(query.z)
         return self._from_codes(x_codes, n_x, y_codes, n_y, z_codes, n_z)
+
+    def _test_fused(self, table: Table,
+                    queries: list[CIQuery]) -> list[tuple[float, float]]:
+        """Evaluate a group of queries sharing one ``(y, z)`` pair.
+
+        Candidates of equal X cardinality are stacked: each candidate's
+        codes are shifted into a private ``n_z * n_x * n_y`` block of one
+        flat index space, the whole stack is counted in a *single*
+        :func:`numpy.bincount` pass, and the per-stratum statistic terms
+        are computed over one ``(k * n_z, n_x, n_y)`` tensor whose strata
+        blocks are exactly the arrays the sequential path builds — so
+        every reduction runs over the same elements in the same order and
+        results are bitwise identical to per-query evaluation.  All
+        p-values for the group come from one vectorised ``chi2.sf`` call.
+
+        Stacks whose fused tensor (or stacked code matrix) would exceed
+        :data:`MAX_DENSE_CELLS` are split into chunks under the budget; a
+        query that is over the budget on its own falls back to the
+        per-stratum kernel, exactly as :meth:`test` would.
+        """
+        y_codes, n_y = table.discrete_codes(queries[0].y)
+        z_codes, n_z = table.discrete_codes(queries[0].z)
+        xs = [table.discrete_codes(query.x) for query in queries]
+        n_queries = len(queries)
+        statistics = np.zeros(n_queries)
+        dofs = np.zeros(n_queries, dtype=np.int64)
+
+        by_cardinality: dict[int, list[int]] = {}
+        for j, (x_codes, n_x) in enumerate(xs):
+            if n_z * n_x * n_y <= MAX_DENSE_CELLS:
+                by_cardinality.setdefault(n_x, []).append(j)
+            else:
+                statistics[j], dofs[j] = self._stat_dof_stratified(
+                    x_codes, y_codes, z_codes, n_z)
+
+        n_rows = y_codes.shape[0]
+        for n_x, members in by_cardinality.items():
+            block = n_z * n_x * n_y
+            per_chunk = max(1, min(MAX_DENSE_CELLS // block,
+                                   MAX_DENSE_CELLS // max(n_rows, 1)))
+            base = z_codes * (n_x * n_y) + y_codes
+            for start in range(0, len(members), per_chunk):
+                chunk = members[start:start + per_chunk]
+                offsets = np.arange(len(chunk), dtype=np.int64) * block
+                flat = np.empty((len(chunk), n_rows), dtype=np.int64)
+                for row, j in enumerate(chunk):
+                    np.multiply(xs[j][0], n_y, out=flat[row])
+                flat += base[None, :]
+                flat += offsets[:, None]
+                counts = np.bincount(flat.ravel(),
+                                     minlength=len(chunk) * block)
+                tensors = counts.reshape(
+                    len(chunk) * n_z, n_x, n_y).astype(np.float64)
+                stat_z, dof_z = self._stratum_terms(tensors)
+                statistics[chunk] = stat_z.reshape(len(chunk), n_z).sum(axis=1)
+                dofs[chunk] = dof_z.reshape(len(chunk), n_z).sum(axis=1)
+
+        p_values = np.ones(n_queries)
+        live = dofs > 0
+        if live.any():
+            p_values[live] = stats.chi2.sf(statistics[live], dofs[live])
+        # Degenerate strata everywhere (dof == 0): no evidence against
+        # independence, same convention as the sequential path.
+        return [(1.0, 0.0) if dofs[j] == 0
+                else (float(p_values[j]), float(statistics[j]))
+                for j in range(n_queries)]
 
     def _test(self, x: np.ndarray, y: np.ndarray,
               z: np.ndarray | None) -> tuple[float, float]:
@@ -140,6 +237,19 @@ class GTestCI(CITester):
 
     def _stat_dof(self, counts: np.ndarray) -> tuple[float, int]:
         """``(statistic, dof)`` from an ``(n_z, n_x, n_y)`` count tensor."""
+        stat_z, dof_z = self._stratum_terms(counts)
+        return float(stat_z.sum()), int(dof_z.sum())
+
+    def _stratum_terms(self, counts: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-stratum ``(statistic, dof)`` contribution arrays.
+
+        Invalid strata (degenerate levels, or failing the
+        ``min_expected`` guard) contribute exactly 0.0 / 0, so callers
+        can reduce over any grouping of the strata axis — including the
+        fused multi-query layout where several queries' strata share one
+        axis — without changing the per-query result.
+        """
         n_xz = counts.sum(axis=2)
         n_yz = counts.sum(axis=1)
         n_z = n_xz.sum(axis=1)
@@ -155,9 +265,8 @@ class GTestCI(CITester):
             support = (n_xz[:, :, None] > 0) & (n_yz[:, None, :] > 0)
             min_exp = np.where(support, expected, np.inf).min(axis=(1, 2))
             valid &= min_exp >= self.min_expected
-        dof = int(((levels_x - 1) * (levels_y - 1))[valid].sum())
-        statistic = float(stat_z[valid].sum())
-        return statistic, dof
+        dof_z = np.where(valid, (levels_x - 1) * (levels_y - 1), 0)
+        return np.where(valid, stat_z, 0.0), dof_z
 
     def _stat_dof_stratified(self, x_codes: np.ndarray, y_codes: np.ndarray,
                              z_codes: np.ndarray, n_z: int

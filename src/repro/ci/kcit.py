@@ -57,6 +57,10 @@ class KCIT(CITester):
         self.max_samples = max_samples
         self._seed = seed
 
+    def cache_token(self) -> tuple:
+        return (("seed", repr(self._seed)), ("ridge", self.ridge),
+                ("max_samples", self.max_samples))
+
     def _test(self, x: np.ndarray, y: np.ndarray,
               z: np.ndarray | None) -> tuple[float, float]:
         n = x.shape[0]

@@ -9,6 +9,7 @@ agreement under faithfulness.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable
 
 from repro.causal.dag import CausalDAG
@@ -39,6 +40,22 @@ class OracleCI(CITester):
         super().__init__(alpha=alpha)
         self.dag = dag
         self._reach_cache: dict[tuple, frozenset[str]] = {}
+        self._cache_token: tuple | None = None
+
+    def cache_token(self) -> tuple:
+        # Verdicts come from the graph, not the data, so the graph is the
+        # configuration: two oracles over different DAGs must never share
+        # persistent cache entries even when the tables fingerprint alike.
+        if self._cache_token is None:
+            digest = hashlib.blake2b(digest_size=8)
+            for node in sorted(self.dag.nodes):
+                digest.update(node.encode())
+                digest.update(b"\x00")
+            for u, v in sorted(self.dag.edges):
+                digest.update(f"{u}->{v}".encode())
+                digest.update(b"\x00")
+            self._cache_token = (("dag", digest.hexdigest()),)
+        return self._cache_token
 
     def _connected_set(self, sources: tuple[str, ...],
                        given: tuple[str, ...]) -> frozenset[str]:

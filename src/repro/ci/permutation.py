@@ -64,6 +64,11 @@ class PermutationCI(CITester):
         self.n_bins = n_bins
         self._seed = seed
 
+    def cache_token(self) -> tuple:
+        return (("seed", repr(self._seed)),
+                ("n_permutations", self.n_permutations),
+                ("n_bins", self.n_bins))
+
     def _test(self, x: np.ndarray, y: np.ndarray,
               z: np.ndarray | None) -> tuple[float, float]:
         rng = as_generator(self._seed)

@@ -37,13 +37,21 @@ def _standardize(matrix: np.ndarray) -> np.ndarray:
 
 def median_bandwidth(matrix: np.ndarray, max_points: int = 500,
                      rng: np.random.Generator | None = None) -> float:
-    """Median pairwise Euclidean distance (the RBF median heuristic)."""
+    """Median pairwise Euclidean distance (the RBF median heuristic).
+
+    Above ``max_points`` rows the distances are computed on a random
+    subsample — always drawn from a seeded generator, so the estimate is
+    deterministic but *not* row-order biased.  (Taking the first
+    ``max_points`` rows, as earlier releases did without an ``rng``,
+    systematically shrinks the bandwidth on sorted tables: a sorted
+    prefix spans a fraction of the data range.)
+    """
     n = matrix.shape[0]
-    if rng is not None and n > max_points:
+    if n > max_points:
+        if rng is None:
+            rng = np.random.default_rng(0)
         idx = rng.choice(n, size=max_points, replace=False)
         matrix = matrix[idx]
-    elif n > max_points:
-        matrix = matrix[:max_points]
     sq = np.sum(matrix ** 2, axis=1)
     d2 = sq[:, None] + sq[None, :] - 2.0 * matrix @ matrix.T
     d2 = np.maximum(d2, 0.0)
@@ -98,6 +106,15 @@ class RCIT(CITester):
         self.n_features_z = n_features_z
         self.ridge = ridge
         self._seed = seed
+
+    def cache_token(self) -> tuple:
+        # The seed participates: two differently-seeded RCITs are both
+        # deterministic but draw different random features, so a shared
+        # persistent store must never serve one the other's verdicts.
+        return (("seed", repr(self._seed)),
+                ("n_features_xy", self.n_features_xy),
+                ("n_features_z", self.n_features_z),
+                ("ridge", self.ridge))
 
     def _n_features_for(self, n_columns: int) -> int:
         """Random-feature budget for a block of ``n_columns`` variables.

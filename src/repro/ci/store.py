@@ -1,0 +1,168 @@
+"""Persistent cross-run CI-result store.
+
+Repeated harness runs over the same tables (re-running Table 2 or the
+Figure 4-5 sweeps after an unrelated change) re-execute every CI test from
+scratch.  Since tables are content-fingerprinted and the deterministic
+testers (G-test/chi-squared always; RCIT/AdaptiveCI under a fixed seed)
+return the same verdict for the same ``(data, query, method, alpha)``,
+those results can be reused across processes.
+
+:class:`PersistentCICache` is that store: an opt-in, on-disk JSON map from
+``(table.fingerprint, query.key, method, alpha, cache_token)`` to the
+recorded result, where ``cache_token`` carries the tester's remaining
+hyperparameters (seed, guards, feature budgets — see
+:meth:`~repro.ci.base.CITester.cache_token`) so differently-configured
+runs never share entries.
+It plugs into :class:`~repro.ci.base.CITestLedger` via ``cache=`` and
+preserves the ledger's accounting invariants — a persistent hit counts as
+a ``cache_hit``, never as a ledger entry, so ``n_ci_tests`` on a warm
+rerun drops to zero without distorting the paper's cold-run counts.
+
+Format: a single JSON document with an explicit ``format`` tag and
+``version`` number.  Unreadable, foreign, or future-versioned files are
+treated as empty (the cache is a pure accelerator — losing it is always
+safe); saving rewrites the file atomically via a temp file + rename.
+Only use a shared store with *deterministic* testers: a stochastic tester
+(e.g. RCIT without a seed) would pin one draw of its verdict forever.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Iterable, Mapping
+
+FORMAT_TAG = "repro-ci-cache"
+FORMAT_VERSION = 1
+
+
+def _key_string(fingerprint: str, query_key: tuple, method: str,
+                alpha: float, token: tuple = ()) -> str:
+    """Deterministic string form of one cache key.
+
+    ``query_key`` is :attr:`repro.ci.base.CIQuery.key` — the symmetric
+    ``(x|y, y|x, z)`` name tuples — so the on-disk key inherits its
+    X/Y-order insensitivity.  ``alpha`` uses ``repr`` (shortest float
+    round-trip) so 0.01 keys identically across runs.  ``token`` is the
+    tester's :meth:`~repro.ci.base.CITester.cache_token` — the remaining
+    hyperparameters (seed, guards, feature budgets) — so configurations
+    never share entries.
+    """
+    a, b, z = query_key
+    return json.dumps([fingerprint, list(a), list(b), list(z),
+                       method, repr(float(alpha)), repr(token)],
+                      separators=(",", ":"))
+
+
+class PersistentCICache:
+    """On-disk CI-result cache keyed on content, not identity.
+
+    Records are plain mappings ``{independent, p_value, statistic,
+    method}``; the ledger reconstructs full
+    :class:`~repro.ci.base.CIResult` objects around them.  ``put`` marks
+    the store dirty; :meth:`save` writes atomically.  With
+    ``autosave_every=n`` the store additionally saves itself every ``n``
+    new records, so long sweeps survive interruption.  The instance is a
+    context manager — leaving the block saves pending writes.
+    """
+
+    def __init__(self, path: str | os.PathLike,
+                 autosave_every: int | None = None) -> None:
+        if autosave_every is not None and autosave_every < 1:
+            raise ValueError(
+                f"autosave_every must be >= 1, got {autosave_every}")
+        self.path = os.fspath(path)
+        self.autosave_every = autosave_every
+        self.hits = 0
+        self.misses = 0
+        self._dirty = 0
+        self._entries: dict[str, dict] = self._load()
+
+    # -- persistence --------------------------------------------------------
+
+    def _load(self) -> dict[str, dict]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return {}
+        if (not isinstance(payload, dict)
+                or payload.get("format") != FORMAT_TAG
+                or payload.get("version") != FORMAT_VERSION
+                or not isinstance(payload.get("entries"), dict)):
+            return {}
+        return dict(payload["entries"])
+
+    def save(self) -> None:
+        """Atomically write the store to disk (no-op when clean)."""
+        if not self._dirty:
+            return
+        payload = {"format": FORMAT_TAG, "version": FORMAT_VERSION,
+                   "entries": self._entries}
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        descriptor, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".ci-cache-", suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self._dirty = 0
+
+    # -- record access ------------------------------------------------------
+
+    def get(self, fingerprint: str, query_key: tuple, method: str,
+            alpha: float, token: tuple = ()) -> dict | None:
+        """Stored record for one key, or ``None``."""
+        record = self._entries.get(
+            _key_string(fingerprint, query_key, method, alpha, token))
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, fingerprint: str, query_key: tuple, method: str,
+            alpha: float, record: Mapping, token: tuple = ()) -> None:
+        """Insert (or overwrite) one record and mark the store dirty."""
+        key = _key_string(fingerprint, query_key, method, alpha, token)
+        self._entries[key] = {
+            "independent": bool(record["independent"]),
+            "p_value": float(record["p_value"]),
+            "statistic": float(record["statistic"]),
+            "method": str(record["method"]),
+        }
+        self._dirty += 1
+        if self.autosave_every is not None \
+                and self._dirty >= self.autosave_every:
+            self.save()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        """Membership by ``(fingerprint, query_key, method, alpha, token)``.
+
+        ``token`` is the writing tester's
+        :meth:`~repro.ci.base.CITester.cache_token` and is part of every
+        entry's identity — omit it only for entries written with an empty
+        token.
+        """
+        return _key_string(*key) in self._entries
+
+    def __enter__(self) -> "PersistentCICache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.save()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PersistentCICache({self.path!r}, entries={len(self)}, "
+                f"dirty={self._dirty})")

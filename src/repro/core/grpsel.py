@@ -12,11 +12,14 @@ number of biased features, versus SeqSel's ``O(2^|A| · n)``.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Sequence
 
 from repro.ci.base import CITestLedger, CITester
+from repro.ci.executor import BatchExecutor
 from repro.ci.rcit import RCIT
+from repro.ci.store import PersistentCICache
 from repro.core.problem import FairFeatureSelectionProblem
 from repro.core.result import Reason, SelectionResult
 from repro.core.subset_search import ExhaustiveSubsets, SubsetStrategy
@@ -30,6 +33,9 @@ class GrpSel:
     ``random_partition``); with a fixed seed runs are reproducible.
     ``min_group`` lets callers stop splitting early and fall back to
     per-feature tests below a size threshold (1 reproduces the paper).
+    ``cache``/``executor`` configure the internal ledger exactly as in
+    :class:`~repro.core.seqsel.SeqSel` — cache hits (including persistent
+    cross-run hits) never count toward ``n_ci_tests``.
     """
 
     name = "GrpSel"
@@ -37,7 +43,9 @@ class GrpSel:
     def __init__(self, tester: CITester | None = None,
                  subset_strategy: SubsetStrategy | None = None,
                  shuffle: bool = True, seed: SeedLike = 0,
-                 min_group: int = 1) -> None:
+                 min_group: int = 1,
+                 cache: bool | str | os.PathLike | PersistentCICache = False,
+                 executor: BatchExecutor | None = None) -> None:
         if min_group < 1:
             raise ValueError(f"min_group must be >= 1, got {min_group}")
         # The default tester inherits ``seed`` so a fixed-seed run pins the
@@ -47,10 +55,13 @@ class GrpSel:
         self.shuffle = shuffle
         self.min_group = min_group
         self._seed = seed
+        self.cache = cache
+        self.executor = executor
 
     def select(self, problem: FairFeatureSelectionProblem) -> SelectionResult:
         """Run both group-tested phases and return the selection."""
-        ledger = CITestLedger(self.tester)
+        ledger = CITestLedger(self.tester, cache=self.cache,
+                              executor=self.executor)
         start = time.perf_counter()
         result = SelectionResult(algorithm=self.name)
         rng = as_generator(self._seed)
@@ -80,6 +91,7 @@ class GrpSel:
 
         result.n_ci_tests = ledger.n_tests
         result.seconds = time.perf_counter() - start
+        ledger.flush_cache()
         return result
 
     # -- Algorithm 3 --------------------------------------------------------

@@ -16,17 +16,27 @@ maintains selection state across batches:
   demote any that now fail (conservative, never unsafe).
 * **Previously rejected features get a second chance**: a feature rejected
   because ``X ̸⊥ Y | A ∪ C1`` may pass once C1 has grown (the enlarged set
-  can block the remaining X-Y paths), so rejected features are re-queued on
-  every batch.
+  can block the remaining X-Y paths) — so rejected features are re-queued
+  on any batch where the *evidence changed*: the conditioning set
+  ``A ∪ C1`` grew, or the table's data did (rows appended in a stream).
+  With both unchanged, the retry would re-execute the byte-identical
+  query: pure waste for a deterministic tester, and worse than waste for
+  a stochastic one (RCIT redraws its random features, so a re-run can
+  flip a settled verdict).  The same applies to re-validating prior C2
+  admissions.  Skipping both keeps ``n_ci_tests`` faithful to the work
+  new evidence actually requires.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Sequence
 
 from repro.ci.base import CIQuery, CITestLedger, CITester
+from repro.ci.executor import BatchExecutor
 from repro.ci.rcit import RCIT
+from repro.ci.store import PersistentCICache
 from repro.core.problem import FairFeatureSelectionProblem
 from repro.core.result import Reason, SelectionResult
 from repro.core.subset_search import ExhaustiveSubsets, SubsetStrategy
@@ -45,14 +55,24 @@ class OnlineSelector:
     name = "OnlineSeqSel"
 
     def __init__(self, tester: CITester | None = None,
-                 subset_strategy: SubsetStrategy | None = None) -> None:
+                 subset_strategy: SubsetStrategy | None = None,
+                 cache: bool | str | os.PathLike | PersistentCICache = False,
+                 executor: BatchExecutor | None = None) -> None:
         self.tester = tester if tester is not None else RCIT(seed=0)
         self.subset_strategy = subset_strategy or ExhaustiveSubsets()
-        self._ledger = CITestLedger(self.tester)
+        self._ledger = CITestLedger(self.tester, cache=cache,
+                                    executor=executor)
         self._c1: list[str] = []
         self._c2: list[str] = []
         self._rejected: list[str] = []
         self._seen: set[str] = set()
+        # (Conditioning set, fingerprint of the involved columns) of the
+        # last phase-2 pass; retries of previously decided features only
+        # run when either changes — a grown A ∪ C1 *or* new data in a
+        # column the retried queries touch can flip a verdict, an
+        # identical rerun cannot.  The None sentinel makes the very first
+        # observe() run its phase-2 pass unconditionally.
+        self._conditioning: tuple[frozenset[str], str] | None = None
 
     # -- state ----------------------------------------------------------------
 
@@ -101,20 +121,30 @@ class OnlineSelector:
 
         # Phase 1 on the new batch.
         phase2_queue: list[str] = []
-        c1_grew = False
         for feature in batch:
             if self._phase1_admits(problem, feature):
                 self._c1.append(feature)
-                c1_grew = True
             else:
                 phase2_queue.append(feature)
 
-        # Phase 2: new failures, plus prior rejects (second chance) and,
-        # when C1 grew, prior C2 admissions (re-validation).
-        retry = list(self._rejected)
-        revalidate = list(self._c2) if c1_grew else []
-        self._rejected = []
-        self._c2 = [] if c1_grew else self._c2
+        # Phase 2: new failures, plus — only when the evidence actually
+        # changed — prior rejects (second chance) and prior C2 admissions
+        # (re-validation).  "Changed" means the conditioning set A ∪ C1
+        # grew, or the data in any column a retried query touches did
+        # (rows can be appended in a stream).  Deliberately *not* the
+        # whole-table fingerprint: the online setting widens the table
+        # every batch, so that would re-queue on every observe and undo
+        # the skip.  With the evidence unchanged a retry would re-execute
+        # the byte-identical query: it cannot change the answer of a
+        # consistent tester, inflates n_ci_tests, and lets a stochastic
+        # tester (RCIT) flip settled verdicts.
+        evidence_before = self._evidence_key(problem)
+        changed = evidence_before != self._conditioning
+        retry = list(self._rejected) if changed else []
+        revalidate = list(self._c2) if changed else []
+        if changed:
+            self._rejected = []
+            self._c2 = []
 
         conditioning = list(problem.admissible) + list(self._c1)
         phase2 = phase2_queue + retry + revalidate
@@ -127,10 +157,29 @@ class OnlineSelector:
                 self._c2.append(feature)
             else:
                 self._rejected.append(feature)
+        # Baseline for the next batch's skip decision: keyed over the
+        # *post-batch* decided sets, which are exactly the features a
+        # future retry pass would re-test.  With no phase-2 activity the
+        # decided sets are untouched, so the pre-batch key is still exact
+        # — skip a second full-column hashing pass.
+        self._conditioning = (self._evidence_key(problem) if phase2
+                              else evidence_before)
 
         result = self.current
         result.seconds = time.perf_counter() - start
+        self._ledger.flush_cache()
         return result
+
+    def _evidence_key(self, problem: FairFeatureSelectionProblem
+                      ) -> tuple[frozenset[str], str]:
+        """Key describing the evidence a retry pass would consult: the
+        conditioning-set names plus the content of every column its
+        phase-2 queries touch (conditioning, target, and the currently
+        decided features)."""
+        conditioning = frozenset(problem.admissible) | frozenset(self._c1)
+        involved = (set(conditioning) | {problem.target}
+                    | set(self._rejected) | set(self._c2))
+        return (conditioning, problem.table.fingerprint_of(involved))
 
     def _phase1_admits(self, problem: FairFeatureSelectionProblem,
                        feature: str) -> bool:

@@ -12,10 +12,13 @@ Both phases only consult the CI tester — no causal graph is required.
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.ci.base import CIQuery, CITestLedger, CITester
+from repro.ci.executor import BatchExecutor
 from repro.ci.rcit import RCIT
+from repro.ci.store import PersistentCICache
 from repro.core.problem import FairFeatureSelectionProblem
 from repro.core.result import Reason, SelectionResult
 from repro.core.subset_search import ExhaustiveSubsets, SubsetStrategy
@@ -32,18 +35,32 @@ class SeqSel:
     subset_strategy:
         How to search ``∃ A' ⊆ A`` in phase 1 (default exhaustive, the
         algorithm as written).
+    cache:
+        Passed to the internal :class:`~repro.ci.base.CITestLedger` —
+        ``True`` for in-run memoisation, or a
+        :class:`~repro.ci.store.PersistentCICache` (or path) to reuse
+        verdicts across runs.  Cache hits never count as CI tests, so
+        ``n_ci_tests`` keeps the paper's semantics.
+    executor:
+        Batch executor for cache-miss test batches (see
+        :mod:`repro.ci.executor`).
     """
 
     name = "SeqSel"
 
     def __init__(self, tester: CITester | None = None,
-                 subset_strategy: SubsetStrategy | None = None) -> None:
+                 subset_strategy: SubsetStrategy | None = None,
+                 cache: bool | str | os.PathLike | PersistentCICache = False,
+                 executor: BatchExecutor | None = None) -> None:
         self.tester = tester if tester is not None else RCIT(seed=0)
         self.subset_strategy = subset_strategy or ExhaustiveSubsets()
+        self.cache = cache
+        self.executor = executor
 
     def select(self, problem: FairFeatureSelectionProblem) -> SelectionResult:
         """Run both phases and return the selection with provenance."""
-        ledger = CITestLedger(self.tester)
+        ledger = CITestLedger(self.tester, cache=self.cache,
+                              executor=self.executor)
         start = time.perf_counter()
         result = SelectionResult(algorithm=self.name)
 
@@ -72,6 +89,7 @@ class SeqSel:
 
         result.n_ci_tests = ledger.n_tests
         result.seconds = time.perf_counter() - start
+        ledger.flush_cache()
         return result
 
     def _phase1_admits(self, ledger: CITestLedger,

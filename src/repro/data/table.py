@@ -140,25 +140,48 @@ class Table:
 
     @property
     def fingerprint(self) -> str:
-        """Content hash of the table (column names, dtypes, and values).
+        """Content hash of the table (column names, dtypes, kinds, values).
 
         Two tables with identical columns share a fingerprint, which is what
         lets CI caches key results on ``(fingerprint, query)`` and survive
         table re-construction while never serving stale answers for a table
-        with different data.
+        with different data.  The schema *kind* of each column participates
+        because kind-aware testers (:class:`~repro.ci.adaptive.AdaptiveCI`)
+        dispatch on it: the same values annotated discrete vs continuous
+        answer through different backends, so they must never share cache
+        entries.  (Roles deliberately do not participate — they steer
+        selection, not test outcomes.)
         """
         if self._fingerprint is None:
             digest = hashlib.blake2b(digest_size=16)
             for name in self.columns:
-                arr = self._data[name]
-                digest.update(name.encode())
-                digest.update(str(arr.dtype).encode())
-                if arr.dtype.kind == "O":
-                    digest.update(repr(arr.tolist()).encode())
-                else:
-                    digest.update(np.ascontiguousarray(arr).tobytes())
+                self._hash_column(digest, name)
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
+
+    def fingerprint_of(self, names: Iterable[str]) -> str:
+        """Content hash of a *subset* of columns (order-insensitive).
+
+        Lets incremental callers detect data changes in exactly the
+        columns a decision depends on — e.g. the online selector re-tests
+        previously rejected features only when the columns its phase-2
+        queries touch actually changed, not when an unrelated column was
+        appended to the (widening) table.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for name in sorted(set(names)):
+            self._hash_column(digest, name)
+        return digest.hexdigest()
+
+    def _hash_column(self, digest, name: str) -> None:
+        arr = self[name]
+        digest.update(name.encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(self.schema.spec(name).kind.value.encode())
+        if arr.dtype.kind == "O":
+            digest.update(repr(arr.tolist()).encode())
+        else:
+            digest.update(np.ascontiguousarray(arr).tobytes())
 
     def float_column(self, name: str) -> np.ndarray:
         """Cached read-only float conversion of one column."""

@@ -8,12 +8,14 @@ fairness on the test split.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
+from repro.ci.store import PersistentCICache
 from repro.core.result import SelectionResult
 from repro.data.loaders.base import Dataset
 from repro.fairness.report import FairnessReport, evaluate_classifier
@@ -48,13 +50,23 @@ def default_classifier() -> Classifier:
 def run_method(dataset: Dataset, selector,
                classifier_factory: ClassifierFactory | None = None,
                privileged: int | None = None,
-               warm_ci_cache: bool = True) -> MethodRun:
+               warm_ci_cache: bool = True,
+               ci_cache: PersistentCICache | str | os.PathLike | None = None
+               ) -> MethodRun:
     """Select, train, and evaluate one method on one dataset.
 
     ``warm_ci_cache`` pre-builds the CI engine's shared encoded state
     (table fingerprint, float columns, discrete codes) for every column a
     selector can query, so the selection phase starts from warm caches
     instead of re-materialising columns per CI test.
+
+    ``ci_cache`` attaches a persistent cross-run CI-result store (an open
+    :class:`~repro.ci.store.PersistentCICache` or a path) to any selector
+    that exposes a ``cache`` attribute (SeqSel/GrpSel): a rerun over the
+    same data then skips every already-decided test while ``n_ci_tests``
+    keeps its cold-run meaning — persistent hits are cache hits, never
+    ledger entries.  Pending writes are saved before returning.  Only use
+    it with deterministic testers (fixed-seed RCIT/AdaptiveCI are).
     """
     factory = classifier_factory or default_classifier
     problem = dataset.problem()
@@ -64,7 +76,25 @@ def run_method(dataset: Dataset, selector,
         problem.table.warm_cache(problem.sensitive + problem.admissible
                                  + problem.candidates + [problem.target])
         warm_seconds = time.perf_counter() - warm_start
-    selection = selector.select(problem)
+    store: PersistentCICache | None = None
+    prior_cache: object = None
+    if ci_cache is not None:
+        store = (ci_cache if isinstance(ci_cache, PersistentCICache)
+                 else PersistentCICache(ci_cache))
+        if not hasattr(selector, "cache"):
+            raise TypeError(
+                f"selector {type(selector).__name__} does not accept a CI "
+                "cache (no `cache` attribute)")
+        prior_cache = selector.cache
+        selector.cache = store
+    try:
+        selection = selector.select(problem)
+    finally:
+        if store is not None:
+            # The store is scoped to this call: restore the selector so a
+            # later cacheless run of the same object stays cacheless.
+            selector.cache = prior_cache
+            store.save()
     features = problem.training_features(selection.selected)
 
     scaler = StandardScaler()

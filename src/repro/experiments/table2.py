@@ -10,11 +10,13 @@ Right half — number of CI tests executed by SeqSel vs GrpSel.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.ci.adaptive import AdaptiveCI
+from repro.ci.store import PersistentCICache
 from repro.core.grpsel import GrpSel
 from repro.core.seqsel import SeqSel
 from repro.core.subset_search import MarginalThenFull
@@ -23,6 +25,21 @@ from repro.data.transforms import cognito_expand
 from repro.experiments.harness import run_method
 from repro.fairness.causal_metrics import conditional_mutual_information
 from repro.rng import SeedLike
+
+
+def _derived_store(ci_cache, label: str) -> PersistentCICache | None:
+    """Open a per-selector sibling store next to the given cache path."""
+    if ci_cache is None:
+        return None
+    if isinstance(ci_cache, PersistentCICache):
+        # An open store cannot be honoured here: each selector needs its
+        # own file (see table2_row), so the instance's loaded entries and
+        # autosave settings would be silently ignored.  Fail loudly.
+        raise TypeError(
+            "table2_row derives one store per selector; pass a base *path* "
+            "for ci_cache, not an open PersistentCICache")
+    root, ext = os.path.splitext(os.fspath(ci_cache))
+    return PersistentCICache(f"{root}.{label}{ext or '.json'}")
 
 
 @dataclass
@@ -67,25 +84,43 @@ def expand_dataset(dataset: Dataset, max_new: int = 150,
 
 
 def table2_row(dataset: Dataset, seed: SeedLike = 0,
-               n_derived: int = 150) -> Table2Row:
+               n_derived: int = 150,
+               ci_cache: str | os.PathLike | None = None) -> Table2Row:
     """Compute one row of Table 2 for a loaded dataset.
 
     ``n_derived`` controls the Cognito feature expansion (0 disables it);
     the expansion is what puts the datasets in the hundreds-of-candidates
     regime the paper's counts reflect.
+
+    ``ci_cache`` (a base *path*) lets a rerun over unchanged data skip
+    every already-decided CI test.
+    Each selector gets its *own* derived store (``<path>.grpsel`` /
+    ``<path>.seqsel``): both run the same seeded AdaptiveCI over the same
+    table, so a single shared store would let whichever selector runs
+    first answer the other's queries — deflating the second selector's
+    reported count to ~0 even on a cold first run and corrupting exactly
+    the SeqSel-vs-GrpSel comparison this table reports.  With per-selector
+    stores, cold-run counts are untouched and a rerun of the whole row
+    executes zero tests.
     """
     if n_derived > 0:
         dataset = expand_dataset(dataset, max_new=n_derived)
     problem = dataset.problem()
+
+    grp_store = _derived_store(ci_cache, "grpsel")
+    seq_store = _derived_store(ci_cache, "seqsel")
 
     strategy = MarginalThenFull()
     grp_run = run_method(
         dataset,
         GrpSel(tester=AdaptiveCI(seed=seed), subset_strategy=strategy,
                seed=seed),
+        ci_cache=grp_store,
     )
     seq_selection = SeqSel(tester=AdaptiveCI(seed=seed),
-                           subset_strategy=strategy).select(problem)
+                           subset_strategy=strategy,
+                           cache=seq_store if seq_store is not None else False
+                           ).select(problem)
 
     test = dataset.test
     preds = grp_run.model.predict(test.matrix(grp_run.feature_names))

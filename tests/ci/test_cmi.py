@@ -51,6 +51,62 @@ class TestDiscreteCMI:
         assert discrete_cmi(t, "a", "b") == pytest.approx(np.log(2), abs=0.01)
 
 
+def reference_cmi(table, xs, ys, zs):
+    """The pre-fusion implementation: a Python dict loop over rows."""
+    from repro.ci.base import encode_rows
+
+    def codes(names):
+        matrix = (np.column_stack([np.asarray(table[n], dtype=float)
+                                   for n in names])
+                  if names else np.zeros((table.n_rows, 0)))
+        return encode_rows(np.round(matrix).astype(np.int64))
+
+    n = table.n_rows
+    cx, cy, cz = codes(xs), codes(ys), codes(zs)
+    joint, xz, yz, z_cnt = {}, {}, {}, {}
+    for a, b, c in zip(cx.tolist(), cy.tolist(), cz.tolist()):
+        joint[(a, b, c)] = joint.get((a, b, c), 0) + 1
+        xz[(a, c)] = xz.get((a, c), 0) + 1
+        yz[(b, c)] = yz.get((b, c), 0) + 1
+        z_cnt[c] = z_cnt.get(c, 0) + 1
+    cmi = 0.0
+    for (a, b, c), n_abc in joint.items():
+        cmi += (n_abc / n) * np.log((n_abc * z_cnt[c])
+                                    / (xz[(a, c)] * yz[(b, c)]))
+    return float(cmi)
+
+
+class TestFusedKernelEquality:
+    """The fused-bincount rewrite must reproduce the dict-loop estimate."""
+
+    CASES = [
+        (["proxy"], ["s"], []),
+        (["x"], ["s"], ["a"]),
+        (["x", "noise"], ["s"], ["a", "proxy"]),
+        (["noise"], ["s"], ["a", "x", "proxy"]),
+    ]
+
+    @pytest.mark.parametrize("xs,ys,zs", CASES)
+    def test_matches_reference(self, xs, ys, zs):
+        table = discrete_table(n=4000)
+        want = reference_cmi(table, xs, ys, zs)
+        got = discrete_cmi(table, xs, ys, zs, truncate=False)
+        assert got == pytest.approx(want, abs=1e-12)
+
+    @pytest.mark.parametrize("xs,ys,zs", CASES)
+    def test_sparse_path_matches_dense(self, monkeypatch, xs, ys, zs):
+        table = discrete_table(n=4000)
+        dense = discrete_cmi(table, xs, ys, zs, truncate=False)
+        monkeypatch.setattr("repro.ci.cmi.MAX_DENSE_CELLS", 1)
+        sparse = discrete_cmi(Table(table.to_dict()), xs, ys, zs,
+                              truncate=False)
+        assert sparse == pytest.approx(dense, abs=1e-12)
+
+    def test_empty_table(self):
+        t = Table({"a": np.array([], dtype=int), "b": np.array([], dtype=int)})
+        assert discrete_cmi(t, "a", "b") == 0.0
+
+
 class TestKnnCMI:
     def test_independent_gaussians_near_zero(self):
         rng = np.random.default_rng(2)

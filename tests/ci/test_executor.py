@@ -1,0 +1,119 @@
+"""Tests for the pluggable batch executors."""
+
+import numpy as np
+import pytest
+
+from repro.ci.adaptive import AdaptiveCI
+from repro.ci.base import CIQuery, CITestLedger
+from repro.ci.executor import (SerialExecutor, ThreadedExecutor,
+                               executor_by_name)
+from repro.ci.gtest import GTestCI
+from repro.ci.rcit import RCIT
+from repro.data.table import Table
+
+
+def make_table(n=500, seed=0, n_features=12):
+    rng = np.random.default_rng(seed)
+    data = {"s": rng.integers(0, 2, n), "y": rng.integers(0, 2, n),
+            "a": rng.integers(0, 3, n),
+            "cont": rng.normal(size=n)}
+    for i in range(n_features):
+        data[f"f{i}"] = rng.integers(0, 3, n)
+    return Table(data)
+
+
+def queries(table):
+    return [CIQuery.make(c, "y", ("a", "s"))
+            for c in table.columns if c.startswith("f")]
+
+
+class TestExecutors:
+    def test_by_name(self):
+        assert isinstance(executor_by_name("serial"), SerialExecutor)
+        threaded = executor_by_name("threads", n_workers=3)
+        assert isinstance(threaded, ThreadedExecutor)
+        assert threaded.n_workers == 3
+        with pytest.raises(ValueError, match="unknown executor"):
+            executor_by_name("rocket")
+
+    def test_threaded_matches_serial_order_and_values(self):
+        table = make_table()
+        qs = queries(table)
+        table.warm_cache()
+        serial = SerialExecutor().run(GTestCI(), table, qs)
+        threaded = ThreadedExecutor(n_workers=4, min_batch=2).run(
+            GTestCI(), table, qs)
+        assert [r.p_value for r in threaded] == [r.p_value for r in serial]
+        assert [r.query for r in threaded] == [r.query for r in serial]
+
+    def test_threaded_rcit_matches_serial(self):
+        """Seeded RCIT is deterministic per query, so sharding across
+        threads must not change any value."""
+        table = make_table(n=300)
+        qs = queries(table)[:6]
+        serial = SerialExecutor().run(RCIT(seed=0), table, qs)
+        threaded = ThreadedExecutor(n_workers=3, min_batch=2).run(
+            RCIT(seed=0), table, qs)
+        assert [r.p_value for r in threaded] == [r.p_value for r in serial]
+
+    def test_small_batches_run_serially(self):
+        table = make_table()
+        executor = ThreadedExecutor(n_workers=4, min_batch=64)
+        results = executor.run(GTestCI(), table, queries(table))
+        assert len(results) == len(queries(table))
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ThreadedExecutor(n_workers=0)
+
+
+class TestLedgerExecutorAccounting:
+    def test_counts_and_entries_unchanged(self):
+        """Routing misses through a threaded executor must leave the
+        ledger's accounting identical to the serial path."""
+        table = make_table()
+        qs = queries(table)
+        serial = CITestLedger(GTestCI())
+        serial.test_batch(table, qs)
+        threaded = CITestLedger(GTestCI(),
+                                executor=ThreadedExecutor(n_workers=4,
+                                                          min_batch=2))
+        threaded.test_batch(table, qs)
+        assert threaded.n_tests == serial.n_tests == len(qs)
+        assert [e.query for e in threaded.entries] == \
+               [e.query for e in serial.entries]
+        assert [e.result.p_value for e in threaded.entries] == \
+               [e.result.p_value for e in serial.entries]
+
+    def test_executor_never_sees_cached_queries(self):
+        table = make_table()
+        qs = queries(table)
+
+        class CountingExecutor(SerialExecutor):
+            executed = 0
+
+            def run(self, tester, tbl, batch):
+                CountingExecutor.executed += len(list(batch))
+                return super().run(tester, tbl, batch)
+
+        ledger = CITestLedger(GTestCI(), cache=True,
+                              executor=CountingExecutor())
+        ledger.test_batch(table, qs)
+        ledger.test_batch(table, qs)
+        assert CountingExecutor.executed == len(qs)
+        assert ledger.cache_hits == len(qs)
+
+
+class TestAdaptiveContinuousSharding:
+    def test_mixed_batch_matches_unsharded(self):
+        table = make_table(n=300)
+        mixed = [CIQuery.make("f0", "y", ("a",)),
+                 CIQuery.make("cont", "y", ("a",)),
+                 CIQuery.make("f1", "y", ("a",)),
+                 CIQuery.make("cont", "s", ())]
+        plain = AdaptiveCI(seed=0).test_batch(table, mixed)
+        sharded = AdaptiveCI(
+            seed=0, executor=ThreadedExecutor(n_workers=2, min_batch=2)
+        ).test_batch(table, mixed)
+        assert [r.p_value for r in sharded] == [r.p_value for r in plain]
+        assert [r.method for r in sharded] == [r.method for r in plain]

@@ -79,3 +79,68 @@ class TestFisherZ:
             if not tester.independent(t, "a", "b"):
                 rejections += 1
         assert rejections / trials < 0.12
+
+
+def reference_fisher_z(x, y, z, alpha=0.01):
+    """The pre-refactor implementation: one lstsq per (i, j) pair."""
+    from scipy import stats
+
+    n = x.shape[0]
+    k = 0 if z is None else z.shape[1]
+    dof = n - k - 3
+    best_p, best_stat = 1.0, 0.0
+    n_pairs = x.shape[1] * y.shape[1]
+    for i in range(x.shape[1]):
+        for j in range(y.shape[1]):
+            r = partial_correlation(x[:, i], y[:, j], z)
+            stat = abs(np.arctanh(r)) * np.sqrt(dof)
+            p = 2.0 * stats.norm.sf(stat)
+            if p < best_p:
+                best_p, best_stat = p, stat
+    return min(1.0, best_p * n_pairs), best_stat
+
+
+class TestStackedSolveParity:
+    """The single stacked solve must reproduce the per-pair lstsq loop."""
+
+    def cases(self, t):
+        return [
+            (["x"], ["y"], ["z"]),
+            (["x", "w"], ["y"], ["z"]),
+            (["x", "w", "direct"], ["y", "z"], None),
+            (["w", "direct"], ["x", "y"], ["z"]),
+        ]
+
+    def test_identical_p_values(self):
+        t = gaussian_table()
+        tester = FisherZCI()
+        for xs, ys, zs in self.cases(t):
+            x = t.matrix(xs)
+            y = t.matrix(ys)
+            z = t.matrix(zs) if zs else None
+            want_p, want_stat = reference_fisher_z(x, y, z)
+            got_p, got_stat = tester._test(x, y, z)
+            assert got_p == pytest.approx(want_p, rel=1e-9, abs=1e-300)
+            assert got_stat == pytest.approx(want_stat, rel=1e-9)
+
+    def test_full_result_parity_through_public_api(self):
+        t = gaussian_table()
+        tester = FisherZCI(alpha=0.05)
+        for xs, ys, zs in self.cases(t):
+            result = tester.test(t, xs, ys, list(zs) if zs else ())
+            want_p, _ = reference_fisher_z(
+                t.matrix(xs), t.matrix(ys), t.matrix(zs) if zs else None)
+            want_p = min(max(want_p, 0.0), 1.0)
+            assert result.p_value == pytest.approx(want_p, rel=1e-9,
+                                                   abs=1e-300)
+            assert result.independent == (result.p_value >= 0.05)
+
+    def test_degenerate_constant_column(self):
+        """A constant X column must yield r = 0 on both paths."""
+        rng = np.random.default_rng(5)
+        n = 200
+        x = np.column_stack([np.ones(n), rng.normal(size=n)])
+        y = rng.normal(size=(n, 1))
+        want = reference_fisher_z(x, y, None)
+        got = FisherZCI()._test(x, y, None)
+        assert got[0] == pytest.approx(want[0], rel=1e-9)

@@ -1,0 +1,147 @@
+"""Tests for the fused same-(Y,Z) multi-query discrete kernel."""
+
+import numpy as np
+import pytest
+
+import repro.ci.gtest as gtest_mod
+from repro.ci.base import CIQuery
+from repro.ci.gtest import ChiSquaredCI, GTestCI
+from repro.data.table import Table
+
+
+def burst_table(n=1500, n_candidates=24, seed=0):
+    """Phase-2-burst-shaped workload: one (Y, Z) pair, many candidates of
+    mixed cardinality (so the kernel exercises several stacking groups)."""
+    rng = np.random.default_rng(seed)
+    data = {
+        "s": rng.integers(0, 2, n),
+        "y": rng.integers(0, 2, n),
+        "a1": rng.integers(0, 4, n),
+        "a2": rng.integers(0, 3, n),
+    }
+    for i in range(n_candidates):
+        if i % 3 == 0:  # planted dependence for a mix of verdicts
+            data[f"f{i}"] = np.where(rng.random(n) < 0.8, data["y"],
+                                     rng.integers(0, 2 + i % 4, n))
+        else:
+            data[f"f{i}"] = rng.integers(0, 2 + i % 4, n)
+    return Table(data)
+
+
+def burst_queries(table, y="y", z=("a1", "a2", "s")):
+    names = [c for c in table.columns if c.startswith("f")]
+    return [CIQuery.make(name, y, z) for name in names]
+
+
+def assert_bitwise(batch, sequential):
+    assert len(batch) == len(sequential)
+    for got, want in zip(batch, sequential):
+        assert got.p_value == want.p_value
+        assert got.statistic == want.statistic
+        assert got.independent == want.independent
+
+
+class TestFusedBitwiseParity:
+    """Fused multi-query results must be bitwise identical to `test`."""
+
+    @pytest.mark.parametrize("make_tester", [
+        lambda: GTestCI(alpha=0.05),
+        lambda: ChiSquaredCI(alpha=0.05),
+        lambda: GTestCI(alpha=0.05, min_expected=2.0),
+    ], ids=["gtest", "chi2", "gtest-min-expected"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_phase2_burst(self, make_tester, seed):
+        table = burst_table(seed=seed)
+        queries = burst_queries(table)
+        batch = make_tester().test_batch(table, queries)
+        sequential = [make_tester().test(table, q.x, q.y, q.z)
+                      for q in queries]
+        assert_bitwise(batch, sequential)
+
+    def test_mixed_groups_and_group_queries(self):
+        """Batches mixing several (Y, Z) groups, singletons, and set-valued
+        X keep input order and stay bitwise identical."""
+        table = burst_table()
+        queries = (burst_queries(table)[:5]
+                   + [CIQuery.make("f0", "s", ())]
+                   + burst_queries(table, y="s", z=("a1",))[:4]
+                   + [CIQuery.make(("f1", "f2"), "y", ("a1", "a2", "s"))]
+                   + burst_queries(table)[5:9])
+        tester = GTestCI()
+        batch = tester.test_batch(table, queries)
+        sequential = [tester.test(table, q.x, q.y, q.z) for q in queries]
+        assert_bitwise(batch, sequential)
+        for result, query in zip(batch, queries):
+            assert result.query == query
+
+    def test_verdict_mix(self):
+        """Sanity: the workload actually produces both verdicts (otherwise
+        the parity assertions are vacuous)."""
+        table = burst_table()
+        results = GTestCI().test_batch(table, burst_queries(table))
+        verdicts = {r.independent for r in results}
+        assert verdicts == {True, False}
+
+    def test_chunked_when_over_budget(self, monkeypatch):
+        """A fused tensor over MAX_DENSE_CELLS splits into chunks; results
+        are still bitwise identical to the sequential dense path."""
+        table = burst_table()
+        queries = burst_queries(table)
+        sequential = [GTestCI().test(table, q.x, q.y, q.z) for q in queries]
+        # Budget fits any single query's dense tensor but never two.
+        single = max(48 * (2 + i % 4) * 2 for i in range(len(queries)))
+        monkeypatch.setattr(gtest_mod, "MAX_DENSE_CELLS", single)
+        batch = GTestCI().test_batch(Table(table.to_dict()), queries)
+        assert_bitwise(batch, sequential)
+
+    def test_per_query_fallback_when_single_query_over_budget(self,
+                                                              monkeypatch):
+        """Queries individually past the budget take the stratified
+        fallback inside the fused path — identical to what `test` does
+        under the same budget."""
+        table = burst_table()
+        queries = burst_queries(table)
+        monkeypatch.setattr(gtest_mod, "MAX_DENSE_CELLS", 1)
+        fresh = Table(table.to_dict())
+        batch = GTestCI().test_batch(fresh, queries)
+        sequential = [GTestCI().test(fresh, q.x, q.y, q.z) for q in queries]
+        assert_bitwise(batch, sequential)
+
+
+class TestDenseStratifiedBoundary:
+    """Dense and per-stratum kernels agree across the cell-budget boundary."""
+
+    @pytest.mark.parametrize("min_expected", [0.0, 1.0, 5.0])
+    def test_agreement_across_boundary(self, monkeypatch, min_expected):
+        table = burst_table(n=800)
+        query = (("f1", "f2", "f3"), "s", ("a1", "a2"))
+        dense = GTestCI(min_expected=min_expected).test(table, *query)
+        monkeypatch.setattr(gtest_mod, "MAX_DENSE_CELLS", 1)
+        fresh = Table(table.to_dict())
+        stratified = GTestCI(min_expected=min_expected).test(fresh, *query)
+        assert stratified.independent == dense.independent
+        assert stratified.p_value == pytest.approx(dense.p_value, abs=1e-12)
+        assert stratified.statistic == pytest.approx(dense.statistic,
+                                                     rel=1e-12)
+
+    @pytest.mark.parametrize("min_expected", [0.0, 3.0])
+    def test_guard_changes_dof_identically_on_both_paths(self, monkeypatch,
+                                                         min_expected):
+        """min_expected must invalidate the same strata dense and
+        stratified — including strata that only fail the guard (positive
+        dof, low expected counts)."""
+        rng = np.random.default_rng(3)
+        n = 300
+        # A rare stratum (a == 3) with a handful of rows: its expected
+        # counts sit below 3 while the common strata stay above.
+        a = np.where(rng.random(n) < 0.97, rng.integers(0, 3, n), 3)
+        table = Table({"x": rng.integers(0, 2, n),
+                       "s": rng.integers(0, 2, n), "a": a})
+        dense = GTestCI(min_expected=min_expected).test(table, "x", "s", ["a"])
+        monkeypatch.setattr(gtest_mod, "MAX_DENSE_CELLS", 1)
+        fresh = Table(table.to_dict())
+        stratified = GTestCI(min_expected=min_expected).test(fresh, "x", "s",
+                                                             ["a"])
+        assert stratified.p_value == pytest.approx(dense.p_value, abs=1e-12)
+        assert stratified.statistic == pytest.approx(dense.statistic,
+                                                     rel=1e-12)

@@ -26,6 +26,31 @@ class TestHelpers:
     def test_median_bandwidth_constant_input(self):
         assert median_bandwidth(np.zeros((50, 2))) == 1.0
 
+    def test_median_bandwidth_row_order_invariant(self):
+        """Regression: without an rng the subsample used to be the *first*
+        ``max_points`` rows, so a sorted table got a bandwidth estimated
+        from a narrow slice of the data range.  The seeded random
+        subsample must agree between sorted and shuffled row orders (both
+        are unbiased draws), and with the full-data median."""
+        rng = np.random.default_rng(0)
+        values = 3.0 * rng.normal(size=(5000, 1))
+        shuffled = median_bandwidth(values, max_points=400)
+        sorted_rows = median_bandwidth(np.sort(values, axis=0),
+                                       max_points=400)
+        full = median_bandwidth(values, max_points=5000)
+        assert sorted_rows == pytest.approx(shuffled, rel=0.2)
+        assert sorted_rows == pytest.approx(full, rel=0.2)
+        # The old first-rows fallback failed this by a wide margin: the
+        # lowest 8% of a sorted normal sample spans a fraction of σ.
+        first_rows = median_bandwidth(np.sort(values, axis=0)[:400],
+                                      max_points=400)
+        assert first_rows < 0.5 * full
+
+    def test_median_bandwidth_deterministic_without_rng(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=(2000, 2))
+        assert median_bandwidth(values) == median_bandwidth(values)
+
     def test_rff_shape_and_range(self):
         rng = np.random.default_rng(1)
         feats = random_fourier_features(rng.normal(size=(80, 2)), 25, 1.0, rng)

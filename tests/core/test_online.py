@@ -86,6 +86,149 @@ class TestOnlineOracle:
         assert online.n_ci_tests > first
 
 
+class TestNoRetryWithoutNewEvidence:
+    """Regression: rejected features used to be re-queued on *every* batch,
+    re-executing byte-identical queries whenever C1 (hence the phase-2
+    conditioning set) had not grown — inflating n_ci_tests and letting
+    stochastic testers flip settled verdicts."""
+
+    @staticmethod
+    def make_problem(n=1200, seed=7):
+        import numpy as np
+        from repro.core.problem import FairFeatureSelectionProblem
+        from repro.data.table import Table
+        rng = np.random.default_rng(seed)
+        s = rng.integers(0, 2, n)
+        y = np.where(rng.random(n) < 0.9, s, 1 - s)
+        flip = lambda base, p: np.where(rng.random(n) < p, base,  # noqa: E731
+                                        rng.integers(0, 2, n))
+        table = Table({
+            "s": s, "y": y,
+            "r1": flip(s, 0.85), "r2": flip(s, 0.85),  # biased: rejected
+            "ok": rng.integers(0, 2, n),               # independent: C1
+        })
+        return FairFeatureSelectionProblem(
+            table=table, sensitive=["s"], admissible=[], candidates=
+            ["r1", "r2", "ok"], target="y")
+
+    @pytest.fixture()
+    def problem(self):
+        return self.make_problem()
+
+    def _selector(self):
+        from repro.ci.gtest import GTestCI
+        from repro.core.subset_search import FullSetOnly
+        return OnlineSelector(tester=GTestCI(),
+                              subset_strategy=FullSetOnly())
+
+    def test_unchanged_conditioning_skips_retries(self, problem):
+        online = self._selector()
+        online.observe(problem, ["r1"])
+        # r1: 1 phase-1 test (fails) + 1 phase-2 test (rejected).
+        assert online.n_ci_tests == 2
+        assert online.current.rejected == ["r1"]
+
+        online.observe(problem, ["r2"])
+        # r2 costs exactly its own 2 tests; r1 must NOT be re-executed —
+        # the conditioning set did not change.  (The old behaviour ran
+        # 5 tests here: r1's identical phase-2 query was re-queued.)
+        assert online.n_ci_tests == 4
+        assert online.current.rejected == ["r1", "r2"]
+
+    def test_widening_table_alone_does_not_retry(self, problem):
+        """The online setting widens the table every batch; an appended
+        column that no retried query touches is not new evidence, so the
+        skip must still fire (keying on the whole-table fingerprint would
+        re-queue on every observe)."""
+        import numpy as np
+        from repro.core.problem import FairFeatureSelectionProblem
+        online = self._selector()
+        online.observe(problem, ["r1"])
+        assert online.n_ci_tests == 2
+
+        rng = np.random.default_rng(99)
+        n = problem.table.n_rows
+        # w is biased like r1 (fails phase 1, rejected in phase 2) so C1 —
+        # and with it the conditioning set — stays empty.
+        w = np.where(rng.random(n) < 0.85, problem.table["s"],
+                     rng.integers(0, 2, n))
+        widened = FairFeatureSelectionProblem(
+            table=problem.table.with_column("w", w),
+            sensitive=["s"], admissible=[], candidates=["r1", "r2", "ok", "w"],
+            target="y")
+        online.observe(widened, ["w"])
+        # w's own phase-1/phase-2 tests only; r1 is not re-executed.
+        assert online.n_ci_tests == 4
+        assert online.current.rejected == ["r1", "w"]
+
+    def test_new_data_still_retries(self, problem):
+        """Changed table data is new evidence even when the conditioning
+        *names* are unchanged (the stream appends rows): prior rejects
+        must be re-tested against the new rows."""
+        online = self._selector()
+        online.observe(problem, ["r1"])
+        assert online.n_ci_tests == 2
+
+        grown = self.make_problem(n=1800, seed=11)
+        online.observe(grown, ["r2"])
+        # r2's 2 tests plus r1's retry against the new data: 5 total.
+        assert online.n_ci_tests == 5
+
+    def test_grown_conditioning_still_retries(self, problem):
+        online = self._selector()
+        online.observe(problem, ["r1"])
+        online.observe(problem, ["r2"])
+        assert online.n_ci_tests == 4
+
+        online.observe(problem, ["ok"])
+        # "ok" enters C1 (1 phase-1 test), the conditioning set grows, so
+        # both prior rejects get their second chance: 2 retry tests.
+        assert "ok" in online.current.c1
+        assert online.n_ci_tests == 4 + 1 + 2
+
+    def test_verdicts_stable_for_stochastic_tester_between_batches(self):
+        """With an unseeded-looking stochastic tester, skipping redundant
+        retries keeps settled verdicts settled."""
+        import numpy as np
+        from repro.ci.base import CIResult, CITester
+        from repro.core.problem import FairFeatureSelectionProblem
+        from repro.data.table import Table
+
+        class FlipFlop(CITester):
+            """Alternates its verdict on every executed test."""
+
+            method = "flipflop"
+
+            def __init__(self):
+                super().__init__(alpha=0.5)
+                self.calls = 0
+
+            def test(self, table, x, y, z=()):
+                self.calls += 1
+                p = 0.0 if self.calls % 2 else 1.0
+                return CIResult(independent=p >= self.alpha, p_value=p,
+                                statistic=0.0, method=self.method)
+
+        rng = np.random.default_rng(0)
+        n = 100
+        table = Table({"s": rng.integers(0, 2, n),
+                       "y": rng.integers(0, 2, n),
+                       "g1": rng.integers(0, 2, n),
+                       "g2": rng.integers(0, 2, n)})
+        problem = FairFeatureSelectionProblem(
+            table=table, sensitive=["s"], admissible=[],
+            candidates=["g1", "g2"], target="y")
+        from repro.core.subset_search import FullSetOnly
+        online = OnlineSelector(tester=FlipFlop(),
+                                subset_strategy=FullSetOnly())
+        online.observe(problem, ["g1"])  # phase1 dep, phase2 indep -> C2
+        assert online.current.c2 == ["g1"]
+        online.observe(problem, ["g2"])
+        # g1's phase-2 verdict must survive the second batch untouched:
+        # no retry ran, so the flip-flopping tester had no chance to flip it.
+        assert "g1" in online.current.c2
+
+
 class TestOnlineStatistical:
     def test_matches_batch_on_sampled_data(self):
         spec = FairnessGraphSpec(n_features=10, n_biased=3, seed=5)

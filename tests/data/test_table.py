@@ -208,6 +208,26 @@ class TestCIEngineCaches:
         t = make_table()
         assert t.fingerprint is t.fingerprint
 
+    def test_fingerprint_differs_on_kind(self):
+        """Kind-aware testers dispatch on the schema kind, so identical
+        values annotated differently must not share a fingerprint."""
+        t = Table({"a": np.arange(8), "b": np.arange(8)})
+        relabelled = t.with_column("a", t["a"], kind=Kind.CONTINUOUS)
+        assert t.fingerprint != relabelled.fingerprint
+
+    def test_fingerprint_of_subset(self):
+        t = make_table()
+        # Order-insensitive, content-addressed, and blind to other columns.
+        assert t.fingerprint_of(["s", "x"]) == t.fingerprint_of(["x", "s"])
+        widened = t.with_column("extra", np.zeros(t.n_rows))
+        assert widened.fingerprint_of(["s", "x"]) == t.fingerprint_of(["s", "x"])
+        changed = t.with_column("x", np.zeros(t.n_rows))
+        assert changed.fingerprint_of(["s", "x"]) != t.fingerprint_of(["s", "x"])
+
+    def test_fingerprint_of_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            make_table().fingerprint_of(["ghost"])
+
     def test_float_column_cached_and_readonly(self):
         t = make_table()
         col = t.float_column("s")

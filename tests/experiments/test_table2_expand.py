@@ -51,3 +51,33 @@ class TestTable2RowWithoutExpansion:
         # per candidate with the marginal+full strategy plus phase 2.
         assert row.seqsel_tests <= 3 * 10
         assert row.cmi_pred <= row.cmi_target + 1e-9
+
+
+class TestTable2PersistentCache:
+    def test_cold_counts_uncorrupted_and_warm_rerun_free(self, german,
+                                                         tmp_path):
+        """Regression: a single store shared by both selectors let GrpSel's
+        run answer SeqSel's queries, reporting ~0 SeqSel tests on a *cold*
+        run — the per-selector stores must keep cold counts identical to
+        the uncached row, while a full rerun hits both stores."""
+        plain = table2_row(german, seed=0, n_derived=0)
+        path = tmp_path / "table2-cache.json"
+        cold = table2_row(german, seed=0, n_derived=0, ci_cache=str(path))
+        assert cold.seqsel_tests == plain.seqsel_tests
+        assert cold.grpsel_tests == plain.grpsel_tests
+        assert (tmp_path / "table2-cache.grpsel.json").exists()
+        assert (tmp_path / "table2-cache.seqsel.json").exists()
+
+        warm = table2_row(german, seed=0, n_derived=0, ci_cache=str(path))
+        assert warm.seqsel_tests == 0
+        assert warm.grpsel_tests == 0
+        assert warm.cmi_pred == pytest.approx(cold.cmi_pred)
+
+    def test_open_store_instance_rejected(self, german, tmp_path):
+        """An open store can't be honoured (each selector needs its own
+        file), so passing one must fail loudly instead of being silently
+        ignored."""
+        from repro.ci.store import PersistentCICache
+        store = PersistentCICache(tmp_path / "t2.json")
+        with pytest.raises(TypeError, match="base .?path"):
+            table2_row(german, seed=0, n_derived=0, ci_cache=store)
