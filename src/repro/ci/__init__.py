@@ -3,14 +3,15 @@
 from repro.ci.base import CIQuery, CIResult, CITestLedger, CITester, LedgerEntry
 from repro.ci.adaptive import AdaptiveCI
 from repro.ci.cmi import ClassifierCMI, discrete_cmi, knn_cmi
-from repro.ci.executor import (BatchExecutor, SerialExecutor,
-                               ThreadedExecutor, executor_by_name)
+from repro.ci.executor import (BatchExecutor, ProcessExecutor,
+                               SerialExecutor, ThreadedExecutor,
+                               default_executor, executor_by_name)
 from repro.ci.fisher_z import FisherZCI, partial_correlation
 from repro.ci.gtest import ChiSquaredCI, GTestCI
 from repro.ci.oracle import GraphoidOracleBackend, OracleCI
 from repro.ci.permutation import PermutationCI
 from repro.ci.rcit import RCIT, RIT, median_bandwidth, random_fourier_features
-from repro.ci.store import PersistentCICache
+from repro.ci.store import ExperimentStore, PersistentCICache
 
 __all__ = [
     "CIQuery",
@@ -20,9 +21,12 @@ __all__ = [
     "LedgerEntry",
     "AdaptiveCI",
     "BatchExecutor",
+    "ProcessExecutor",
     "SerialExecutor",
     "ThreadedExecutor",
+    "default_executor",
     "executor_by_name",
+    "ExperimentStore",
     "PersistentCICache",
     "ClassifierCMI",
     "discrete_cmi",

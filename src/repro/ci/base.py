@@ -57,7 +57,7 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.ci.executor import BatchExecutor, SerialExecutor
+from repro.ci.executor import BatchExecutor, default_executor
 from repro.ci.store import PersistentCICache
 from repro.data.table import Table
 from repro.exceptions import CITestError
@@ -129,6 +129,12 @@ class CITester:
 
     method = "base"
 
+    #: Whether calls mutate tester-held state that callers observe
+    #: (ledger entries).  :class:`~repro.ci.executor.ProcessExecutor`
+    #: refuses to ship state-collecting testers to worker processes —
+    #: their mutations would land on the worker's copy and be lost.
+    collects_state = False
+
     def __init__(self, alpha: float = 0.01) -> None:
         if not 0.0 < alpha < 1.0:
             raise CITestError(f"alpha must be in (0, 1), got {alpha}")
@@ -172,6 +178,23 @@ class CITester:
         different configuration.
         """
         return ()
+
+    def process_safe(self) -> bool:
+        """Whether shipping a pickled copy to worker processes preserves
+        the serial results bit for bit.
+
+        False for testers seeded with a *live* ``numpy`` ``Generator``:
+        serial execution consumes one evolving stream, while each worker
+        would replay an identical pickled snapshot of it — verdicts
+        diverge.  :class:`~repro.ci.executor.ProcessExecutor` keeps such
+        testers in the calling process, and
+        :class:`~repro.ci.executor.ThreadedExecutor` refuses to shard
+        them for the sibling reason (``Generator`` is not thread-safe, so
+        concurrent shards would draw in scheduling order).  Value seeds
+        (int/None) are safe: every copy derives the same (or an equally
+        fresh) stream per test.
+        """
+        return True
 
     def _check_query(self, table: Table, query: CIQuery) -> None:
         """Validate a normalised query against the table (shared by backends)."""
@@ -225,6 +248,8 @@ class CITestLedger(CITester):
     see :mod:`repro.ci.executor`.
     """
 
+    collects_state = True
+
     def __init__(self, inner: CITester,
                  cache: bool | str | os.PathLike | PersistentCICache = False,
                  executor: BatchExecutor | None = None) -> None:
@@ -239,7 +264,9 @@ class CITestLedger(CITester):
             cache if isinstance(cache, PersistentCICache) else None)
         self._cache_enabled = bool(cache) or self.store is not None
         self._cache: dict[tuple, CIResult] = {}
-        self.executor: BatchExecutor = executor or SerialExecutor()
+        # With no explicit executor the process-wide default applies (the
+        # REPRO_CI_EXECUTOR environment variable; serial when unset).
+        self.executor: BatchExecutor = executor or default_executor()
 
     def cache_token(self) -> tuple:
         # A ledger is configuration-transparent: forward the wrapped

@@ -12,26 +12,121 @@ remainder through an executor, which decides *how* the inner tester's
   evaluates the shards on a thread pool.  Worthwhile for
   continuous-backend batches (RCIT/KCIT spend their time in BLAS kernels,
   which release the GIL), where per-query wall clock dominates and fusion
-  across queries buys nothing.  Sharding splits a discrete backend's
-  fusion groups at shard boundaries — results stay bitwise identical
-  (fusion is exact), only the counting passes multiply — so mixed batches
-  are safe, merely less fused.
+  across queries buys nothing.
+* :class:`ProcessExecutor` — shards the batch across worker *processes*.
+  This is the only executor that scales a discrete (G-test) burst past the
+  GIL: the fused counting kernels are pure-numpy integer work that holds
+  the GIL, so threads cannot help them, but two processes each fusing half
+  a burst can.  Workers receive the ``(tester, table)`` pair once at pool
+  start-up (spawn-safe pickling; the table ships without its lazy caches
+  and re-warms its ``discrete_codes`` per worker) and the pool is kept
+  alive across calls for the same pair, so a selection run pays the
+  process start-up cost once, not per burst.
+
+Sharding splits a discrete backend's fusion groups at shard boundaries —
+results stay bitwise identical (fusion is exact), only the counting passes
+multiply — so mixed batches are safe, merely less fused.
 
 Executors are deliberately *mechanism only*: result order always matches
 the input order, every query is executed exactly once, and cost
 accounting (ledger entries, early exit, caching) stays in the ledger —
 an executor never sees cached queries and cannot change ``n_tests``.
+
+Error contract: a failure inside a :class:`ThreadedExecutor` or
+:class:`ProcessExecutor` worker surfaces as
+:class:`~repro.exceptions.CITestError` with the offending
+:class:`~repro.ci.base.CIQuery` attached as ``error.query`` (``None`` when
+the failure cannot be pinned to one query, e.g. a crashed worker process)
+— never as a bare pool exception.  :class:`SerialExecutor` stays fully
+transparent: the caller's thread sees the original exception.
+
+The process-wide default executor is configurable through the
+``REPRO_CI_EXECUTOR`` environment variable (``serial`` / ``threads`` /
+``process``; worker count via ``REPRO_CI_JOBS``, multiprocessing start
+method via ``REPRO_CI_MP_CONTEXT``), which is how the CI matrix runs the
+whole test suite under process execution to enforce the equivalence
+contract.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
 from typing import TYPE_CHECKING, Sequence
+
+from repro.exceptions import CITestError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.ci.base import CIQuery, CIResult, CITester
     from repro.data.table import Table
+
+ENV_EXECUTOR = "REPRO_CI_EXECUTOR"
+ENV_JOBS = "REPRO_CI_JOBS"
+ENV_MP_CONTEXT = "REPRO_CI_MP_CONTEXT"
+
+
+def _replay_safe(tester: "CITester") -> bool:
+    """Whether re-executing queries on ``tester`` is observable-state-free.
+
+    The error-path replay below re-runs a failed shard per query; on a
+    state-collecting tester (an injected ledger) that would append
+    duplicate entries — corrupting the very counts the invariant suite
+    locks — and on a live-``Generator``-seeded tester it would burn extra
+    draws from the shared stream.  Both skip the replay and report
+    ``query=None`` instead.
+    """
+    return (not getattr(tester, "collects_state", False)
+            and _process_safe(tester))
+
+
+def _find_offending_query(tester: "CITester", table: "Table",
+                          shard: Sequence["CIQuery"]) -> "CIQuery | None":
+    """Replay a failed shard per query to pin down which one raised.
+
+    Only runs on the error path, and only for :func:`_replay_safe`
+    testers (pure functions of their input).  Returns ``None`` when no
+    single query reproduces the failure (e.g. a batch-only resource
+    error).
+    """
+    if not _replay_safe(tester):
+        return None
+    for query in shard:
+        try:
+            tester.test(table, query.x, query.y, query.z)
+        except Exception:
+            return query
+    return None
+
+
+def _run_shard(tester: "CITester", table: "Table",
+               shard: Sequence["CIQuery"]) -> list["CIResult"]:
+    """Evaluate one shard, converting failures to an attributed error.
+
+    Every exception leaves here as :class:`CITestError` carrying the
+    offending query on ``error.query`` — exception attributes survive
+    pickling, so the attribution also crosses a process boundary.
+    """
+    try:
+        return tester.test_batch(table, shard)
+    except CITestError as exc:
+        if getattr(exc, "query", None) is None:
+            exc.query = _find_offending_query(tester, table, shard)
+        raise
+    except Exception as exc:
+        error = CITestError(
+            f"CI batch execution failed in a worker: {exc!r}")
+        error.query = _find_offending_query(tester, table, shard)
+        raise error from exc
+
+
+def _contiguous_shards(queries: list, n_shards: int) -> list[list]:
+    """Split ``queries`` into contiguous runs, preserving input order."""
+    bounds = [round(i * len(queries) / n_shards)
+              for i in range(n_shards + 1)]
+    return [queries[bounds[i]:bounds[i + 1]]
+            for i in range(n_shards) if bounds[i] < bounds[i + 1]]
 
 
 class BatchExecutor:
@@ -70,6 +165,18 @@ class ThreadedExecutor(BatchExecutor):
     :meth:`~repro.data.table.Table.warm_cache` it first: the table's lazy
     per-column caches are safe under concurrent reads (worst case a value
     is computed twice), but warming avoids that duplicated work.
+
+    A worker exception is re-raised as :class:`CITestError` with the
+    offending query attached as ``error.query`` (see the module
+    docstring); the small-batch serial fallback gets the same treatment so
+    error behaviour does not depend on the batch size.
+
+    Testers that collect observable state (an injected
+    :class:`~repro.ci.base.CITestLedger`) or consume a shared live
+    ``Generator`` stream (``process_safe() is False``) run serially in
+    the calling thread instead: concurrent shards would interleave their
+    mutations — cache races for the former, scheduling-dependent draw
+    order for the latter — breaking the bitwise-equivalence contract.
     """
 
     name = "threads"
@@ -84,27 +191,256 @@ class ThreadedExecutor(BatchExecutor):
     def run(self, tester: "CITester", table: "Table",
             queries: Sequence["CIQuery"]) -> list["CIResult"]:
         queries = list(queries)
-        if self.n_workers < 2 or len(queries) < max(2, self.min_batch):
-            return tester.test_batch(table, queries)
-        n_shards = min(self.n_workers, len(queries))
-        bounds = [round(i * len(queries) / n_shards)
-                  for i in range(n_shards + 1)]
-        shards = [queries[bounds[i]:bounds[i + 1]] for i in range(n_shards)]
-        with ThreadPoolExecutor(max_workers=n_shards) as pool:
-            futures = [pool.submit(tester.test_batch, table, shard)
-                       for shard in shards if shard]
+        if (self.n_workers < 2
+                or len(queries) < max(2, self.min_batch)
+                or getattr(tester, "collects_state", False)
+                or not _process_safe(tester)):
+            return _run_shard(tester, table, queries)
+        shards = _contiguous_shards(queries, min(self.n_workers, len(queries)))
+        with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+            futures = [pool.submit(_run_shard, tester, table, shard)
+                       for shard in shards]
             return [result for future in futures for result in future.result()]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ThreadedExecutor(n_workers={self.n_workers})"
 
 
+def _process_safe(tester: "CITester") -> bool:
+    """Whether worker copies of ``tester`` reproduce its serial results
+    (see :meth:`~repro.ci.base.CITester.process_safe`); conservatively
+    False when the tester predates the protocol."""
+    probe = getattr(tester, "process_safe", None)
+    return bool(probe()) if callable(probe) else False
+
+
+# Per-worker state for ProcessExecutor, set once by the pool initializer:
+# the worker's private (tester, table) pair.  The table arrives without its
+# lazy caches (see Table.__getstate__) and re-builds them here, so every
+# worker holds warm, process-local discrete codes shared across the shards
+# it evaluates — never concurrently-mutated parent state.
+_PROCESS_STATE: dict = {}
+
+
+def _process_worker_init(tester: "CITester", table: "Table",
+                         warm_names: Sequence[str]) -> None:
+    if getattr(tester, "executor", None) is not None:
+        # Never nest pools: a tester shipped with its own executor (e.g.
+        # AdaptiveCI) runs its sub-batches serially inside the worker.
+        # Results are identical — executors are mechanism only.
+        tester.executor = None
+    table.warm_cache([name for name in warm_names if name in table])
+    _PROCESS_STATE["tester"] = tester
+    _PROCESS_STATE["table"] = table
+
+
+def _process_worker_run(shard: Sequence["CIQuery"]) -> list["CIResult"]:
+    return _run_shard(_PROCESS_STATE["tester"], _PROCESS_STATE["table"], shard)
+
+
+class ProcessExecutor(BatchExecutor):
+    """Shard the batch across worker processes (true discrete parallelism).
+
+    The ``(tester, table)`` pair is pickled into each worker once, at pool
+    start-up (``initargs``), and shards then travel as lightweight query
+    lists; results come back as plain :class:`~repro.ci.base.CIResult`
+    values.  The pool is cached on the executor and reused while the
+    ``(tester, table.fingerprint)`` pair is unchanged — a selection run
+    over one table pays process start-up once across all of its bursts.
+    Call :meth:`close` (or use the executor as a context manager) to
+    release the workers early; dropping the executor releases them too.
+
+    ``mp_context`` selects the multiprocessing start method.  The default
+    ``"spawn"`` works everywhere and is what the serialization contract is
+    written against; ``"fork"`` starts workers far faster on POSIX and is
+    safe here because workers only compute on their private copies.
+
+    Testers that *collect state* across calls (a
+    :class:`~repro.ci.base.CITestLedger`, or anything else with
+    ``collects_state = True``) are evaluated serially in the calling
+    process instead: their per-call mutations (ledger entries) happen on
+    the worker's copy and would be silently lost — the Figures 4-5
+    injected-inner-ledger counts must never decouple from the tests that
+    actually ran.  Likewise testers whose
+    :meth:`~repro.ci.base.CITester.process_safe` is False (seeded with a
+    live ``Generator``): worker copies would replay a pickled snapshot of
+    the stream serial execution consumes incrementally, so their verdicts
+    would diverge from the serial path.
+    """
+
+    name = "process"
+
+    def __init__(self, n_workers: int | None = None,
+                 min_batch: int = 16,
+                 mp_context: str = "spawn") -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers or min(8, os.cpu_count() or 1)
+        self.min_batch = min_batch
+        self.mp_context = mp_context
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_key: tuple | None = None
+        # One instance may be shared across ledgers (default_executor()
+        # memoises); serialise pooled runs so one caller can never tear
+        # down a pool another is mid-flight on.
+        self._lock = threading.RLock()
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    @staticmethod
+    def _pool_key_for(tester: "CITester", table: "Table") -> tuple:
+        # Keyed on the tester's *configuration*, not its pickled bytes:
+        # cache_token() is contractually every behavior-affecting knob
+        # beyond (method, alpha), while the raw pickle also drifts with
+        # harmless parent-side memo state (OracleCI's reachability cache),
+        # which would tear the pool down between bursts for nothing.
+        return (table.fingerprint,
+                f"{type(tester).__module__}.{type(tester).__qualname__}",
+                getattr(tester, "method", ""),
+                repr(getattr(tester, "alpha", None)),
+                repr(tuple(tester.cache_token())))
+
+    def _pool_for(self, tester: "CITester", table: "Table",
+                  queries: Sequence["CIQuery"]) -> ProcessPoolExecutor:
+        key = self._pool_key_for(tester, table)
+        if self._pool is not None and self._pool_key == key:
+            return self._pool
+        self.close()
+        import multiprocessing
+
+        warm_names = sorted({name for query in queries
+                             for name in query.x + query.y + query.z})
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            mp_context=multiprocessing.get_context(self.mp_context),
+            initializer=_process_worker_init,
+            initargs=(tester, table, warm_names),
+        )
+        self._pool_key = key
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the cached worker pool (idempotent)."""
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+                self._pool = None
+                self._pool_key = None
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __getstate__(self) -> dict:
+        # Executors travel inside testers (AdaptiveCI) when those are
+        # themselves pickled; ship the configuration, never the live pool
+        # (or its unpicklable lock).
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        state["_pool_key"] = None
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, tester: "CITester", table: "Table",
+            queries: Sequence["CIQuery"]) -> list["CIResult"]:
+        queries = list(queries)
+        if (self.n_workers < 2
+                or len(queries) < max(2, self.min_batch)
+                or getattr(tester, "collects_state", False)
+                or not _process_safe(tester)):
+            return _run_shard(tester, table, queries)
+        with self._lock:
+            try:
+                # submit() can itself raise if a cached pool broke while
+                # idle (worker OOM-killed between bursts) — the whole
+                # pooled path stays under the guard so a wedged pool is
+                # torn down rather than cached forever.
+                pool = self._pool_for(tester, table, queries)
+                shards = _contiguous_shards(
+                    queries, min(self.n_workers, len(queries)))
+                futures = [pool.submit(_process_worker_run, shard)
+                           for shard in shards]
+                return [result for future in futures
+                        for result in future.result()]
+            except BrokenProcessPool as exc:
+                self.close()
+                error = CITestError(
+                    f"CI worker process died mid-batch: {exc!r}")
+                error.query = None
+                raise error from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ProcessExecutor(n_workers={self.n_workers}, "
+                f"mp_context={self.mp_context!r})")
+
+
 def executor_by_name(name: str, **kwargs) -> BatchExecutor:
-    """Look up an executor by its ``name`` attribute (``serial``/``threads``)."""
+    """Look up an executor by its ``name`` attribute
+    (``serial``/``threads``/``process``)."""
     executors: dict[str, type[BatchExecutor]] = {
-        cls.name: cls for cls in (SerialExecutor, ThreadedExecutor)
+        cls.name: cls
+        for cls in (SerialExecutor, ThreadedExecutor, ProcessExecutor)
     }
     if name not in executors:
         raise ValueError(f"unknown executor {name!r}; "
                          f"choose from {sorted(executors)}")
     return executors[name](**kwargs)
+
+
+# Pooled default executors are memoised per environment configuration:
+# ledgers are created per select() call, and a fresh ProcessExecutor each
+# time would re-spawn (and abandon) a worker pool per selection instead of
+# amortising start-up across the run.
+_DEFAULT_EXECUTORS: dict[tuple, BatchExecutor] = {}
+
+
+def default_executor() -> BatchExecutor:
+    """The executor a :class:`~repro.ci.base.CITestLedger` uses when none
+    is passed explicitly.
+
+    Controlled by environment variables so a whole run (or a CI job) can
+    be switched onto a different execution strategy without touching call
+    sites — the equivalence contract guarantees identical results/counts:
+
+    * ``REPRO_CI_EXECUTOR`` — ``serial`` (default), ``threads``, ``process``
+    * ``REPRO_CI_JOBS`` — worker count for the pooled executors
+    * ``REPRO_CI_MP_CONTEXT`` — start method for ``process``
+      (``spawn``/``fork``/``forkserver``)
+
+    Pooled executors are shared process-wide per configuration (they are
+    thread-safe), so every ledger in a run amortises one worker pool;
+    serial executors are stateless and constructed fresh.
+    """
+    name = os.environ.get(ENV_EXECUTOR, "").strip().lower() or "serial"
+    if name == "serial":
+        return SerialExecutor()
+    kwargs: dict = {}
+    jobs = os.environ.get(ENV_JOBS, "").strip()
+    if jobs:
+        try:
+            kwargs["n_workers"] = max(1, int(jobs))
+        except ValueError:
+            raise ValueError(
+                f"{ENV_JOBS} must be an integer, got {jobs!r}") from None
+    context = os.environ.get(ENV_MP_CONTEXT, "").strip()
+    if context and name == "process":
+        kwargs["mp_context"] = context
+    key = (name, *sorted(kwargs.items()))
+    cached = _DEFAULT_EXECUTORS.get(key)
+    if cached is None:
+        cached = _DEFAULT_EXECUTORS[key] = executor_by_name(name, **kwargs)
+    return cached

@@ -23,6 +23,7 @@ from scipy import stats
 from repro.ci.base import CITester
 from repro.ci.rcit import _standardize, median_bandwidth
 from repro.exceptions import CITestError
+from repro.rng import seed_token
 
 
 def rbf_gram(matrix: np.ndarray, bandwidth: float) -> np.ndarray:
@@ -58,8 +59,17 @@ class KCIT(CITester):
         self._seed = seed
 
     def cache_token(self) -> tuple:
-        return (("seed", repr(self._seed)), ("ridge", self.ridge),
+        # seed_token, not repr: nothing stops a caller passing a live
+        # Generator despite the int|None annotation, and its repr is an
+        # allocator-recycled address (see RCIT.cache_token).
+        return (seed_token(self._seed), ("ridge", self.ridge),
                 ("max_samples", self.max_samples))
+
+    def process_safe(self) -> bool:
+        # default_rng(generator) passes a live Generator through, so the
+        # subsampling draw consumes a shared evolving stream (see
+        # RCIT.process_safe).
+        return not isinstance(self._seed, np.random.Generator)
 
     def _test(self, x: np.ndarray, y: np.ndarray,
               z: np.ndarray | None) -> tuple[float, float]:

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.ci.base import CITester, encode_rows
 from repro.exceptions import CITestError
-from repro.rng import SeedLike, as_generator
+from repro.rng import SeedLike, as_generator, seed_token
 
 
 def _cross_correlation_stat(x: np.ndarray, y: np.ndarray) -> float:
@@ -65,9 +65,15 @@ class PermutationCI(CITester):
         self._seed = seed
 
     def cache_token(self) -> tuple:
-        return (("seed", repr(self._seed)),
+        # seed_token: a live Generator seed keys as one-time, never by
+        # its repr (an allocator-recycled address).
+        return (seed_token(self._seed),
                 ("n_permutations", self.n_permutations),
                 ("n_bins", self.n_bins))
+
+    def process_safe(self) -> bool:
+        # See RCIT.process_safe: a live Generator stream cannot be shipped.
+        return not isinstance(self._seed, np.random.Generator)
 
     def _test(self, x: np.ndarray, y: np.ndarray,
               z: np.ndarray | None) -> tuple[float, float]:

@@ -24,7 +24,7 @@ from scipy import stats
 
 from repro.ci.base import CITester
 from repro.exceptions import CITestError
-from repro.rng import SeedLike, as_generator
+from repro.rng import SeedLike, as_generator, seed_token
 
 
 def _standardize(matrix: np.ndarray) -> np.ndarray:
@@ -111,10 +111,17 @@ class RCIT(CITester):
         # The seed participates: two differently-seeded RCITs are both
         # deterministic but draw different random features, so a shared
         # persistent store must never serve one the other's verdicts.
-        return (("seed", repr(self._seed)),
+        # seed_token (not repr) so a live Generator gets a one-time token
+        # — its repr is an *address*, which the allocator recycles.
+        return (seed_token(self._seed),
                 ("n_features_xy", self.n_features_xy),
                 ("n_features_z", self.n_features_z),
                 ("ridge", self.ridge))
+
+    def process_safe(self) -> bool:
+        # A live Generator seed is one evolving stream; worker copies
+        # would each replay its pickled snapshot instead of consuming it.
+        return not isinstance(self._seed, np.random.Generator)
 
     def _n_features_for(self, n_columns: int) -> int:
         """Random-feature budget for a block of ``n_columns`` variables.

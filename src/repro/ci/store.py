@@ -1,4 +1,4 @@
-"""Persistent cross-run CI-result store.
+"""Persistent cross-run stores: CI results and selector-level results.
 
 Repeated harness runs over the same tables (re-running Table 2 or the
 Figure 4-5 sweeps after an unrelated change) re-execute every CI test from
@@ -7,10 +7,10 @@ testers (G-test/chi-squared always; RCIT/AdaptiveCI under a fixed seed)
 return the same verdict for the same ``(data, query, method, alpha)``,
 those results can be reused across processes.
 
-:class:`PersistentCICache` is that store: an opt-in, on-disk JSON map from
-``(table.fingerprint, query.key, method, alpha, cache_token)`` to the
-recorded result, where ``cache_token`` carries the tester's remaining
-hyperparameters (seed, guards, feature budgets — see
+:class:`PersistentCICache` is the test-level store: an opt-in, on-disk
+JSON map from ``(table.fingerprint, query.key, method, alpha,
+cache_token)`` to the recorded result, where ``cache_token`` carries the
+tester's remaining hyperparameters (seed, guards, feature budgets — see
 :meth:`~repro.ci.base.CITester.cache_token`) so differently-configured
 runs never share entries.
 It plugs into :class:`~repro.ci.base.CITestLedger` via ``cache=`` and
@@ -18,12 +18,25 @@ preserves the ledger's accounting invariants — a persistent hit counts as
 a ``cache_hit``, never as a ledger entry, so ``n_ci_tests`` on a warm
 rerun drops to zero without distorting the paper's cold-run counts.
 
-Format: a single JSON document with an explicit ``format`` tag and
-``version`` number.  Unreadable, foreign, or future-versioned files are
-treated as empty (the cache is a pure accelerator — losing it is always
-safe); saving rewrites the file atomically via a temp file + rename.
-Only use a shared store with *deterministic* testers: a stochastic tester
-(e.g. RCIT without a seed) would pin one draw of its verdict forever.
+:class:`ExperimentStore` scopes one on-disk cache *tree* across a whole
+experiment suite: per-selector sibling CI caches under
+``<root>/ci/<namespace>.json`` (so Table 2's cold-run SeqSel-vs-GrpSel
+comparison keeps its meaning — see
+:func:`repro.experiments.table2.table2_row`) plus fingerprint-keyed
+memoisation of *selector-level* results in ``<root>/selections.json``,
+keyed on ``(table.fingerprint, selector config digest, tester
+cache_token)``.  A warm rerun then skips not only every CI test but the
+selector traversal itself.
+
+Format: single JSON documents with explicit ``format`` tags and
+``version`` numbers.  Unreadable, foreign, or future-versioned files are
+treated as empty (the caches are pure accelerators — losing one is always
+safe); saving rewrites the file atomically via a temp file + rename,
+*merging* with whatever is on disk first so interleaved savers (sibling
+processes sharing one suite store) never erase each other's committed
+entries.  Only use a shared store with *deterministic* testers: a
+stochastic tester (e.g. RCIT without a seed) would pin one draw of its
+verdict forever.
 """
 
 from __future__ import annotations
@@ -31,10 +44,78 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Iterable, Mapping
+import threading
+from typing import TYPE_CHECKING, Mapping
+
+from repro.rng import ONE_TIME_TOKEN
+
+
+def _has_one_time_token(value) -> bool:
+    """Whether a digest/token tuple contains a :func:`~repro.rng.seed_token`
+    one-time marker pair anywhere in its (nested) structure.
+
+    Structural, not string-based: a column *named* like the marker must
+    never disable caching for the queries that touch it.
+    """
+    if isinstance(value, (tuple, list)):
+        if len(value) == 2 and value[0] == ONE_TIME_TOKEN:
+            return True
+        return any(_has_one_time_token(item) for item in value)
+    return False
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.problem import FairFeatureSelectionProblem
+    from repro.core.result import SelectionResult
+    from repro.data.table import Table
 
 FORMAT_TAG = "repro-ci-cache"
 FORMAT_VERSION = 1
+
+SELECTIONS_TAG = "repro-selection-cache"
+SELECTIONS_VERSION = 1
+
+# Serialises the read-merge-write critical section of every save in this
+# process, so in-process concurrent saves (threaded sweeps sharing a path)
+# can never interleave destructively.  Cross-process savers are protected
+# by the merge pass + atomic rename: a committed entry survives any
+# ordering of whole saves, though two truly simultaneous cross-process
+# writes may each miss the other's *uncommitted-at-read-time* additions.
+_SAVE_LOCK = threading.RLock()
+
+
+def _read_document(path: str, tag: str, version: int) -> dict[str, dict]:
+    """Load one versioned store document; anything unusable reads as empty."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError, OSError, ValueError):
+        return {}
+    if (not isinstance(payload, dict)
+            or payload.get("format") != tag
+            or payload.get("version") != version
+            or not isinstance(payload.get("entries"), dict)):
+        return {}
+    return dict(payload["entries"])
+
+
+def _write_document(path: str, tag: str, version: int,
+                    entries: Mapping[str, dict]) -> None:
+    """Atomically write one versioned store document (temp file + rename)."""
+    payload = {"format": tag, "version": version, "entries": dict(entries)}
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    descriptor, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".ci-cache-", suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def _key_string(fingerprint: str, query_key: tuple, method: str,
@@ -61,10 +142,12 @@ class PersistentCICache:
     Records are plain mappings ``{independent, p_value, statistic,
     method}``; the ledger reconstructs full
     :class:`~repro.ci.base.CIResult` objects around them.  ``put`` marks
-    the store dirty; :meth:`save` writes atomically.  With
-    ``autosave_every=n`` the store additionally saves itself every ``n``
-    new records, so long sweeps survive interruption.  The instance is a
-    context manager — leaving the block saves pending writes.
+    the store dirty; :meth:`save` merges with the on-disk state and writes
+    atomically (own entries win on key conflicts, which for deterministic
+    testers are byte-identical anyway).  With ``autosave_every=n`` the
+    store additionally saves itself every ``n`` new records, so long
+    sweeps survive interruption.  The instance is a context manager —
+    leaving the block saves pending writes.
     """
 
     def __init__(self, path: str | os.PathLike,
@@ -82,39 +165,20 @@ class PersistentCICache:
     # -- persistence --------------------------------------------------------
 
     def _load(self) -> dict[str, dict]:
-        try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError, OSError):
-            return {}
-        if (not isinstance(payload, dict)
-                or payload.get("format") != FORMAT_TAG
-                or payload.get("version") != FORMAT_VERSION
-                or not isinstance(payload.get("entries"), dict)):
-            return {}
-        return dict(payload["entries"])
+        return _read_document(self.path, FORMAT_TAG, FORMAT_VERSION)
 
     def save(self) -> None:
-        """Atomically write the store to disk (no-op when clean)."""
+        """Merge with the on-disk state and write atomically (no-op when
+        clean).  Entries another saver committed since our load survive;
+        our entries win any key conflict."""
         if not self._dirty:
             return
-        payload = {"format": FORMAT_TAG, "version": FORMAT_VERSION,
-                   "entries": self._entries}
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        descriptor, tmp_path = tempfile.mkstemp(
-            dir=directory, prefix=".ci-cache-", suffix=".tmp")
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, separators=(",", ":"))
-            os.replace(tmp_path, self.path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
-        self._dirty = 0
+        with _SAVE_LOCK:
+            merged = self._load()
+            merged.update(self._entries)
+            self._entries = merged
+            _write_document(self.path, FORMAT_TAG, FORMAT_VERSION, merged)
+            self._dirty = 0
 
     # -- record access ------------------------------------------------------
 
@@ -131,7 +195,15 @@ class PersistentCICache:
 
     def put(self, fingerprint: str, query_key: tuple, method: str,
             alpha: float, record: Mapping, token: tuple = ()) -> None:
-        """Insert (or overwrite) one record and mark the store dirty."""
+        """Insert (or overwrite) one record and mark the store dirty.
+
+        No-op for keys carrying a one-time token (a live-``Generator``
+        tester seed): every ``cache_token()`` call mints a fresh token, so
+        such an entry could never be read back — recording it would add
+        one dead record *per executed query*, forever.
+        """
+        if _has_one_time_token(token):
+            return
         key = _key_string(fingerprint, query_key, method, alpha, token)
         self._entries[key] = {
             "independent": bool(record["independent"]),
@@ -166,3 +238,248 @@ class PersistentCICache:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"PersistentCICache({self.path!r}, entries={len(self)}, "
                 f"dirty={self._dirty})")
+
+
+def _digest_and_token(selector) -> tuple[tuple, tuple]:
+    """The (config digest, tester cache token) pair keying a selection.
+
+    Single extraction point: :meth:`ExperimentStore.selection_key` and the
+    one-time-token gate in :meth:`ExperimentStore.put_selection` must
+    always agree on what they read from the selector.
+    """
+    digest = getattr(selector, "config_digest", None)
+    if not callable(digest):
+        raise TypeError(
+            f"selector {type(selector).__name__} has no config_digest(); "
+            "selection memoisation needs one to key results safely")
+    tester = getattr(selector, "tester", None)
+    token = tuple(tester.cache_token()) if tester is not None else ()
+    return tuple(digest()), token
+
+
+def _selection_payload(result: "SelectionResult") -> dict:
+    """JSON-safe record of a selection: selected sets + ledger summary."""
+    return {
+        "algorithm": result.algorithm,
+        "c1": list(result.c1),
+        "c2": list(result.c2),
+        "rejected": list(result.rejected),
+        "reasons": {name: reason.name
+                    for name, reason in result.reasons.items()},
+        "n_ci_tests": int(result.n_ci_tests),
+        "seconds": float(result.seconds),
+    }
+
+
+def _selection_from_payload(payload: Mapping) -> "SelectionResult":
+    # Imported lazily: repro.ci.base imports this module at import time,
+    # and repro.core imports repro.ci.base — a top-level import here would
+    # close that cycle.
+    from repro.core.result import Reason, SelectionResult
+
+    result = SelectionResult(algorithm=str(payload["algorithm"]))
+    result.c1 = list(payload["c1"])
+    result.c2 = list(payload["c2"])
+    result.rejected = list(payload["rejected"])
+    result.reasons = {name: Reason[reason]
+                      for name, reason in payload["reasons"].items()}
+    result.n_ci_tests = int(payload["n_ci_tests"])
+    result.seconds = float(payload["seconds"])
+    return result
+
+
+class ExperimentStore:
+    """One on-disk cache tree scoped across a whole experiment suite.
+
+    Layout under ``root``::
+
+        <root>/ci/<namespace>.json   per-namespace PersistentCICache
+        <root>/selections.json       memoised selector-level results
+
+    **Namespaces** keep the suite's cost accounting honest: every selector
+    (or experiment leg) gets its own sibling CI cache via
+    :meth:`ci_cache`, so e.g. GrpSel can never answer SeqSel's queries on
+    a cold run — exactly the per-selector sibling-store discipline
+    ``table2_row`` introduced, now one directory tree instead of loose
+    files.  Namespace instances are shared per store object, so two legs
+    asking for the same namespace see each other's writes immediately.
+
+    **Selection memoisation** keys a finished
+    :class:`~repro.core.result.SelectionResult` (selected sets, reasons,
+    and the cold-run ledger summary) on ``(table.fingerprint,
+    selector.config_digest(), tester.cache_token())``.  A warm
+    :meth:`cached_select` then skips the selector traversal entirely —
+    zero CI tests execute — while the *reported* ``n_ci_tests`` stays the
+    recorded cold-run count, so downstream tables (Table 2) keep the
+    paper's semantics on warm reruns.  Only memoise deterministic
+    configurations (fixed-seed testers); a live ``Generator`` seed digest
+    carries a one-time token and so never produces a hit (fails safe).
+    """
+
+    def __init__(self, root: str | os.PathLike,
+                 autosave_every: int | None = None) -> None:
+        self.root = os.fspath(root)
+        self.autosave_every = autosave_every
+        self.selection_hits = 0
+        self.selection_misses = 0
+        self._ci_caches: dict[str, PersistentCICache] = {}
+        self._selections: dict[str, dict] = _read_document(
+            self.selections_path, SELECTIONS_TAG, SELECTIONS_VERSION)
+        self._dirty = 0
+
+    @property
+    def selections_path(self) -> str:
+        return os.path.join(self.root, "selections.json")
+
+    # -- CI-cache namespaces -------------------------------------------------
+
+    def ci_cache(self, namespace: str) -> PersistentCICache:
+        """The (shared) per-namespace CI cache under ``<root>/ci/``."""
+        if (not namespace
+                or namespace in (".", "..")
+                or not all(ch.isalnum() or ch in "._-" for ch in namespace)):
+            raise ValueError(
+                "namespace must be a non-empty [alnum._-] name (not a "
+                f"path), got {namespace!r}")
+        cache = self._ci_caches.get(namespace)
+        if cache is None:
+            path = os.path.join(self.root, "ci", f"{namespace}.json")
+            cache = PersistentCICache(path,
+                                      autosave_every=self.autosave_every)
+            self._ci_caches[namespace] = cache
+        return cache
+
+    # -- selection memoisation -----------------------------------------------
+
+    def selection_key(self, problem: "FairFeatureSelectionProblem",
+                      selector) -> str:
+        """Deterministic key for one (problem, selector configuration) pair.
+
+        The *problem* keys, not just its table: the same table queried
+        with different role assignments (a candidate subset in the
+        incremental setting, a different target) is a different selection
+        problem and must never alias to one memoised result.
+        """
+        digest, token = _digest_and_token(selector)
+        return json.dumps(
+            [problem.table.fingerprint,
+             [list(problem.sensitive), list(problem.admissible),
+              list(problem.candidates), problem.target],
+             repr(digest), repr(token)],
+            separators=(",", ":"))
+
+    def get_selection(self, problem: "FairFeatureSelectionProblem",
+                      selector) -> "SelectionResult | None":
+        """Memoised result for this (problem, selector config), or ``None``."""
+        payload = self._selections.get(self.selection_key(problem, selector))
+        if payload is not None:
+            try:
+                result = _selection_from_payload(payload)
+            except (KeyError, TypeError, ValueError, AttributeError):
+                # A malformed entry inside an otherwise valid document
+                # (hand edit, partial corruption) reads as a miss — the
+                # store is a pure accelerator and must never crash a run.
+                payload = None
+            else:
+                self.selection_hits += 1
+                return result
+        self.selection_misses += 1
+        return None
+
+    def put_selection(self, problem: "FairFeatureSelectionProblem",
+                      selector, result: "SelectionResult") -> None:
+        """Record one finished selection and persist the selections file.
+
+        No-op when the key carries a one-time token (a live ``Generator``
+        seed, in the selector digest or the tester token): such an entry
+        could never be served back, and merge-on-save would otherwise grow
+        ``selections.json`` by one dead record per run forever.
+        """
+        digest, token = _digest_and_token(selector)
+        if _has_one_time_token(digest) or _has_one_time_token(token):
+            return
+        key = self.selection_key(problem, selector)
+        self._selections[key] = _selection_payload(result)
+        self._dirty += 1
+        self._save_selections()
+
+    def cached_select(self, selector,
+                      problem: "FairFeatureSelectionProblem",
+                      namespace: str | None = None,
+                      on_miss=None) -> "SelectionResult":
+        """``selector.select(problem)`` with both cache layers attached.
+
+        On a memo hit the selector is not invoked at all.  On a miss the
+        selector runs with this store's ``namespace`` CI cache plugged
+        into its ledger (its prior ``cache`` setting is restored after),
+        and the finished result is recorded — but only when the run was
+        genuinely *cold* (``result.cache_hits == 0``): a resumed sweep
+        re-executes just the remainder of an interrupted run, and
+        memoising that partial ``n_ci_tests`` as the permanent cold-run
+        summary would corrupt the very counts warm reruns exist to
+        preserve.  (The flip side: once a configuration has been resumed,
+        its selection is never memoised — warm reruns still execute zero
+        CI tests through the namespace cache, they just re-walk the
+        selector; delete the namespace file to re-record a true cold
+        run.)  ``namespace`` defaults to the selector's lowercased
+        ``name`` — which is what keeps sibling selectors in sibling
+        caches without every caller spelling it out.  ``on_miss`` (if
+        given) runs just before a cache-missed selection — expensive
+        preparation (table warm-up) belongs there, not ahead of the memo
+        probe.
+        """
+        cached = self.get_selection(problem, selector)
+        if cached is not None:
+            return cached
+        if not hasattr(selector, "cache"):
+            raise TypeError(
+                f"selector {type(selector).__name__} does not accept a CI "
+                "cache (no `cache` attribute)")
+        if on_miss is not None:
+            on_miss()
+        name = namespace or getattr(
+            selector, "name", type(selector).__name__).lower()
+        prior_cache = selector.cache
+        selector.cache = self.ci_cache(name)
+        try:
+            result = selector.select(problem)
+        finally:
+            selector.cache = prior_cache
+        if getattr(result, "cache_hits", 1) == 0:
+            self.put_selection(problem, selector, result)
+        return result
+
+    # -- persistence ---------------------------------------------------------
+
+    def _save_selections(self) -> None:
+        if not self._dirty:
+            return
+        with _SAVE_LOCK:
+            merged = _read_document(self.selections_path, SELECTIONS_TAG,
+                                    SELECTIONS_VERSION)
+            merged.update(self._selections)
+            self._selections = merged
+            _write_document(self.selections_path, SELECTIONS_TAG,
+                            SELECTIONS_VERSION, merged)
+            self._dirty = 0
+
+    def save(self) -> None:
+        """Flush the selections file and every opened CI-cache namespace."""
+        self._save_selections()
+        for cache in self._ci_caches.values():
+            cache.save()
+
+    @property
+    def n_selections(self) -> int:
+        return len(self._selections)
+
+    def __enter__(self) -> "ExperimentStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.save()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ExperimentStore({self.root!r}, "
+                f"selections={self.n_selections}, "
+                f"namespaces={sorted(self._ci_caches)})")

@@ -19,6 +19,8 @@ import sys
 from typing import Sequence
 
 from repro.ci.adaptive import AdaptiveCI
+from repro.ci.executor import BatchExecutor, ProcessExecutor
+from repro.ci.store import ExperimentStore
 from repro.core.grpsel import GrpSel
 from repro.core.seqsel import SeqSel
 from repro.data.loaders import LOADERS
@@ -26,6 +28,30 @@ from repro.experiments.figures import render_table
 from repro.experiments.tradeoff import run_tradeoff
 
 ALGORITHMS = {"seqsel": SeqSel, "grpsel": GrpSel}
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="CI-test worker processes (>1 shards test batches across a "
+             "process pool; results and counts are identical to serial)")
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="experiment-store directory: caches CI verdicts and finished "
+             "selections across runs (per-selector namespaces), so a rerun "
+             "over unchanged data re-executes nothing")
+
+
+def _executor_from_args(args: argparse.Namespace) -> BatchExecutor | None:
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.jobs == 1:
+        return None
+    return ProcessExecutor(n_workers=args.jobs)
+
+
+def _store_from_args(args: argparse.Namespace) -> ExperimentStore | None:
+    return ExperimentStore(args.store) if args.store else None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,6 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument("--alpha", type=float, default=0.01,
                         help="CI-test significance level (default 0.01)")
     select.add_argument("--seed", type=int, default=0)
+    _add_execution_flags(select)
 
     evaluate = sub.add_parser("evaluate",
                               help="run the full method suite on one dataset")
@@ -50,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--seed", type=int, default=0)
     evaluate.add_argument("--n-train", type=int, default=None,
                           help="override the training-set size")
+    _add_execution_flags(evaluate)
 
     sub.add_parser("datasets", help="list bundled datasets")
     return parser
@@ -59,11 +87,18 @@ def cmd_select(args: argparse.Namespace) -> int:
     dataset = LOADERS[args.dataset](seed=args.seed)
     problem = dataset.problem()
     tester = AdaptiveCI(alpha=args.alpha, seed=args.seed)
+    executor = _executor_from_args(args)
     if args.algorithm == "grpsel":
-        selector = GrpSel(tester=tester, seed=args.seed)
+        selector = GrpSel(tester=tester, seed=args.seed, executor=executor)
     else:
-        selector = SeqSel(tester=tester)
-    result = selector.select(problem)
+        selector = SeqSel(tester=tester, executor=executor)
+    store = _store_from_args(args)
+    if store is not None:
+        with store:
+            result = store.cached_select(selector, problem,
+                                         namespace=args.algorithm)
+    else:
+        result = selector.select(problem)
     print(result.summary())
     rows = [{"feature": f, "verdict": "selected", "reason": result.reasons[f].value}
             for f in result.selected]
@@ -78,7 +113,9 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     if args.n_train is not None:
         kwargs["n_train"] = args.n_train
     dataset = LOADERS[args.dataset](**kwargs)
-    result = run_tradeoff(dataset, seed=args.seed)
+    result = run_tradeoff(dataset, seed=args.seed,
+                          store=_store_from_args(args),
+                          executor=_executor_from_args(args))
     print(render_table(result.table(),
                        title=f"Method suite on {dataset.name}"))
     return 0

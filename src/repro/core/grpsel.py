@@ -23,7 +23,7 @@ from repro.ci.store import PersistentCICache
 from repro.core.problem import FairFeatureSelectionProblem
 from repro.core.result import Reason, SelectionResult
 from repro.core.subset_search import ExhaustiveSubsets, SubsetStrategy
-from repro.rng import SeedLike, as_generator
+from repro.rng import SeedLike, as_generator, seed_token
 
 
 class GrpSel:
@@ -58,6 +58,16 @@ class GrpSel:
         self.cache = cache
         self.executor = executor
 
+    def config_digest(self) -> tuple:
+        """Hashable description of everything that determines the selection
+        for a given table (see :meth:`repro.core.seqsel.SeqSel.config_digest`).
+        The partition order depends on ``shuffle``/``seed``, so both key;
+        a live ``Generator`` seed gets a one-time token and never hits —
+        not even within this process (fails safe)."""
+        return (self.name, self.tester.method, float(self.tester.alpha),
+                self.subset_strategy.name, bool(self.shuffle),
+                int(self.min_group), seed_token(self._seed))
+
     def select(self, problem: FairFeatureSelectionProblem) -> SelectionResult:
         """Run both group-tested phases and return the selection."""
         ledger = CITestLedger(self.tester, cache=self.cache,
@@ -90,6 +100,7 @@ class GrpSel:
             result.reasons[feature] = Reason.REJECTED_BIASED
 
         result.n_ci_tests = ledger.n_tests
+        result.cache_hits = ledger.cache_hits
         result.seconds = time.perf_counter() - start
         ledger.flush_cache()
         return result

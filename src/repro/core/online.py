@@ -90,6 +90,7 @@ class OnlineSelector:
         for f in self._rejected:
             result.reasons[f] = Reason.REJECTED_BIASED
         result.n_ci_tests = self._ledger.n_tests
+        result.cache_hits = self._ledger.cache_hits
         return result
 
     @property

@@ -29,6 +29,10 @@ class SelectionResult:
     rejected: list[str] = field(default_factory=list)
     reasons: dict[str, Reason] = field(default_factory=dict)
     n_ci_tests: int = 0
+    #: Ledger cache hits during the run.  0 means a genuinely *cold* run —
+    #: ``n_ci_tests`` is then the paper's uncached count; a resumed or
+    #: cache-assisted run reports only the work it actually did.
+    cache_hits: int = 0
     seconds: float = 0.0
     algorithm: str = ""
 

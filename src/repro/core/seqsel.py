@@ -57,6 +57,14 @@ class SeqSel:
         self.cache = cache
         self.executor = executor
 
+    def config_digest(self) -> tuple:
+        """Hashable description of everything that determines the selection
+        for a given table — the :class:`~repro.ci.store.ExperimentStore`
+        memoisation key (combined there with the tester's ``cache_token``
+        and the table fingerprint)."""
+        return (self.name, self.tester.method, float(self.tester.alpha),
+                self.subset_strategy.name)
+
     def select(self, problem: FairFeatureSelectionProblem) -> SelectionResult:
         """Run both phases and return the selection with provenance."""
         ledger = CITestLedger(self.tester, cache=self.cache,
@@ -88,6 +96,7 @@ class SeqSel:
                 result.reasons[candidate] = Reason.REJECTED_BIASED
 
         result.n_ci_tests = ledger.n_tests
+        result.cache_hits = ledger.cache_hits
         result.seconds = time.perf_counter() - start
         ledger.flush_cache()
         return result

@@ -255,6 +255,22 @@ class Table:
                 self.discrete_codes(name)
         return self
 
+    # -- serialization -----------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle without the lazy CI caches (spawn-safe worker shipping).
+
+        The float and discrete-code caches are derived state that can be
+        many times the size of the raw columns; a process-pool worker
+        rebuilds exactly the codes its shards need via
+        :meth:`warm_cache`/lazy access.  The content fingerprint is kept —
+        it is a value, already paid for, and pool reuse keys on it.
+        """
+        state = self.__dict__.copy()
+        state["_float_cols"] = {}
+        state["_codes_cache"] = {}
+        return state
+
     # -- relational operations --------------------------------------------
 
     def select(self, names: Iterable[str]) -> "Table":

@@ -15,7 +15,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.ci.store import PersistentCICache
+from repro.ci.store import ExperimentStore, PersistentCICache
 from repro.core.result import SelectionResult
 from repro.data.loaders.base import Dataset
 from repro.fairness.report import FairnessReport, evaluate_classifier
@@ -51,8 +51,9 @@ def run_method(dataset: Dataset, selector,
                classifier_factory: ClassifierFactory | None = None,
                privileged: int | None = None,
                warm_ci_cache: bool = True,
-               ci_cache: PersistentCICache | str | os.PathLike | None = None
-               ) -> MethodRun:
+               ci_cache: PersistentCICache | str | os.PathLike | None = None,
+               store: ExperimentStore | str | os.PathLike | None = None,
+               store_namespace: str | None = None) -> MethodRun:
     """Select, train, and evaluate one method on one dataset.
 
     ``warm_ci_cache`` pre-builds the CI engine's shared encoded state
@@ -67,34 +68,73 @@ def run_method(dataset: Dataset, selector,
     keeps its cold-run meaning — persistent hits are cache hits, never
     ledger entries.  Pending writes are saved before returning.  Only use
     it with deterministic testers (fixed-seed RCIT/AdaptiveCI are).
+
+    ``store`` (an open :class:`~repro.ci.store.ExperimentStore` or a root
+    path; mutually exclusive with ``ci_cache``) scopes a suite-wide cache
+    tree instead: the selector's CI queries go to the store's
+    ``store_namespace`` CI cache (default: the selector's lowercased
+    ``name``, so sibling selectors land in sibling namespaces and cold-run
+    counts stay comparable), and the finished selection itself is memoised
+    on ``(table fingerprint, selector config digest, tester cache_token)``
+    — a warm rerun skips selection entirely.  Selectors without a
+    ``config_digest`` (the tuple-repair baselines) run uncached, so one
+    store can serve a whole mixed-method suite.
     """
     factory = classifier_factory or default_classifier
+    if ci_cache is not None and store is not None:
+        raise TypeError("pass either ci_cache= or store=, not both")
     problem = dataset.problem()
     warm_seconds = 0.0
-    if warm_ci_cache:
-        warm_start = time.perf_counter()
-        problem.table.warm_cache(problem.sensitive + problem.admissible
-                                 + problem.candidates + [problem.target])
-        warm_seconds = time.perf_counter() - warm_start
-    store: PersistentCICache | None = None
-    prior_cache: object = None
-    if ci_cache is not None:
-        store = (ci_cache if isinstance(ci_cache, PersistentCICache)
-                 else PersistentCICache(ci_cache))
-        if not hasattr(selector, "cache"):
-            raise TypeError(
-                f"selector {type(selector).__name__} does not accept a CI "
-                "cache (no `cache` attribute)")
-        prior_cache = selector.cache
-        selector.cache = store
-    try:
-        selection = selector.select(problem)
-    finally:
-        if store is not None:
-            # The store is scoped to this call: restore the selector so a
-            # later cacheless run of the same object stays cacheless.
-            selector.cache = prior_cache
+
+    def warm():
+        # Deferred behind the selection-memo probe: a memoised selection
+        # runs zero CI tests, so pre-encoding every column would be pure
+        # waste exactly on the warm reruns the store exists to speed up.
+        nonlocal warm_seconds
+        if warm_ci_cache:
+            warm_start = time.perf_counter()
+            problem.table.warm_cache(problem.sensitive + problem.admissible
+                                     + problem.candidates + [problem.target])
+            warm_seconds = time.perf_counter() - warm_start
+
+    if store is not None:
+        if not isinstance(store, ExperimentStore):
+            store = ExperimentStore(store)
+        try:
+            if callable(getattr(selector, "config_digest", None)) \
+                    and hasattr(selector, "cache"):
+                selection = store.cached_select(selector, problem,
+                                                namespace=store_namespace,
+                                                on_miss=warm)
+            else:
+                warm()
+                selection = selector.select(problem)
+        finally:
+            # Saved even when selection dies mid-run: every CI verdict
+            # already computed into the namespace caches survives, so an
+            # interrupted sweep resumes instead of restarting.
             store.save()
+    else:
+        warm()
+        ci_store: PersistentCICache | None = None
+        prior_cache: object = None
+        if ci_cache is not None:
+            ci_store = (ci_cache if isinstance(ci_cache, PersistentCICache)
+                        else PersistentCICache(ci_cache))
+            if not hasattr(selector, "cache"):
+                raise TypeError(
+                    f"selector {type(selector).__name__} does not accept a "
+                    "CI cache (no `cache` attribute)")
+            prior_cache = selector.cache
+            selector.cache = ci_store
+        try:
+            selection = selector.select(problem)
+        finally:
+            if ci_store is not None:
+                # The store is scoped to this call: restore the selector so
+                # a later cacheless run of the same object stays cacheless.
+                selector.cache = prior_cache
+                ci_store.save()
     features = problem.training_features(selection.selected)
 
     scaler = StandardScaler()

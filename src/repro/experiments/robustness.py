@@ -21,6 +21,8 @@ from repro.baselines import Capuchin, Reweighing
 from repro.causal.mechanisms import LogisticBinary, Mechanism, NoisyCopy
 from repro.causal.scm import StructuralCausalModel
 from repro.ci.adaptive import AdaptiveCI
+from repro.ci.executor import BatchExecutor
+from repro.ci.store import ExperimentStore
 from repro.core.grpsel import GrpSel
 from repro.core.seqsel import SeqSel
 from repro.data.loaders.base import Dataset
@@ -94,11 +96,19 @@ class RobustnessResult:
 
 def run_robustness(dataset: Dataset, shift: Mapping[tuple[str, str], float],
                    n_shifted_test: int = 3000,
-                   seed: SeedLike = 0) -> RobustnessResult:
-    """Compare selection methods against tuple-repair baselines under shift."""
+                   seed: SeedLike = 0,
+                   store: ExperimentStore | None = None,
+                   executor: BatchExecutor | None = None) -> RobustnessResult:
+    """Compare selection methods against tuple-repair baselines under shift.
+
+    ``store`` caches each selection-based method's CI tests and finished
+    selections in its own namespace (a warm rerun skips both); the
+    tuple-repair baselines run uncached.  ``executor`` parallelises the
+    selectors' CI batches without changing verdicts or counts.
+    """
     methods = [
-        GrpSel(tester=AdaptiveCI(seed=seed), seed=seed),
-        SeqSel(tester=AdaptiveCI(seed=seed)),
+        GrpSel(tester=AdaptiveCI(seed=seed), seed=seed, executor=executor),
+        SeqSel(tester=AdaptiveCI(seed=seed), executor=executor),
         Reweighing(),
         Capuchin(),
     ]
@@ -109,7 +119,7 @@ def run_robustness(dataset: Dataset, shift: Mapping[tuple[str, str], float],
     problem = dataset.problem()
     s_name = problem.sensitive[0]
     for selector in methods:
-        run = run_method(dataset, selector)
+        run = run_method(dataset, selector, store=store)
         result.original[run.report.method] = run.report.abs_odds_difference
 
         X_shift = shifted_test.matrix(run.feature_names)

@@ -16,7 +16,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ci.adaptive import AdaptiveCI
-from repro.ci.store import PersistentCICache
+from repro.ci.executor import BatchExecutor
+from repro.ci.store import ExperimentStore, PersistentCICache
 from repro.core.grpsel import GrpSel
 from repro.core.seqsel import SeqSel
 from repro.core.subset_search import MarginalThenFull
@@ -85,7 +86,9 @@ def expand_dataset(dataset: Dataset, max_new: int = 150,
 
 def table2_row(dataset: Dataset, seed: SeedLike = 0,
                n_derived: int = 150,
-               ci_cache: str | os.PathLike | None = None) -> Table2Row:
+               ci_cache: str | os.PathLike | None = None,
+               store: ExperimentStore | str | os.PathLike | None = None,
+               executor: BatchExecutor | None = None) -> Table2Row:
     """Compute one row of Table 2 for a loaded dataset.
 
     ``n_derived`` controls the Cognito feature expansion (0 disables it);
@@ -102,25 +105,44 @@ def table2_row(dataset: Dataset, seed: SeedLike = 0,
     the SeqSel-vs-GrpSel comparison this table reports.  With per-selector
     stores, cold-run counts are untouched and a rerun of the whole row
     executes zero tests.
+
+    ``store`` (an :class:`~repro.ci.store.ExperimentStore` or root path;
+    mutually exclusive with ``ci_cache``) is the suite-wide form of the
+    same discipline: per-selector sibling namespaces (``grpsel`` /
+    ``seqsel``) under one cache tree, plus selection memoisation — a warm
+    rerun of the whole row executes zero CI tests *and* skips both
+    selector traversals, reporting the recorded cold-run counts.
+
+    ``executor`` parallelises both selectors' cache-miss CI batches (see
+    :mod:`repro.ci.executor`); counts and verdicts are executor-invariant.
     """
+    if ci_cache is not None and store is not None:
+        raise TypeError("pass either ci_cache= or store=, not both")
     if n_derived > 0:
         dataset = expand_dataset(dataset, max_new=n_derived)
     problem = dataset.problem()
 
-    grp_store = _derived_store(ci_cache, "grpsel")
-    seq_store = _derived_store(ci_cache, "seqsel")
-
     strategy = MarginalThenFull()
-    grp_run = run_method(
-        dataset,
-        GrpSel(tester=AdaptiveCI(seed=seed), subset_strategy=strategy,
-               seed=seed),
-        ci_cache=grp_store,
-    )
-    seq_selection = SeqSel(tester=AdaptiveCI(seed=seed),
-                           subset_strategy=strategy,
-                           cache=seq_store if seq_store is not None else False
-                           ).select(problem)
+    grp_selector = GrpSel(tester=AdaptiveCI(seed=seed),
+                          subset_strategy=strategy, seed=seed,
+                          executor=executor)
+    seq_selector = SeqSel(tester=AdaptiveCI(seed=seed),
+                          subset_strategy=strategy, executor=executor)
+
+    if store is not None:
+        if not isinstance(store, ExperimentStore):
+            store = ExperimentStore(store)
+        grp_run = run_method(dataset, grp_selector, store=store,
+                             store_namespace="grpsel")
+        seq_selection = store.cached_select(seq_selector, problem,
+                                            namespace="seqsel")
+        store.save()
+    else:
+        grp_run = run_method(dataset, grp_selector,
+                             ci_cache=_derived_store(ci_cache, "grpsel"))
+        seq_store = _derived_store(ci_cache, "seqsel")
+        seq_selector.cache = seq_store if seq_store is not None else False
+        seq_selection = seq_selector.select(problem)
 
     test = dataset.test
     preds = grp_run.model.predict(test.matrix(grp_run.feature_names))

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.ci.base import CITestLedger
+from repro.ci.executor import BatchExecutor
 from repro.ci.oracle import OracleCI
 from repro.core.grpsel import GrpSel
 from repro.core.seqsel import SeqSel
@@ -34,18 +35,26 @@ class CountPoint:
         return 100.0 * self.n_biased / self.n_features
 
 
-def count_tests(n_features: int, n_biased: int, seed: SeedLike = 0) -> CountPoint:
-    """Run SeqSel and GrpSel with an oracle tester and count CI tests."""
+def count_tests(n_features: int, n_biased: int, seed: SeedLike = 0,
+                executor: BatchExecutor | None = None) -> CountPoint:
+    """Run SeqSel and GrpSel with an oracle tester and count CI tests.
+
+    ``executor`` routes the selectors' CI batches (counts are
+    executor-invariant by the engine's contract; the injected inner
+    ledgers here additionally force in-process execution, since their
+    entries are the very quantity being measured).
+    """
     planted = planted_bias_problem(n_features, n_biased, n_samples=0, seed=seed)
     oracle = OracleCI(planted.scm.dag)
     strategy = MarginalThenFull()
 
     seq_ledger = CITestLedger(oracle)
-    SeqSel(tester=seq_ledger, subset_strategy=strategy).select(planted.problem)
+    SeqSel(tester=seq_ledger, subset_strategy=strategy,
+           executor=executor).select(planted.problem)
 
     grp_ledger = CITestLedger(oracle)
     GrpSel(tester=grp_ledger, subset_strategy=strategy,
-           seed=seed).select(planted.problem)
+           seed=seed, executor=executor).select(planted.problem)
 
     return CountPoint(
         n_features=n_features,
@@ -70,19 +79,23 @@ class CountSweep:
 
 
 def sweep_bias_fraction(n_features: int, percentages: list[int],
-                        seed: SeedLike = 0) -> CountSweep:
+                        seed: SeedLike = 0,
+                        executor: BatchExecutor | None = None) -> CountSweep:
     """Figure 4: tests vs % biased features at fixed n."""
     sweep = CountSweep(label=f"n={n_features}")
     for pct in percentages:
         n_biased = max(1, int(round(pct / 100.0 * n_features)))
-        sweep.points.append(count_tests(n_features, n_biased, seed=seed))
+        sweep.points.append(count_tests(n_features, n_biased, seed=seed,
+                                        executor=executor))
     return sweep
 
 
 def sweep_feature_count(n_features_list: list[int], n_biased: int,
-                        seed: SeedLike = 0) -> CountSweep:
+                        seed: SeedLike = 0,
+                        executor: BatchExecutor | None = None) -> CountSweep:
     """Figure 5: tests vs n at fixed number of biased features."""
     sweep = CountSweep(label=f"k={n_biased}")
     for n_features in n_features_list:
-        sweep.points.append(count_tests(n_features, n_biased, seed=seed))
+        sweep.points.append(count_tests(n_features, n_biased, seed=seed,
+                                        executor=executor))
     return sweep

@@ -19,6 +19,8 @@ from repro.baselines import (
     SPred,
 )
 from repro.ci.adaptive import AdaptiveCI
+from repro.ci.executor import BatchExecutor
+from repro.ci.store import ExperimentStore
 from repro.core.grpsel import GrpSel
 from repro.core.seqsel import SeqSel
 from repro.data.loaders.base import Dataset
@@ -27,11 +29,16 @@ from repro.fairness.report import FairnessReport
 from repro.rng import SeedLike
 
 
-def default_method_suite(alpha: float = 0.01, seed: SeedLike = 0) -> list:
-    """The Figure 2 method line-up, sharing one CI-test configuration."""
+def default_method_suite(alpha: float = 0.01, seed: SeedLike = 0,
+                         executor: BatchExecutor | None = None) -> list:
+    """The Figure 2 method line-up, sharing one CI-test configuration.
+
+    ``executor`` parallelises the CI-testing methods' cache-miss batches
+    (verdicts and counts are executor-invariant)."""
     return [
-        GrpSel(tester=AdaptiveCI(alpha=alpha, seed=seed), seed=seed),
-        SeqSel(tester=AdaptiveCI(alpha=alpha, seed=seed)),
+        GrpSel(tester=AdaptiveCI(alpha=alpha, seed=seed), seed=seed,
+               executor=executor),
+        SeqSel(tester=AdaptiveCI(alpha=alpha, seed=seed), executor=executor),
         Hamlet(),
         SPred(seed=seed),
         AdmissibleOnly(),
@@ -63,13 +70,22 @@ class TradeoffResult:
 
 def run_tradeoff(dataset: Dataset, methods: list | None = None,
                  classifier_factory: ClassifierFactory | None = None,
-                 seed: SeedLike = 0) -> TradeoffResult:
-    """Evaluate every method on one dataset (one Figure 2 panel)."""
-    suite = methods if methods is not None else default_method_suite(seed=seed)
+                 seed: SeedLike = 0,
+                 store: ExperimentStore | None = None,
+                 executor: BatchExecutor | None = None) -> TradeoffResult:
+    """Evaluate every method on one dataset (one Figure 2 panel).
+
+    ``store`` memoises the CI-testing methods' tests and selections in
+    per-selector namespaces (baselines run uncached); ``executor``
+    parallelises their CI batches when ``methods`` is not given.
+    """
+    suite = methods if methods is not None \
+        else default_method_suite(seed=seed, executor=executor)
     result = TradeoffResult(dataset=dataset.name)
     for selector in suite:
         run = run_method(dataset, selector,
-                         classifier_factory=classifier_factory)
+                         classifier_factory=classifier_factory,
+                         store=store)
         result.reports.append(run.report)
         result.runs[run.report.method] = run
     return result

@@ -8,9 +8,16 @@ ad hoc, which keeps experiments reproducible end to end.
 
 from __future__ import annotations
 
+import uuid
+
 import numpy as np
 
 SeedLike = int | np.random.Generator | None
+
+#: Marker leading the :func:`seed_token` of a live-``Generator`` seed.
+#: Stores treat any key containing it as unmemoisable (each call mints a
+#: fresh token, so the entry could never be served back).
+ONE_TIME_TOKEN = "seed-once"
 
 
 def as_generator(seed: SeedLike = None) -> np.random.Generator:
@@ -41,6 +48,25 @@ def spawn(seed: SeedLike, n: int) -> list[np.random.Generator]:
     return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(n)] if isinstance(
         seed, np.random.Generator
     ) else [np.random.default_rng(s) for s in np.random.SeedSequence(_seed_entropy(seed)).spawn(n)]
+
+
+def seed_token(seed: SeedLike) -> tuple:
+    """Stable hashable description of a seed, for cache/memoisation keys.
+
+    ``int``/``None`` seeds key by value and survive across processes.  A
+    live :class:`~numpy.random.Generator` has evolving hidden state, so
+    any stable key for it would be a lie — the same object produces
+    different draws on every use.  It therefore gets a one-time token
+    (not ``id()``, which the allocator reuses): results keyed through it
+    can never be served back, in this process or any other, which fails
+    safe — a stale hit would replay another stream's draws.
+    """
+    if seed is None:
+        return ("seed", None)
+    if isinstance(seed, (int, np.integer)):
+        # Normalised: np.int64(5) and 5 are the same deterministic seed.
+        return ("seed", int(seed))
+    return (ONE_TIME_TOKEN, uuid.uuid4().hex)
 
 
 def _seed_entropy(seed: SeedLike) -> int | None:

@@ -1,0 +1,255 @@
+"""Count-locked regression tests for ``n_ci_tests``.
+
+The paper's headline efficiency claims are *counts* (Table 2, Figures
+4-5), so every execution strategy must be count-preserving.  These tests
+pin the counts for a fixed seeded workload to recorded constants and then
+assert two invariances on top:
+
+* **executor invariance** — serial, threaded, and process execution all
+  report the recorded counts and the identical selection;
+* **store invariance** — a cold run against a fresh persistent store
+  reports the recorded counts (attaching a cache must not change cold
+  semantics), a warm rerun executes zero tests, and a warm early-exit
+  stream consumes exactly the prefix the cold run did.
+
+If a change moves the recorded constants, that is a *semantics* change to
+the reproduction's cost model — it must be deliberate, explained, and the
+constants re-recorded, never absorbed silently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ci.base import CIQuery, CITestLedger
+from repro.ci.executor import (ProcessExecutor, SerialExecutor,
+                               ThreadedExecutor)
+from repro.ci.gtest import GTestCI
+from repro.ci.store import ExperimentStore, PersistentCICache
+from repro.core.grpsel import GrpSel
+from repro.core.online import OnlineSelector
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.core.seqsel import SeqSel
+from repro.core.subset_search import MarginalThenFull
+from repro.data.table import Table
+
+# Recorded seed-state counts for the workload below (seed 0).  See the
+# module docstring before touching these.
+EXPECTED_SEQSEL_TESTS = 18
+EXPECTED_GRPSEL_TESTS = 36
+# Cumulative after each observed batch (the ledger spans the run).
+EXPECTED_ONLINE_TESTS_CUMULATIVE = (9, 20)
+EXPECTED_SELECTED = ["f1", "f2", "f4", "f5", "f7", "f8"]
+
+N_FEATURES = 10
+
+
+def make_problem(n=500, seed=0, n_features=N_FEATURES):
+    rng = np.random.default_rng(seed)
+    s = rng.integers(0, 2, n)
+    a = rng.integers(0, 3, n)
+    y = (rng.random(n) < 0.35 + 0.2 * (a > 1)).astype(int)
+    data = {"s": s, "a": a, "y": y}
+    for i in range(n_features):
+        if i % 3 == 0:
+            # Planted biased features: mostly copies of S.
+            data[f"f{i}"] = np.where(rng.random(n) < 0.8, s,
+                                     rng.integers(0, 2, n))
+        else:
+            data[f"f{i}"] = rng.integers(0, 3, n)
+    table = Table(data)
+    return FairFeatureSelectionProblem(
+        table=table, sensitive=["s"], admissible=["a"], target="y",
+        candidates=[f"f{i}" for i in range(n_features)])
+
+
+def executor_factories():
+    return [
+        pytest.param(lambda: None, id="serial"),
+        pytest.param(lambda: ThreadedExecutor(n_workers=3, min_batch=2),
+                     id="threads"),
+        pytest.param(lambda: ProcessExecutor(n_workers=2, min_batch=2,
+                                             mp_context="fork"),
+                     id="process"),
+    ]
+
+
+def close(executor):
+    if executor is not None and hasattr(executor, "close"):
+        executor.close()
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_problem()
+
+
+class TestRecordedCounts:
+    @pytest.mark.parametrize("make_executor", executor_factories())
+    def test_seqsel(self, problem, make_executor):
+        executor = make_executor()
+        try:
+            result = SeqSel(tester=GTestCI(),
+                            subset_strategy=MarginalThenFull(),
+                            executor=executor).select(problem)
+        finally:
+            close(executor)
+        assert result.n_ci_tests == EXPECTED_SEQSEL_TESTS
+        assert sorted(result.selected_set) == EXPECTED_SELECTED
+
+    @pytest.mark.parametrize("make_executor", executor_factories())
+    def test_grpsel(self, problem, make_executor):
+        executor = make_executor()
+        try:
+            result = GrpSel(tester=GTestCI(),
+                            subset_strategy=MarginalThenFull(), seed=0,
+                            executor=executor).select(problem)
+        finally:
+            close(executor)
+        assert result.n_ci_tests == EXPECTED_GRPSEL_TESTS
+        assert sorted(result.selected_set) == EXPECTED_SELECTED
+
+    @pytest.mark.parametrize("make_executor", executor_factories())
+    def test_online(self, problem, make_executor):
+        executor = make_executor()
+        try:
+            online = OnlineSelector(tester=GTestCI(),
+                                    subset_strategy=MarginalThenFull(),
+                                    executor=executor)
+            first = online.observe(problem,
+                                   [f"f{i}" for i in range(5)])
+            second = online.observe(problem,
+                                    [f"f{i}" for i in range(5, N_FEATURES)])
+        finally:
+            close(executor)
+        assert first.n_ci_tests == EXPECTED_ONLINE_TESTS_CUMULATIVE[0]
+        assert second.n_ci_tests == EXPECTED_ONLINE_TESTS_CUMULATIVE[1]
+        assert sorted(second.selected_set) == EXPECTED_SELECTED
+
+
+class TestStoreColdAndWarm:
+    @pytest.mark.parametrize("make_executor", executor_factories())
+    def test_seqsel_cold_then_warm(self, problem, tmp_path, make_executor):
+        path = tmp_path / "cache.json"
+        executor = make_executor()
+        try:
+            cold = SeqSel(tester=GTestCI(),
+                          subset_strategy=MarginalThenFull(),
+                          cache=PersistentCICache(path),
+                          executor=executor).select(problem)
+            warm = SeqSel(tester=GTestCI(),
+                          subset_strategy=MarginalThenFull(),
+                          cache=PersistentCICache(path),
+                          executor=executor).select(problem)
+        finally:
+            close(executor)
+        assert cold.n_ci_tests == EXPECTED_SEQSEL_TESTS
+        assert warm.n_ci_tests == 0
+        assert warm.selected_set == cold.selected_set
+
+    @pytest.mark.parametrize("make_executor", executor_factories())
+    def test_grpsel_cold_then_warm(self, problem, tmp_path, make_executor):
+        path = tmp_path / "cache.json"
+        executor = make_executor()
+        try:
+            cold = GrpSel(tester=GTestCI(),
+                          subset_strategy=MarginalThenFull(), seed=0,
+                          cache=PersistentCICache(path),
+                          executor=executor).select(problem)
+            warm = GrpSel(tester=GTestCI(),
+                          subset_strategy=MarginalThenFull(), seed=0,
+                          cache=PersistentCICache(path),
+                          executor=executor).select(problem)
+        finally:
+            close(executor)
+        assert cold.n_ci_tests == EXPECTED_GRPSEL_TESTS
+        assert warm.n_ci_tests == 0
+        assert warm.selected_set == cold.selected_set
+
+    @pytest.mark.parametrize("make_executor", executor_factories())
+    def test_online_cold_then_warm(self, problem, tmp_path, make_executor):
+        path = tmp_path / "cache.json"
+        batches = ([f"f{i}" for i in range(5)],
+                   [f"f{i}" for i in range(5, N_FEATURES)])
+        executor = make_executor()
+        try:
+            cold = OnlineSelector(tester=GTestCI(),
+                                  subset_strategy=MarginalThenFull(),
+                                  cache=PersistentCICache(path),
+                                  executor=executor)
+            for batch in batches:
+                cold.observe(problem, batch)
+            warm = OnlineSelector(tester=GTestCI(),
+                                  subset_strategy=MarginalThenFull(),
+                                  cache=PersistentCICache(path),
+                                  executor=executor)
+            for batch in batches:
+                warm.observe(problem, batch)
+        finally:
+            close(executor)
+        assert cold.n_ci_tests == EXPECTED_ONLINE_TESTS_CUMULATIVE[-1]
+        assert warm.n_ci_tests == 0
+        assert warm.current.selected_set == cold.current.selected_set
+
+    @pytest.mark.parametrize("make_executor", executor_factories())
+    def test_warm_early_exit_consumes_exactly_the_cold_prefix(
+            self, problem, tmp_path, make_executor):
+        """The lazy-stream invariant, per executor: a warm early-exit run
+        pulls exactly as many queries from the stream as the cold run
+        executed — never one more."""
+        path = tmp_path / "cache.json"
+        table = problem.table
+        queries = [CIQuery.make(f"f{i}", "y", ("a",))
+                   for i in range(N_FEATURES)]
+        executor = make_executor()
+        try:
+            cold = CITestLedger(GTestCI(), cache=PersistentCICache(path),
+                                executor=executor)
+            cold_results = cold.test_batch(table, iter(queries),
+                                           stop_on_independent=True)
+            cold.flush_cache()
+            assert 0 < len(cold_results) <= N_FEATURES
+
+            consumed = []
+
+            def stream():
+                for query in queries:
+                    consumed.append(query)
+                    yield query
+
+            warm = CITestLedger(GTestCI(), cache=PersistentCICache(path),
+                                executor=executor)
+            warm_results = warm.test_batch(table, stream(),
+                                           stop_on_independent=True)
+        finally:
+            close(executor)
+        assert warm.n_tests == 0
+        assert warm.cache_hits == len(cold_results)
+        assert len(consumed) == len(cold_results)
+        assert [r.p_value for r in warm_results] == \
+               [r.p_value for r in cold_results]
+
+
+class TestExperimentStoreCounts:
+    def test_memoised_selection_reports_cold_counts_without_executing(
+            self, problem, tmp_path, monkeypatch):
+        """A selection-memo hit must report the recorded cold-run count
+        while running no CI test at all (the Table 2 warm-rerun shape)."""
+        store = ExperimentStore(tmp_path / "suite")
+        selector = SeqSel(tester=GTestCI(),
+                          subset_strategy=MarginalThenFull())
+        cold = store.cached_select(selector, problem)
+        assert cold.n_ci_tests == EXPECTED_SEQSEL_TESTS
+        store.save()
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("a CI test executed on a warm memo hit")
+
+        monkeypatch.setattr(GTestCI, "_test", forbidden)
+        reopened = ExperimentStore(tmp_path / "suite")
+        warm = reopened.cached_select(
+            SeqSel(tester=GTestCI(), subset_strategy=MarginalThenFull()),
+            problem)
+        assert reopened.selection_hits == 1
+        assert warm.n_ci_tests == EXPECTED_SEQSEL_TESTS  # recorded summary
+        assert warm.selected_set == cold.selected_set
+        assert warm.reasons == cold.reasons

@@ -4,12 +4,14 @@ import numpy as np
 import pytest
 
 from repro.ci.adaptive import AdaptiveCI
-from repro.ci.base import CIQuery, CITestLedger
-from repro.ci.executor import (SerialExecutor, ThreadedExecutor,
+from repro.ci.base import CIQuery, CIResult, CITestLedger, CITester
+from repro.ci.executor import (ProcessExecutor, SerialExecutor,
+                               ThreadedExecutor, default_executor,
                                executor_by_name)
 from repro.ci.gtest import GTestCI
 from repro.ci.rcit import RCIT
 from repro.data.table import Table
+from repro.exceptions import CITestError
 
 
 def make_table(n=500, seed=0, n_features=12):
@@ -117,3 +119,258 @@ class TestAdaptiveContinuousSharding:
         ).test_batch(table, mixed)
         assert [r.p_value for r in sharded] == [r.p_value for r in plain]
         assert [r.method for r in sharded] == [r.method for r in plain]
+
+
+class PoisonedTester(CITester):
+    """Raises on one specific X column; fine everywhere else.
+
+    Module-level so worker processes can unpickle it by reference.
+    """
+
+    method = "poisoned"
+
+    def __init__(self, poison: str = "f3", alpha: float = 0.01) -> None:
+        super().__init__(alpha=alpha)
+        self.poison = poison
+
+    def test(self, table, x, y, z=()):
+        query = CIQuery.make(x, y, z)
+        if self.poison in query.x:
+            raise ValueError(f"poisoned column {self.poison}")
+        return CIResult(independent=True, p_value=1.0, statistic=0.0,
+                        query=query, method=self.method)
+
+    def test_batch(self, table, queries):
+        return [self.test(table, q.x, q.y, q.z) for q in queries]
+
+
+class TestWorkerErrorPropagation:
+    """A worker failure must surface as CITestError with the offending
+    query attached — never as a bare pool exception (the old behaviour)."""
+
+    def poisoned_query(self, qs):
+        return next(q for q in qs if "f3" in q.x)
+
+    @pytest.mark.parametrize("make_executor", [
+        pytest.param(lambda: ThreadedExecutor(n_workers=4, min_batch=2),
+                     id="threads"),
+        pytest.param(lambda: ThreadedExecutor(n_workers=4, min_batch=64),
+                     id="threads-serial-fallback"),
+        pytest.param(lambda: ProcessExecutor(n_workers=2, min_batch=2,
+                                             mp_context="fork"),
+                     id="process"),
+        pytest.param(lambda: ProcessExecutor(n_workers=2, min_batch=64,
+                                             mp_context="fork"),
+                     id="process-serial-fallback"),
+    ])
+    def test_failure_raises_citesterror_with_query(self, make_executor):
+        table = make_table()
+        qs = queries(table)
+        executor = make_executor()
+        try:
+            with pytest.raises(CITestError) as excinfo:
+                executor.run(PoisonedTester(), table, qs)
+        finally:
+            if hasattr(executor, "close"):
+                executor.close()
+        assert excinfo.value.query == self.poisoned_query(qs)
+
+    def test_tester_citesterror_keeps_type_and_gains_query(self):
+        """A CITestError raised by the tester itself (validation) is not
+        re-wrapped — it only gains the query attribution."""
+        table = make_table()
+        bad = [CIQuery.make("f0", "y", ("a",)),
+               CIQuery.make("absent", "y", ("a",))]
+        executor = ThreadedExecutor(n_workers=2, min_batch=2)
+        with pytest.raises(CITestError) as excinfo:
+            executor.run(GTestCI(), table, bad)
+        assert excinfo.value.query == bad[1]
+
+    def test_serial_executor_stays_transparent(self):
+        table = make_table()
+        with pytest.raises(ValueError, match="poisoned"):
+            SerialExecutor().run(PoisonedTester(), table, queries(table))
+
+    def test_ledger_path_surfaces_attributed_error(self):
+        table = make_table()
+        qs = queries(table)
+        ledger = CITestLedger(
+            PoisonedTester(),
+            executor=ThreadedExecutor(n_workers=2, min_batch=2))
+        with pytest.raises(CITestError) as excinfo:
+            ledger.test_batch(table, qs)
+        assert excinfo.value.query == self.poisoned_query(qs)
+
+
+class TestDefaultExecutorEnv:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CI_EXECUTOR", raising=False)
+        assert isinstance(default_executor(), SerialExecutor)
+        assert isinstance(CITestLedger(GTestCI()).executor, SerialExecutor)
+
+    def test_env_selects_process_with_jobs_and_context(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CI_EXECUTOR", "process")
+        monkeypatch.setenv("REPRO_CI_JOBS", "3")
+        monkeypatch.setenv("REPRO_CI_MP_CONTEXT", "fork")
+        executor = default_executor()
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.n_workers == 3
+        assert executor.mp_context == "fork"
+        assert isinstance(CITestLedger(GTestCI()).executor, ProcessExecutor)
+
+    def test_env_selects_threads(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CI_EXECUTOR", "threads")
+        monkeypatch.setenv("REPRO_CI_JOBS", "2")
+        executor = default_executor()
+        assert isinstance(executor, ThreadedExecutor)
+        assert executor.n_workers == 2
+
+    def test_invalid_env_values_fail_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CI_EXECUTOR", "rocket")
+        with pytest.raises(ValueError, match="unknown executor"):
+            default_executor()
+        monkeypatch.setenv("REPRO_CI_EXECUTOR", "process")
+        monkeypatch.setenv("REPRO_CI_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_CI_JOBS"):
+            default_executor()
+
+    def test_explicit_executor_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CI_EXECUTOR", "process")
+        ledger = CITestLedger(GTestCI(), executor=SerialExecutor())
+        assert isinstance(ledger.executor, SerialExecutor)
+
+    def test_pooled_default_executor_is_shared_per_configuration(
+            self, monkeypatch):
+        """Regression: a fresh ProcessExecutor per ledger re-spawned a
+        worker pool per selection; the env-configured pooled default is
+        now one shared, thread-safe instance per configuration."""
+        monkeypatch.setenv("REPRO_CI_EXECUTOR", "process")
+        monkeypatch.setenv("REPRO_CI_JOBS", "2")
+        monkeypatch.setenv("REPRO_CI_MP_CONTEXT", "fork")
+        first = default_executor()
+        assert default_executor() is first
+        assert CITestLedger(GTestCI()).executor is \
+               CITestLedger(GTestCI()).executor
+        monkeypatch.setenv("REPRO_CI_JOBS", "3")
+        assert default_executor() is not first
+        monkeypatch.setenv("REPRO_CI_EXECUTOR", "serial")
+        assert default_executor() is not default_executor()  # stateless
+
+
+class TestProcessSafety:
+    """Generator-seeded testers must never ship to worker processes:
+    workers would replay a pickled snapshot of the stream that serial
+    execution consumes incrementally, and verdicts would diverge."""
+
+    def test_generator_seeded_testers_report_unsafe(self):
+        rng = np.random.default_rng(0)
+        assert RCIT(seed=0).process_safe()
+        assert RCIT(seed=None).process_safe()
+        assert not RCIT(seed=rng).process_safe()
+        assert AdaptiveCI(seed=0).process_safe()
+        assert not AdaptiveCI(seed=np.random.default_rng(1)).process_safe()
+        assert GTestCI().process_safe()
+
+    def test_process_executor_keeps_unsafe_testers_in_process(self):
+        table = make_table(n=120)
+        qs = queries(table)
+        tester = RCIT(seed=np.random.default_rng(0))
+        with ProcessExecutor(n_workers=2, min_batch=2,
+                             mp_context="fork") as executor:
+            results = executor.run(tester, table, qs)
+            assert executor._pool is None  # serial fallback, nothing shipped
+        assert len(results) == len(qs)
+
+
+class TestBrokenPoolRecovery:
+    def test_killed_workers_surface_as_citesterror_and_pool_respawns(self):
+        """Regression: a pool that broke while idle was re-used from the
+        cache, escaping as a bare BrokenProcessPool forever; now it is
+        torn down (attributed error) and the next batch respawns."""
+        import os as _os
+        import signal
+        table = make_table()
+        qs = queries(table)
+        with ProcessExecutor(n_workers=2, min_batch=2,
+                             mp_context="fork") as executor:
+            first = executor.run(GTestCI(), table, qs)
+            for pid in list(executor._pool._processes):
+                _os.kill(pid, signal.SIGKILL)
+            with pytest.raises(CITestError, match="worker process died"):
+                executor.run(GTestCI(), table, qs)
+            assert executor._pool is None  # wedged pool torn down
+            again = executor.run(GTestCI(), table, qs)  # fresh pool
+        assert [r.p_value for r in again] == [r.p_value for r in first]
+
+
+class TestReplaySafety:
+    def test_failed_shard_replay_never_inflates_an_injected_ledger(self):
+        """Regression: the error-path replay re-executed a failed shard
+        per query even on a state-collecting tester, appending duplicate
+        ledger entries — corrupting the counts the invariant suite locks."""
+        table = make_table()
+        qs = queries(table)
+        # Serial inner executor: the failure reaches the outer executor
+        # raw, so attribution is only possible by replaying through the
+        # stateful ledger itself — which must be refused.  (Under an
+        # env-default pooled executor the inner ledger's own layer
+        # attributes on the stateless leaf tester instead, which is safe.)
+        inner = CITestLedger(PoisonedTester(), executor=SerialExecutor())
+        with pytest.raises(CITestError) as excinfo:
+            ThreadedExecutor(n_workers=2, min_batch=2).run(inner, table, qs)
+        assert excinfo.value.query is None  # attribution skipped
+        executed = [e.query for e in inner.entries]
+        assert len(executed) == len(set(executed))  # no duplicate entries
+
+    def test_generator_seeded_tester_tokens_are_one_time(self):
+        """Regression: RCIT/PermutationCI keyed their seed by repr() — for
+        a live Generator that is a heap *address*, which the allocator
+        recycles, so a different stream could inherit cached verdicts."""
+        from repro.ci.permutation import PermutationCI
+        from repro.rng import ONE_TIME_TOKEN
+        rng = np.random.default_rng(0)
+        first = RCIT(seed=rng).cache_token()
+        second = RCIT(seed=rng).cache_token()
+        assert first != second
+        assert first[0][0] == ONE_TIME_TOKEN
+        assert PermutationCI(seed=rng).cache_token() != \
+               PermutationCI(seed=rng).cache_token()
+        # Value seeds stay stable across instances and processes.
+        assert RCIT(seed=7).cache_token() == RCIT(seed=7).cache_token()
+
+    def test_threaded_executor_never_shards_a_live_generator_stream(self):
+        """Regression: ThreadedExecutor sharded Generator-seeded testers,
+        letting worker threads consume the one shared stream in scheduling
+        order — verdicts varied run to run.  It now falls back to serial,
+        so results match a serial run over an identical stream state."""
+        import pickle
+        table = make_table(n=200)
+        qs = queries(table)[:6]
+        gen = np.random.default_rng(7)
+        twin = pickle.loads(pickle.dumps(gen))  # identical stream state
+        serial = SerialExecutor().run(RCIT(seed=gen), table, qs)
+        threaded = ThreadedExecutor(n_workers=4, min_batch=2).run(
+            RCIT(seed=twin), table, qs)
+        assert [r.p_value for r in threaded] == [r.p_value for r in serial]
+
+    def test_threaded_executor_keeps_stateful_testers_serial(self):
+        table = make_table()
+        qs = queries(table)
+        inner = CITestLedger(GTestCI(), cache=True)
+        results = ThreadedExecutor(n_workers=4, min_batch=2).run(
+            inner, table, qs)
+        assert len(results) == len(qs)
+        assert inner.n_tests == len(qs) and inner.cache_hits == 0
+
+    def test_kcit_generator_seed_covered_too(self):
+        """KCIT's annotation says int|None, but nothing stops a live
+        Generator at runtime — it needs the same one-time token and
+        process-safety story as RCIT/PermutationCI."""
+        from repro.ci.kcit import KCIT
+        from repro.rng import ONE_TIME_TOKEN
+        rng = np.random.default_rng(0)
+        assert KCIT(seed=0).process_safe()
+        assert not KCIT(seed=rng).process_safe()
+        assert KCIT(seed=rng).cache_token() != KCIT(seed=rng).cache_token()
+        assert KCIT(seed=rng).cache_token()[0][0] == ONE_TIME_TOKEN
+        assert KCIT(seed=3).cache_token() == KCIT(seed=3).cache_token()

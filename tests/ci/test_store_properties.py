@@ -1,0 +1,502 @@
+"""Property-based round-trip tests for the persistent stores.
+
+Three contracts from the ROADMAP, machine-checked on random inputs:
+
+* **robust loading** — corrupt, foreign, or future-versioned files always
+  read as empty (a store is a pure accelerator; loading must never raise);
+* **committed entries survive concurrent saves** — saves merge with the
+  on-disk state before the atomic rename, so interleaved savers (sibling
+  processes or threads sharing one path) never erase each other's
+  committed entries;
+* **distinct cache tokens never collide** — differently-configured
+  testers can never share an entry, whatever their token values.
+
+Plus the same discipline for :class:`ExperimentStore`'s selections file.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ci.gtest import GTestCI
+from repro.ci.store import (FORMAT_TAG, FORMAT_VERSION, SELECTIONS_TAG,
+                            SELECTIONS_VERSION, ExperimentStore,
+                            PersistentCICache, _key_string)
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.core.seqsel import SeqSel
+from repro.core.subset_search import MarginalThenFull
+from repro.data.table import Table
+
+RECORD = {"independent": True, "p_value": 0.5, "statistic": 1.0,
+          "method": "g-test"}
+
+
+def query_key(name: str) -> tuple:
+    return ((name,), ("y",), ())
+
+
+class TestRobustLoading:
+    @settings(max_examples=30, deadline=None)
+    @given(garbage=st.one_of(
+        st.text(max_size=200),
+        st.binary(max_size=200).map(lambda b: b.decode("latin-1")),
+        st.lists(st.integers()).map(json.dumps),
+        st.dictionaries(st.text(max_size=8), st.integers(),
+                        max_size=4).map(json.dumps),
+    ))
+    def test_arbitrary_file_contents_read_as_empty(self, tmp_path_factory,
+                                                   garbage):
+        path = tmp_path_factory.mktemp("store") / "cache.json"
+        path.write_text(garbage)
+        assert len(PersistentCICache(path)) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(tag=st.text(max_size=30), version=st.integers(-5, 50))
+    def test_foreign_or_future_documents_read_as_empty(self,
+                                                       tmp_path_factory,
+                                                       tag, version):
+        if tag == FORMAT_TAG and version == FORMAT_VERSION:
+            return  # the one genuine document shape
+        path = tmp_path_factory.mktemp("store") / "cache.json"
+        path.write_text(json.dumps({"format": tag, "version": version,
+                                    "entries": {"k": dict(RECORD)}}))
+        assert len(PersistentCICache(path)) == 0
+
+    def test_current_document_shape_loads(self, tmp_path):
+        path = tmp_path / "cache.json"
+        with PersistentCICache(path) as store:
+            store.put("fp", query_key("x"), "g-test", 0.01, RECORD)
+        assert len(PersistentCICache(path)) == 1
+
+
+# Hashable scalar values a cache_token may carry.
+token_scalars = st.one_of(
+    st.integers(min_value=-2**31, max_value=2**31),
+    st.floats(allow_nan=False),
+    st.text(max_size=12),
+    st.booleans(),
+    st.none(),
+)
+tokens = st.tuples() | st.lists(
+    token_scalars | st.tuples(st.text(max_size=8), token_scalars),
+    max_size=4).map(tuple)
+
+
+class TestTokenIsolation:
+    @settings(max_examples=60, deadline=None)
+    @given(first=tokens, second=tokens)
+    def test_distinct_tokens_never_collide(self, first, second):
+        if first == second:
+            return
+        key_a = _key_string("fp", query_key("x"), "g-test", 0.01, first)
+        key_b = _key_string("fp", query_key("x"), "g-test", 0.01, second)
+        assert key_a != key_b
+
+    @settings(max_examples=25, deadline=None)
+    @given(first=tokens, second=tokens)
+    def test_distinct_tokens_isolate_entries(self, tmp_path_factory,
+                                             first, second):
+        if first == second:
+            return
+        store = PersistentCICache(tmp_path_factory.mktemp("store") / "c.json")
+        store.put("fp", query_key("x"), "g-test", 0.01, RECORD, token=first)
+        assert store.get("fp", query_key("x"), "g-test", 0.01,
+                         token=second) is None
+        assert store.get("fp", query_key("x"), "g-test", 0.01,
+                         token=first) == RECORD
+
+
+class TestConcurrentSaves:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(order=st.permutations(range(6)))
+    def test_interleaved_saver_instances_never_lose_entries(
+            self, tmp_path_factory, order):
+        """Any interleaving of whole saves from independent store
+        instances (the cross-process shape) preserves every committed
+        entry, because saves merge before renaming."""
+        path = tmp_path_factory.mktemp("store") / "shared.json"
+        stores = []
+        for i in range(6):
+            store = PersistentCICache(path)  # all load the initial state
+            store.put(f"fp{i}", query_key(f"x{i}"), "g-test", 0.01, RECORD)
+            stores.append(store)
+        for i in order:
+            stores[i].save()
+        final = PersistentCICache(path)
+        assert len(final) == 6
+        for i in range(6):
+            assert final.get(f"fp{i}", query_key(f"x{i}"),
+                             "g-test", 0.01) == RECORD
+
+    def test_threaded_put_save_races_lose_nothing(self, tmp_path):
+        path = tmp_path / "shared.json"
+        n_threads, per_thread = 8, 5
+
+        def writer(thread_id):
+            store = PersistentCICache(path)
+            for j in range(per_thread):
+                store.put(f"fp{thread_id}", query_key(f"x{j}"),
+                          "g-test", 0.01, RECORD)
+                store.save()
+
+        threads = [threading.Thread(target=writer, args=(i,))
+                   for i in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        final = PersistentCICache(path)
+        assert len(final) == n_threads * per_thread
+        # And the surviving document is a valid, loadable snapshot.
+        payload = json.loads(path.read_text())
+        assert payload["format"] == FORMAT_TAG
+
+    def test_save_failure_leaves_prior_file_intact(self, tmp_path,
+                                                   monkeypatch):
+        path = tmp_path / "cache.json"
+        with PersistentCICache(path) as store:
+            store.put("fp", query_key("x"), "g-test", 0.01, RECORD)
+        survivor = path.read_text()
+
+        broken = PersistentCICache(path)
+        broken.put("fp2", query_key("z"), "g-test", 0.01, RECORD)
+        monkeypatch.setattr(json, "dump",
+                            lambda *a, **k: (_ for _ in ()).throw(OSError()))
+        with pytest.raises(OSError):
+            broken.save()
+        assert path.read_text() == survivor
+        assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+
+
+def small_problem():
+    rng = np.random.default_rng(0)
+    n = 300
+    s = rng.integers(0, 2, n)
+    table = Table({
+        "s": s, "a": rng.integers(0, 3, n),
+        "y": rng.integers(0, 2, n),
+        "f1": rng.integers(0, 3, n),
+        "f2": np.where(rng.random(n) < 0.8, s, rng.integers(0, 2, n)),
+    })
+    return FairFeatureSelectionProblem(
+        table=table, sensitive=["s"], admissible=["a"], target="y",
+        candidates=["f1", "f2"])
+
+
+class TestExperimentStore:
+    def test_selection_roundtrip_across_reopen(self, tmp_path):
+        problem = small_problem()
+        selector = SeqSel(tester=GTestCI(),
+                          subset_strategy=MarginalThenFull())
+        with ExperimentStore(tmp_path / "suite") as store:
+            cold = store.cached_select(selector, problem)
+            assert store.selection_misses == 1
+        reopened = ExperimentStore(tmp_path / "suite")
+        warm = reopened.cached_select(
+            SeqSel(tester=GTestCI(), subset_strategy=MarginalThenFull()),
+            problem)
+        assert reopened.selection_hits == 1
+        assert warm.selected_set == cold.selected_set
+        assert warm.reasons == cold.reasons
+        assert warm.n_ci_tests == cold.n_ci_tests
+        assert warm.algorithm == cold.algorithm
+
+    def test_cached_select_restores_selector_cache(self, tmp_path):
+        problem = small_problem()
+        selector = SeqSel(tester=GTestCI(),
+                          subset_strategy=MarginalThenFull())
+        ExperimentStore(tmp_path / "suite").cached_select(selector, problem)
+        assert selector.cache is False
+
+    def test_corrupt_selections_file_reads_as_empty(self, tmp_path):
+        root = tmp_path / "suite"
+        root.mkdir()
+        (root / "selections.json").write_text("{definitely not json")
+        assert ExperimentStore(root).n_selections == 0
+
+    def test_future_selections_version_reads_as_empty(self, tmp_path):
+        root = tmp_path / "suite"
+        root.mkdir()
+        (root / "selections.json").write_text(json.dumps(
+            {"format": SELECTIONS_TAG, "version": SELECTIONS_VERSION + 1,
+             "entries": {"k": {}}}))
+        assert ExperimentStore(root).n_selections == 0
+
+    def test_namespaces_are_sibling_files_and_shared_instances(
+            self, tmp_path):
+        store = ExperimentStore(tmp_path / "suite")
+        grp = store.ci_cache("grpsel")
+        seq = store.ci_cache("seqsel")
+        assert grp is store.ci_cache("grpsel")
+        assert grp is not seq
+        grp.put("fp", query_key("x"), "g-test", 0.01, RECORD)
+        store.save()
+        assert (tmp_path / "suite" / "ci" / "grpsel.json").exists()
+        assert not (tmp_path / "suite" / "ci" / "seqsel.json").exists()
+        # Sibling isolation: seqsel cannot see grpsel's entry.
+        assert seq.get("fp", query_key("x"), "g-test", 0.01) is None
+
+    @pytest.mark.parametrize("bad", ["", "a/b", "a\\b", "..", "a b"])
+    def test_invalid_namespace_rejected(self, tmp_path, bad):
+        with pytest.raises(ValueError, match="namespace"):
+            ExperimentStore(tmp_path / "suite").ci_cache(bad)
+
+    def test_selector_without_digest_is_rejected(self, tmp_path):
+        class Opaque:
+            cache = False
+
+            def select(self, problem):  # pragma: no cover - never reached
+                raise AssertionError
+
+        with pytest.raises(TypeError, match="config_digest"):
+            ExperimentStore(tmp_path / "suite").cached_select(
+                Opaque(), small_problem())
+
+    def test_different_config_or_data_never_hits(self, tmp_path):
+        problem = small_problem()
+        store = ExperimentStore(tmp_path / "suite")
+        store.cached_select(
+            SeqSel(tester=GTestCI(), subset_strategy=MarginalThenFull()),
+            problem)
+        # Different tester configuration (alpha) misses.
+        store.cached_select(
+            SeqSel(tester=GTestCI(alpha=0.05),
+                   subset_strategy=MarginalThenFull()), problem)
+        assert store.selection_misses == 2
+        # Different data misses: perturb one candidate column.
+        table = problem.table
+        shuffled = table.with_column("f1", table["f1"][::-1].copy())
+        other = FairFeatureSelectionProblem(
+            table=shuffled, sensitive=["s"], admissible=["a"], target="y",
+            candidates=["f1", "f2"])
+        store.cached_select(
+            SeqSel(tester=GTestCI(), subset_strategy=MarginalThenFull()),
+            other)
+        assert store.selection_misses == 3 and store.selection_hits == 0
+
+    def test_interleaved_experiment_stores_merge_selections(self, tmp_path):
+        problem = small_problem()
+        first = ExperimentStore(tmp_path / "suite")
+        second = ExperimentStore(tmp_path / "suite")
+        first.cached_select(
+            SeqSel(tester=GTestCI(), subset_strategy=MarginalThenFull()),
+            problem)
+        second.cached_select(
+            SeqSel(tester=GTestCI(alpha=0.05),
+                   subset_strategy=MarginalThenFull()), problem)
+        first.save()
+        second.save()
+        assert ExperimentStore(tmp_path / "suite").n_selections == 2
+
+
+class FailingAfterOneTest:
+    """Selector stub: records one CI verdict into its cache, then dies."""
+
+    name = "failing"
+    cache = False
+
+    def config_digest(self):
+        return (self.name, "g-test", 0.01)
+
+    def select(self, problem):
+        from repro.ci.base import CITestLedger
+        ledger = CITestLedger(GTestCI(), cache=self.cache)
+        ledger.test(problem.table, problem.candidates[0], problem.target)
+        raise RuntimeError("died mid-selection")
+
+
+class TestStoreSavedOnFailure:
+    def test_run_method_persists_partial_ci_results(self, tmp_path):
+        """Regression: the store= branch of run_method saved only on
+        success, so a crash mid-selection discarded every verdict already
+        computed — unlike the ci_cache= branch, which saves in finally."""
+        from repro.data.loaders import load_german
+        from repro.experiments.harness import run_method
+        dataset = load_german(seed=0, n_train=200, n_test=100)
+        store = ExperimentStore(tmp_path / "suite")
+        with pytest.raises(RuntimeError, match="died mid-selection"):
+            run_method(dataset, FailingAfterOneTest(), store=store)
+        reopened = ExperimentStore(tmp_path / "suite")
+        assert len(reopened.ci_cache("failing")) == 1
+        assert reopened.n_selections == 0  # no result — nothing memoised
+
+
+class TestColdOnlyMemoisation:
+    def test_resumed_run_is_not_memoised_as_cold(self, tmp_path):
+        """Regression: an interrupted-then-resumed sweep executes only the
+        remainder; memoising that partial n_ci_tests as the permanent
+        'cold-run' summary would corrupt warm Table 2 counts forever."""
+        problem = small_problem()
+        store = ExperimentStore(tmp_path / "suite")
+
+        # Simulate the crash's surviving state: a few verdicts already in
+        # the namespace CI cache, but no memoised selection.
+        partial = SeqSel(tester=GTestCI(), subset_strategy=MarginalThenFull(),
+                         cache=store.ci_cache("seqsel"))
+        partial.select(problem)
+        assert store.n_selections == 0
+
+        resumed = store.cached_select(
+            SeqSel(tester=GTestCI(), subset_strategy=MarginalThenFull()),
+            problem)
+        assert resumed.cache_hits > 0      # the resume was cache-assisted
+        assert resumed.n_ci_tests == 0     # only the remainder executed
+        assert store.n_selections == 0     # ... and was NOT memoised
+
+    def test_cold_run_is_memoised(self, tmp_path):
+        problem = small_problem()
+        store = ExperimentStore(tmp_path / "suite")
+        cold = store.cached_select(
+            SeqSel(tester=GTestCI(), subset_strategy=MarginalThenFull()),
+            problem)
+        assert cold.cache_hits == 0
+        assert store.n_selections == 1
+
+    def test_memo_hit_skips_table_warm_up(self, tmp_path, monkeypatch):
+        """Regression: run_method warmed every column's encoded caches
+        before probing the selection memo, paying the dominant per-row
+        cost on exactly the warm reruns the store is for."""
+        from repro.data.loaders import load_german
+        from repro.data.table import Table
+        from repro.experiments.harness import run_method
+        dataset = load_german(seed=0, n_train=200, n_test=100)
+        store = ExperimentStore(tmp_path / "suite")
+        selector = SeqSel(tester=GTestCI(), subset_strategy=MarginalThenFull())
+        run_method(dataset, selector, store=store)
+
+        calls = []
+        original = Table.warm_cache
+        monkeypatch.setattr(Table, "warm_cache",
+                            lambda self, names=None:
+                            (calls.append(1), original(self, names))[1])
+        warm = run_method(
+            dataset,
+            SeqSel(tester=GTestCI(), subset_strategy=MarginalThenFull()),
+            store=store)
+        assert warm.selection.n_ci_tests > 0  # recorded cold count
+        assert calls == []                    # memo hit: no warm-up at all
+        assert warm.warm_seconds == 0.0
+
+
+class TestProblemIdentityInMemoKey:
+    def test_same_table_different_roles_never_alias(self, tmp_path):
+        """Regression: the memo key once covered only the table, so the
+        same table queried as two different problems (candidate subsets,
+        the incremental setting) served one problem the other's result."""
+        rng = np.random.default_rng(0)
+        n = 300
+        s = rng.integers(0, 2, n)
+        table = Table({
+            "s": s, "a": rng.integers(0, 3, n),
+            "y": rng.integers(0, 2, n),
+            "f1": rng.integers(0, 3, n),
+            "f2": np.where(rng.random(n) < 0.8, s, rng.integers(0, 2, n)),
+            "f3": rng.integers(0, 2, n),
+        })
+
+        def problem_with(candidates):
+            return FairFeatureSelectionProblem(
+                table=table, sensitive=["s"], admissible=["a"],
+                target="y", candidates=candidates)
+
+        store = ExperimentStore(tmp_path / "suite")
+        first = store.cached_select(
+            SeqSel(tester=GTestCI(), subset_strategy=MarginalThenFull()),
+            problem_with(["f1", "f2"]))
+        second = store.cached_select(
+            SeqSel(tester=GTestCI(), subset_strategy=MarginalThenFull()),
+            problem_with(["f3"]))
+        assert store.selection_misses == 2 and store.selection_hits == 0
+        assert set(second.selected + second.rejected) == {"f3"}
+        assert set(first.selected + first.rejected) == {"f1", "f2"}
+
+    def test_one_time_token_runs_never_pollute_the_store(self, tmp_path):
+        """A Generator-seeded selector can never be served a memo hit, so
+        recording it would only grow selections.json by a dead entry per
+        run, forever (merge-on-save never prunes)."""
+        from repro.core.grpsel import GrpSel
+        problem = small_problem()
+        store = ExperimentStore(tmp_path / "suite")
+        for _ in range(3):
+            store.cached_select(
+                GrpSel(tester=GTestCI(), subset_strategy=MarginalThenFull(),
+                       seed=np.random.default_rng(0)), problem)
+        store.save()
+        assert store.n_selections == 0
+        assert not (tmp_path / "suite" / "selections.json").exists()
+
+    def test_generator_seeded_tester_is_never_memoised(self, tmp_path):
+        """The one-time-token guard must cover the *tester* seed path too,
+        not just GrpSel's shuffle seed."""
+        from repro.ci.rcit import RCIT
+        problem = small_problem()
+        store = ExperimentStore(tmp_path / "suite")
+        store.cached_select(
+            SeqSel(tester=RCIT(seed=np.random.default_rng(0)),
+                   subset_strategy=MarginalThenFull()), problem)
+        store.save()
+        assert store.n_selections == 0
+        assert not (tmp_path / "suite" / "selections.json").exists()
+
+    def test_generator_seeded_tester_never_writes_dead_ci_entries(
+            self, tmp_path):
+        """Each cache_token() call on a Generator-seeded tester mints a
+        fresh token, so persistent entries keyed through it are dead on
+        arrival — the store must refuse them rather than grow per query."""
+        from repro.ci.base import CITestLedger
+        from repro.ci.rcit import RCIT
+        problem = small_problem()
+        path = tmp_path / "cache.json"
+        ledger = CITestLedger(RCIT(seed=np.random.default_rng(0)),
+                              cache=PersistentCICache(path))
+        ledger.test(problem.table, "f1", "y")
+        ledger.test(problem.table, "f2", "y")
+        ledger.flush_cache()
+        assert ledger.n_tests == 2
+        assert not path.exists()  # nothing storable was ever recorded
+
+    def test_marker_lookalike_column_names_still_cache(self, tmp_path):
+        """Regression: one-time-token detection was a substring test on
+        the serialized key, so a column merely *named* like the marker
+        silently disabled caching for every query touching it."""
+        path = tmp_path / "cache.json"
+        store = PersistentCICache(path)
+        store.put("fp", (("seed-once_x_y",), ("y",), ()), "g-test", 0.01,
+                  RECORD, token=(("seed", 0),))
+        store.save()
+        assert len(PersistentCICache(path)) == 1
+        # ... while a structurally one-time token is still refused.
+        from repro.rng import ONE_TIME_TOKEN
+        store.put("fp", (("x",), ("y",), ()), "g-test", 0.01, RECORD,
+                  token=((ONE_TIME_TOKEN, "abc123"),))
+        assert len(store) == 1
+
+    def test_malformed_selection_entry_reads_as_miss(self, tmp_path):
+        """Regression: a malformed entry inside an otherwise valid
+        selections.json crashed cached_select with KeyError instead of
+        reading as a miss (the 'pure accelerator' contract)."""
+        problem = small_problem()
+        selector = SeqSel(tester=GTestCI(),
+                          subset_strategy=MarginalThenFull())
+        with ExperimentStore(tmp_path / "suite") as store:
+            cold = store.cached_select(selector, problem)
+
+        path = tmp_path / "suite" / "selections.json"
+        payload = json.loads(path.read_text())
+        for entry in payload["entries"].values():
+            del entry["c1"]  # still-parsing partial corruption
+        path.write_text(json.dumps(payload))
+
+        reopened = ExperimentStore(tmp_path / "suite")
+        again = reopened.cached_select(
+            SeqSel(tester=GTestCI(), subset_strategy=MarginalThenFull()),
+            problem)
+        assert reopened.selection_hits == 0  # corrupt entry never served
+        assert again.selected_set == cold.selected_set  # recomputed

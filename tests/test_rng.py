@@ -44,3 +44,35 @@ class TestSpawn:
     def test_bad_seed_type(self):
         with pytest.raises(TypeError):
             spawn("seed", 2)
+
+
+class TestSeedToken:
+    def test_value_seeds_key_by_value(self):
+        from repro.rng import seed_token
+        assert seed_token(7) == seed_token(7)
+        assert seed_token(7) != seed_token(8)
+        assert seed_token(None) == seed_token(None)
+        assert seed_token(None) != seed_token(0)
+
+    def test_generator_seeds_never_share_a_token(self):
+        """Regression: id()-based tokens collided when the allocator
+        reused a dead generator's address, letting a memo serve another
+        stream's result.  A live generator now gets a one-time token —
+        even the same object twice."""
+        import numpy as np
+        from repro.rng import seed_token
+        first = np.random.default_rng()
+        token = seed_token(first)
+        assert seed_token(first) != token  # same object: still one-time
+        del first
+        second = np.random.default_rng()  # plausibly the same address
+        assert seed_token(second) != token
+
+    def test_numpy_integer_seeds_key_like_python_ints(self):
+        """Regression: np.int64 seeds (np.arange-derived sweeps) were
+        treated as one-time tokens, silently disabling every cache layer
+        for perfectly deterministic configurations."""
+        import numpy as np
+        from repro.rng import seed_token
+        assert seed_token(np.int64(5)) == seed_token(5)
+        assert seed_token(np.int32(0)) == seed_token(0)
