@@ -1,5 +1,7 @@
 """Conditional-independence testing substrate."""
 
+import os
+
 from repro.ci.base import CIQuery, CIResult, CITestLedger, CITester, LedgerEntry
 from repro.ci.adaptive import AdaptiveCI
 from repro.ci.cmi import ClassifierCMI, discrete_cmi, knn_cmi
@@ -8,10 +10,45 @@ from repro.ci.executor import (BatchExecutor, ProcessExecutor,
                                default_executor, executor_by_name)
 from repro.ci.fisher_z import FisherZCI, partial_correlation
 from repro.ci.gtest import ChiSquaredCI, GTestCI
+from repro.ci.kcit import KCIT
 from repro.ci.oracle import GraphoidOracleBackend, OracleCI
 from repro.ci.permutation import PermutationCI
 from repro.ci.rcit import RCIT, RIT, median_bandwidth, random_fourier_features
 from repro.ci.store import ExperimentStore, PersistentCICache
+from repro.rng import SeedLike
+
+#: Environment override for the tester family selectors construct when
+#: none is passed explicitly (see :func:`default_tester`).
+ENV_TESTER = "REPRO_CI_TESTER"
+
+
+def default_tester(alpha: float = 0.01, seed: SeedLike = 0) -> CITester:
+    """The tester a selector constructs when none is passed explicitly.
+
+    Defaults to the paper's setup — :class:`RCIT` — and honours the
+    ``REPRO_CI_TESTER`` environment variable (``rcit`` / ``gtest`` /
+    ``chi2`` / ``fisher-z`` / ``kcit`` / ``adaptive``), which is how the
+    CI matrix pins a whole run onto one backend — e.g. the fused
+    continuous path under process sharding — without touching call sites.
+    Testers without a seed parameter ignore ``seed``.
+    """
+    name = os.environ.get(ENV_TESTER, "").strip().lower() or "rcit"
+    if name == "rcit":
+        return RCIT(alpha=alpha, seed=seed)
+    if name == "gtest":
+        return GTestCI(alpha=alpha)
+    if name == "chi2":
+        return ChiSquaredCI(alpha=alpha)
+    if name == "fisher-z":
+        return FisherZCI(alpha=alpha)
+    if name == "kcit":
+        return KCIT(alpha=alpha, seed=seed)
+    if name == "adaptive":
+        return AdaptiveCI(alpha=alpha, seed=seed)
+    raise ValueError(
+        f"unknown {ENV_TESTER} value {name!r}; choose from "
+        f"rcit/gtest/chi2/fisher-z/kcit/adaptive")
+
 
 __all__ = [
     "CIQuery",
@@ -25,6 +62,8 @@ __all__ = [
     "SerialExecutor",
     "ThreadedExecutor",
     "default_executor",
+    "default_tester",
+    "ENV_TESTER",
     "executor_by_name",
     "ExperimentStore",
     "PersistentCICache",
@@ -36,6 +75,7 @@ __all__ = [
     "ChiSquaredCI",
     "GTestCI",
     "GraphoidOracleBackend",
+    "KCIT",
     "OracleCI",
     "PermutationCI",
     "RCIT",

@@ -25,11 +25,16 @@ from repro.rng import SeedLike
 class AdaptiveCI(CITester):
     """Dispatch to a discrete or kernel test by the queried columns' kinds.
 
-    ``executor`` (optional) shards the *continuous* backend's sub-batch —
-    the wall-clock-dominant part of a mixed workload, since RCIT runs a
-    ridge solve per query while the discrete backend fuses its whole
-    sub-batch into a few counting passes.  The discrete sub-batch always
-    runs in the calling thread to keep that fusion intact.
+    Both sub-batches go through their backend's *fused* batch path: the
+    discrete backend fuses same-``(Y, Z)`` queries into counting passes,
+    and the continuous backend (RCIT) shares each group's standardized
+    blocks, bandwidths, Z feature map, ridge factorisation, and Y
+    residuals (see :mod:`repro.ci.rcit`).  ``executor`` (optional) shards
+    the continuous sub-batch — still usually the wall-clock-dominant part
+    of a mixed workload; sharding splits fusion groups at shard
+    boundaries but never changes results, because every random draw is
+    derived per variable block.  The discrete sub-batch always runs in
+    the calling thread to keep its fusion intact.
     """
 
     method = "adaptive"

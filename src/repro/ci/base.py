@@ -22,6 +22,16 @@ turn those bursts into batch-oriented evaluation over shared encoded state:
   discrete backends override it to reuse per-table integer-code caches
   (:meth:`repro.data.table.Table.discrete_codes`), so stratification of a
   common conditioning set is computed once per table rather than per query.
+  Continuous backends (RCIT/KCIT/Fisher-z) override it with the same
+  shape: queries are grouped by their ``(y, z)`` pair and each group's
+  shared legs — standardized blocks and median bandwidths
+  (:meth:`repro.data.table.Table.standardized_block` /
+  :meth:`~repro.data.table.Table.median_bandwidth`), the Z feature map
+  and its ridge factorisation, the Y residuals — are computed once per
+  group.  Fused results are bitwise identical to sequential
+  :meth:`CITester.test` because every random draw is derived per
+  variable block (:func:`repro.rng.derive`), never consumed across
+  queries.
 * :meth:`CITestLedger.test_batch` adds exact cost accounting on top.  Its
   invariants: (1) recorded entries are precisely the tests a sequential
   early-exit loop would have executed — with ``stop_on_independent=True``
@@ -220,6 +230,33 @@ class CITester:
               z: np.ndarray | None) -> tuple[float, float]:
         """Return ``(p_value, statistic)`` for matrices X, Y, Z|None."""
         raise NotImplementedError
+
+    def _grouped_batch(self, table: Table, normalised: list[CIQuery],
+                       key=None) -> list[CIResult]:
+        """Shared scaffold for fused same-``(Y, Z)`` batch evaluation.
+
+        Groups the (already validated) queries by ``key(query)`` —
+        default ``(query.y, query.z)`` — and evaluates each group through
+        the subclass's ``_group_eval(table, y_names, z_names, x_blocks)``,
+        which returns one ``(p_value, statistic)`` pair per X block.
+        Used by the continuous backends (RCIT/KCIT/Fisher-z) so the
+        grouping/scatter logic cannot drift between them; result order
+        matches the input.
+        """
+        if key is None:
+            key = lambda query: (query.y, query.z)  # noqa: E731
+        groups: dict[tuple, list[int]] = {}
+        for i, query in enumerate(normalised):
+            groups.setdefault(key(query), []).append(i)
+        results: list[CIResult | None] = [None] * len(normalised)
+        for (y_names, z_names), indices in groups.items():
+            pairs = self._group_eval(  # type: ignore[attr-defined]
+                table, y_names, z_names,
+                [normalised[i].x for i in indices])
+            for i, (p_value, statistic) in zip(indices, pairs):
+                results[i] = self._finalize(p_value, statistic,
+                                            normalised[i])
+        return results
 
 
 @dataclass

@@ -23,9 +23,11 @@ remainder through an executor, which decides *how* the inner tester's
   alive across calls for the same pair, so a selection run pays the
   process start-up cost once, not per burst.
 
-Sharding splits a discrete backend's fusion groups at shard boundaries —
-results stay bitwise identical (fusion is exact), only the counting passes
-multiply — so mixed batches are safe, merely less fused.
+Sharding splits a backend's fusion groups at shard boundaries — results
+stay bitwise identical (fusion is exact: discrete kernels count the same
+strata, continuous kernels re-derive the same per-block random draws),
+only the shared passes multiply — so mixed batches are safe, merely less
+fused.
 
 Executors are deliberately *mechanism only*: result order always matches
 the input order, every query is executed exactly once, and cost

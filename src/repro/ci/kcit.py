@@ -13,6 +13,15 @@ for cross-checks and ablations.  Construction:
    implied by the eigenvalues of the conditional Grams.
 
 Cost is O(n^3); keep n in the hundreds.
+
+:meth:`KCIT.test_batch` shares the O(n^3) work across a same-``(Y, Z)``
+group: the subsample draw, the centred ``K_Z``, its ridge inverse ``R``,
+and the conditional ``K_{Y|Z}`` are computed once per group and reused by
+every candidate — each candidate then only pays its own ``K_{X'|Z}``
+chain.  Sequential :meth:`test` runs the same kernel with a group of one,
+so fused results are bitwise identical.  All traces are evaluated as
+elementwise sums (``trace(A @ B) == sum(A * B.T)``) and centring is the
+O(n^2) row/column-mean subtraction — never a full matmul.
 """
 
 from __future__ import annotations
@@ -20,8 +29,9 @@ from __future__ import annotations
 import numpy as np
 from scipy import stats
 
-from repro.ci.base import CITester
+from repro.ci.base import CIQuery, CITester, as_queries
 from repro.ci.rcit import _standardize, median_bandwidth
+from repro.data.table import Table
 from repro.exceptions import CITestError
 from repro.rng import seed_token
 
@@ -34,9 +44,14 @@ def rbf_gram(matrix: np.ndarray, bandwidth: float) -> np.ndarray:
 
 
 def _center(gram: np.ndarray) -> np.ndarray:
-    n = gram.shape[0]
-    h = np.eye(n) - np.full((n, n), 1.0 / n)
-    return h @ gram @ h
+    """Doubly-centre a Gram matrix: ``H G H`` with ``H = I - 11^T/n``.
+
+    Evaluated as row/column mean subtraction — O(n^2), versus the two
+    O(n^3) matmuls of the literal formula.
+    """
+    row = gram.mean(axis=0, keepdims=True)
+    col = gram.mean(axis=1, keepdims=True)
+    return gram - row - col + gram.mean()
 
 
 class KCIT(CITester):
@@ -61,9 +76,13 @@ class KCIT(CITester):
     def cache_token(self) -> tuple:
         # seed_token, not repr: nothing stops a caller passing a live
         # Generator despite the int|None annotation, and its repr is an
-        # allocator-recycled address (see RCIT.cache_token).
+        # allocator-recycled address (see RCIT.cache_token).  The
+        # derivation version tracks the kernel numerics: v2 (O(n^2)
+        # centring, elementwise traces) is bit-different from v1's
+        # H@G@H / trace(A@B), so old persistent-store entries must read
+        # as misses.
         return (seed_token(self._seed), ("ridge", self.ridge),
-                ("max_samples", self.max_samples))
+                ("max_samples", self.max_samples), ("derivation", 2))
 
     def process_safe(self) -> bool:
         # default_rng(generator) passes a live Generator through, so the
@@ -71,8 +90,103 @@ class KCIT(CITester):
         # RCIT.process_safe).
         return not isinstance(self._seed, np.random.Generator)
 
+    # -- public API ---------------------------------------------------------
+
+    def test(self, table: Table, x, y, z=()):
+        query = CIQuery.make(x, y, z)
+        self._check_query(table, query)
+        p_value, statistic = self._group_eval(table, query.y, query.z,
+                                              [query.x])[0]
+        return self._finalize(p_value, statistic, query)
+
+    def test_batch(self, table: Table, queries):
+        """Group-shared batched evaluation (see the module docstring).
+
+        Fusion requires the subsample draw to be re-derivable (a value
+        seed, or no subsampling at all); otherwise each query keeps its
+        own fresh draw and the batch falls back to per-query evaluation,
+        exactly matching sequential :meth:`test` calls.
+        """
+        normalised = as_queries(queries)
+        for query in normalised:
+            self._check_query(table, query)
+        subsampled = table.n_rows > self.max_samples
+        if subsampled and not isinstance(self._seed, (int, np.integer)):
+            return [self.test(table, q.x, q.y, q.z) for q in normalised]
+        return self._grouped_batch(table, normalised)
+
+    # -- kernels ------------------------------------------------------------
+
+    def _block(self, table: Table, names: tuple[str, ...],
+               idx: np.ndarray | None) -> np.ndarray:
+        """Standardized block, through the table cache when unsubsampled."""
+        if idx is None:
+            return table.standardized_block(names)
+        return _standardize(table.matrix(names)[idx])
+
+    def _group_eval(self, table: Table, y_names: tuple[str, ...],
+                    z_names: tuple[str, ...],
+                    x_blocks: list[tuple[str, ...]]
+                    ) -> list[tuple[float, float]]:
+        """``(p_value, statistic)`` per candidate sharing one (Y, Z) leg."""
+        n = table.n_rows
+        idx = None
+        if n > self.max_samples:
+            rng = np.random.default_rng(self._seed)
+            idx = rng.choice(n, size=self.max_samples, replace=False)
+            n = self.max_samples
+
+        ys = self._block(table, y_names, idx)
+        zs = self._block(table, z_names, idx) if z_names else None
+        if idx is None:
+            bw_y = table.median_bandwidth(y_names)
+            bw_z = table.median_bandwidth(z_names) if z_names else None
+        else:
+            bw_y = median_bandwidth(ys)
+            bw_z = median_bandwidth(zs) if z_names else None
+
+        k_y = _center(rbf_gram(ys, bw_y))
+        residual = None
+        if zs is not None:
+            k_z = _center(rbf_gram(zs, bw_z))
+            # Absolute ridge (Zhang et al. use 1e-3): scaling it with n
+            # under-regresses and leaks Z-dependence into the residuals.
+            eps = self.ridge
+            residual = eps * np.linalg.inv(k_z + eps * np.eye(n))
+            k_y = residual @ k_y @ residual
+        trace_y = float(np.trace(k_y))
+        # trace(Ky^2) as an elementwise sum; Ky is (numerically) symmetric
+        # but we keep the transpose so the identity holds exactly.
+        sq_y = float(np.sum(k_y * k_y.T))
+
+        out: list[tuple[float, float]] = []
+        for names in x_blocks:
+            xs = self._block(table, names, idx)
+            # KCIT conditions X on Z by augmenting X with Z.
+            x_aug = np.hstack([xs, 0.5 * zs]) if zs is not None else xs
+            k_x = _center(rbf_gram(x_aug, median_bandwidth(x_aug)))
+            if residual is not None:
+                k_x = residual @ k_x @ residual
+
+            statistic = float(np.sum(k_x * k_y.T))  # trace(Kx @ Ky)
+
+            # Gamma approximation with Zhang et al.'s moment matching:
+            #   E[T]   ~= tr(Kx) tr(Ky) / n
+            #   Var[T] ~= 2 tr(Kx^2) tr(Ky^2) / n^2
+            mean = float(np.trace(k_x)) * trace_y / n
+            var = 2.0 * float(np.sum(k_x * k_x.T)) * sq_y / n ** 2
+            if mean <= 0 or var <= 0:
+                out.append((1.0, statistic))
+                continue
+            shape = mean ** 2 / var
+            scale = var / mean
+            out.append((float(stats.gamma.sf(statistic, a=shape,
+                                             scale=scale)), statistic))
+        return out
+
     def _test(self, x: np.ndarray, y: np.ndarray,
               z: np.ndarray | None) -> tuple[float, float]:
+        """Matrix-level path (no table context); same kernels, one query."""
         n = x.shape[0]
         if n > self.max_samples:
             rng = np.random.default_rng(self._seed)
@@ -85,7 +199,6 @@ class KCIT(CITester):
         ys = _standardize(y)
         if z is not None and z.shape[1] > 0:
             zs = _standardize(z)
-            # KCIT conditions X on Z by augmenting X with Z.
             x_aug = np.hstack([xs, 0.5 * zs])
         else:
             zs = None
@@ -96,18 +209,12 @@ class KCIT(CITester):
 
         if zs is not None:
             k_z = _center(rbf_gram(zs, median_bandwidth(zs)))
-            # Absolute ridge (Zhang et al. use 1e-3): scaling it with n
-            # under-regresses and leaks Z-dependence into the residuals.
             eps = self.ridge
-            r = eps * np.linalg.inv(k_z + eps * np.eye(n))
-            k_x = r @ k_x @ r
-            k_y = r @ k_y @ r
+            residual = eps * np.linalg.inv(k_z + eps * np.eye(n))
+            k_x = residual @ k_x @ residual
+            k_y = residual @ k_y @ residual
 
-        statistic = float(np.trace(k_x @ k_y))
-
-        # Gamma approximation with Zhang et al.'s moment matching:
-        #   E[T]   ~= tr(Kx) tr(Ky) / n
-        #   Var[T] ~= 2 tr(Kx^2) tr(Ky^2) / n^2
+        statistic = float(np.sum(k_x * k_y.T))
         mean = float(np.trace(k_x) * np.trace(k_y) / n)
         var = float(2.0 * np.sum(k_x * k_x.T) * np.sum(k_y * k_y.T) / n ** 2)
         if mean <= 0 or var <= 0:

@@ -15,24 +15,49 @@ a from-scratch Python port of the same construction:
 
 With an empty Z this degrades to RIT, the unconditional randomized
 independence test.
+
+Fused batch engine
+------------------
+
+:meth:`RCIT.test_batch` mirrors the discrete engine's same-``(Y, Z)``
+fusion (:meth:`repro.ci.gtest.GTestCI.test_batch`): queries are grouped by
+their ``(y, effective z)`` name pair — the exact shape of a SeqSel/GrpSel
+phase-2 burst — and each group computes its expensive shared legs **once**:
+the standardized blocks and median bandwidths (cached on the
+:class:`~repro.data.table.Table`), the Z feature map ``fz``, its ridge Gram
+Cholesky factorisation, and the residualised Y features.  Same-cardinality
+candidate X blocks are then mapped through one stacked RFF tensor and
+residualised in batched matmuls (numpy evaluates a 3-D matmul as one GEMM
+per slice, so slice ``j`` is bitwise identical to the 2-D product a lone
+query computes); the per-query eigen/gamma p-values come from the small
+per-candidate covariances.
+
+**Derivation rule** (the reason fusion is exact): with a value (int) seed,
+every variable block consumes a generator derived from
+``(seed, purpose, fingerprint_of(block names))`` via
+:func:`repro.rng.derive` — never a stream shared across blocks or
+queries.  Sequential :meth:`test` routes
+through the same group kernel with a group of one, so fused results are
+bitwise identical to sequential evaluation and invariant under any
+executor's shard boundaries.  Live-``Generator`` and ``None`` seeds have
+no re-derivable stream, so their batches fall back to the per-query path
+(and keep the legacy single-stream draws).
 """
 
 from __future__ import annotations
 
 import numpy as np
 from scipy import stats
+from scipy.linalg import cho_factor, cho_solve
 
-from repro.ci.base import CITester
+from repro.ci.base import CIQuery, CITester, as_queries
+from repro.data.table import Table, standardize_matrix
 from repro.exceptions import CITestError
-from repro.rng import SeedLike, as_generator, seed_token
+from repro.rng import SeedLike, as_generator, derive, derived_seed, seed_token
 
-
-def _standardize(matrix: np.ndarray) -> np.ndarray:
-    """Zero-mean unit-variance columns (constant columns become zero)."""
-    centered = matrix - matrix.mean(axis=0, keepdims=True)
-    scale = centered.std(axis=0, keepdims=True)
-    scale[scale < 1e-12] = 1.0
-    return centered / scale
+# Canonical home is repro.data.table (the Table block cache shares it);
+# kept under the historical name for the kernel-side importers (KCIT).
+_standardize = standardize_matrix
 
 
 def median_bandwidth(matrix: np.ndarray, max_points: int = 500,
@@ -60,13 +85,27 @@ def median_bandwidth(matrix: np.ndarray, max_points: int = 500,
     return med if med > 1e-12 else 1.0
 
 
+def rff_draw(rng: np.random.Generator, n_columns: int, n_features: int,
+             bandwidth: float) -> tuple[np.ndarray, np.ndarray]:
+    """Draw one RFF parameter set: ``(frequencies, phases)``.
+
+    The single definition of the draw *order* (frequencies, then phases)
+    — :func:`random_fourier_features` and the fused stacked-tensor path
+    both consume it, so the derivation contract cannot silently drift
+    between the Y/Z legs and the X legs.
+    """
+    frequencies = rng.normal(0.0, 1.0,
+                             size=(n_columns, n_features)) / bandwidth
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=n_features)
+    return frequencies, phases
+
+
 def random_fourier_features(matrix: np.ndarray, n_features: int,
                             bandwidth: float,
                             rng: np.random.Generator) -> np.ndarray:
     """RFF approximation of an RBF kernel with the given bandwidth."""
-    d = matrix.shape[1]
-    frequencies = rng.normal(0.0, 1.0, size=(d, n_features)) / bandwidth
-    phases = rng.uniform(0.0, 2.0 * np.pi, size=n_features)
+    frequencies, phases = rff_draw(rng, matrix.shape[1], n_features,
+                                   bandwidth)
     return np.sqrt(2.0 / n_features) * np.cos(matrix @ frequencies + phases)
 
 
@@ -96,6 +135,13 @@ class RCIT(CITester):
 
     method = "rcit"
 
+    #: Version of the random-feature derivation scheme.  Participates in
+    #: :meth:`cache_token` so a persistent store never serves verdicts
+    #: computed under an older derivation (v1 consumed one stream across
+    #: all blocks of a query; v2 derives one stream per block, which is
+    #: what makes same-(Y, Z) fusion exact).
+    _DERIVATION = 2
+
     def __init__(self, alpha: float = 0.01, n_features_xy: int = 5,
                  n_features_z: int = 100, ridge: float = 1e-10,
                  seed: SeedLike = None) -> None:
@@ -116,12 +162,53 @@ class RCIT(CITester):
         return (seed_token(self._seed),
                 ("n_features_xy", self.n_features_xy),
                 ("n_features_z", self.n_features_z),
-                ("ridge", self.ridge))
+                ("ridge", self.ridge),
+                ("derivation", self._DERIVATION))
 
     def process_safe(self) -> bool:
         # A live Generator seed is one evolving stream; worker copies
         # would each replay its pickled snapshot instead of consuming it.
         return not isinstance(self._seed, np.random.Generator)
+
+    # -- derivation ---------------------------------------------------------
+
+    def _value_seeded(self) -> bool:
+        """Whether per-block generators can be re-derived on demand."""
+        return isinstance(self._seed, (int, np.integer))
+
+    def _effective_z(self, query: CIQuery) -> tuple[str, ...]:
+        """The conditioning set this tester actually conditions on.
+
+        :class:`RIT` overrides this to ``()`` — it *drops* Z — which both
+        routes its fused grouping correctly (all queries share the empty
+        conditioning leg) and keeps its derivation honest: an RIT verdict
+        must never be keyed or grouped as if it had conditioned on Z.
+        """
+        return query.z
+
+    def _block_rng(self, table: Table,
+                   names: tuple[str, ...]) -> np.random.Generator:
+        """Feature-draw generator for one variable block.
+
+        Keyed on the block's *content* fingerprint (plus the seed), not
+        its names alone: a given draw then binds to one dataset's block,
+        so an unlucky low-frequency draw cannot follow a column name
+        across every table in a suite, and the derivation is what the
+        cache layers already key on (``fingerprint_of``).
+        """
+        return derive(self._seed, "rcit-features",
+                      table.fingerprint_of(names))
+
+    def _bandwidth_seed(self, table: Table,
+                        names: tuple[str, ...]) -> tuple[int, ...]:
+        """Entropy for the block's bandwidth-subsample draw.
+
+        A *separate* stream from the feature draws, so serving the
+        bandwidth from the Table cache cannot shift the feature stream's
+        position (warm and cold paths stay bitwise identical).
+        """
+        return derived_seed(self._seed, "rcit-bandwidth",
+                            table.fingerprint_of(names))
 
     def _n_features_for(self, n_columns: int) -> int:
         """Random-feature budget for a block of ``n_columns`` variables.
@@ -134,8 +221,137 @@ class RCIT(CITester):
         return min(100, max(self.n_features_xy,
                             self.n_features_xy * n_columns))
 
+    # -- public API ---------------------------------------------------------
+
+    def test(self, table: Table, x, y, z=()):
+        query = CIQuery.make(x, y, z)
+        self._check_query(table, query)
+        p_value, statistic = self._test_query(table, query)
+        return self._finalize(p_value, statistic, query)
+
+    def test_batch(self, table: Table, queries):
+        """Fused batched evaluation over the table's shared block caches.
+
+        Queries are grouped by their ``(y, effective z)`` name pair; each
+        group standardizes its blocks, estimates bandwidths, draws the Z
+        feature map, factors the ridge Gram, and residualises Y exactly
+        once, then maps every candidate through stacked RFF tensors.
+        Results are bitwise identical to sequential :meth:`test` calls
+        (the sequential path runs the same kernel with a group of one)
+        and invariant under executor shard boundaries (every random draw
+        is derived per block, never consumed across queries).
+        """
+        normalised = as_queries(queries)
+        for query in normalised:
+            self._check_query(table, query)
+        if not self._value_seeded():
+            # No re-derivable stream to share: evaluate per query, which
+            # trivially matches the sequential path.
+            return [self._finalize(*self._test_query(table, query), query)
+                    for query in normalised]
+        return self._grouped_batch(
+            table, normalised,
+            key=lambda query: (query.y, self._effective_z(query)))
+
+    # -- kernels ------------------------------------------------------------
+
+    def _test_query(self, table: Table,
+                    query: CIQuery) -> tuple[float, float]:
+        if not self._value_seeded():
+            # Legacy single-stream path: a live Generator consumes tester
+            # state and a None seed draws fresh entropy — neither can be
+            # re-derived per block.
+            z = query.z
+            return self._test(table.matrix(query.x), table.matrix(query.y),
+                              table.matrix(z) if z else None)
+        return self._group_eval(table, query.y, self._effective_z(query),
+                                [query.x])[0]
+
+    def _features_for(self, table: Table, names: tuple[str, ...],
+                      n_features: int) -> np.ndarray:
+        """Centred RFF block for one variable set (the shared Y/Z legs)."""
+        block = table.standardized_block(names)
+        bandwidth = table.median_bandwidth(
+            names, seed_key=self._bandwidth_seed(table, names))
+        feats = random_fourier_features(block, n_features, bandwidth,
+                                        self._block_rng(table, names))
+        return feats - feats.mean(axis=0, keepdims=True)
+
+    def _stacked_x_features(self, table: Table,
+                            blocks: list[tuple[str, ...]]) -> np.ndarray:
+        """``(k, n, m)`` centred RFF tensor for same-cardinality X blocks.
+
+        One batched matmul maps every candidate through its own derived
+        frequencies.  numpy evaluates the 3-D product as one GEMM per
+        slice, so slice ``j`` is bitwise identical to the 2-D product the
+        group-of-one (sequential) path computes for the same block.
+        """
+        d = len(blocks[0])
+        m = self._n_features_for(d)
+        stacked = np.stack([table.standardized_block(names)
+                            for names in blocks])
+        frequencies = np.empty((len(blocks), d, m))
+        phases = np.empty((len(blocks), 1, m))
+        for j, names in enumerate(blocks):
+            bandwidth = table.median_bandwidth(
+                names, seed_key=self._bandwidth_seed(table, names))
+            frequencies[j], phases[j, 0] = rff_draw(
+                self._block_rng(table, names), d, m, bandwidth)
+        feats = np.sqrt(2.0 / m) * np.cos(
+            np.matmul(stacked, frequencies) + phases)
+        return feats - feats.mean(axis=1, keepdims=True)
+
+    def _group_eval(self, table: Table, y_names: tuple[str, ...],
+                    z_names: tuple[str, ...],
+                    x_blocks: list[tuple[str, ...]]
+                    ) -> list[tuple[float, float]]:
+        """``(p_value, statistic)`` per candidate sharing one (Y, Z) leg."""
+        n = table.n_rows
+        fy = self._features_for(table, y_names,
+                                self._n_features_for(len(y_names)))
+        fz = projector = None
+        if z_names:
+            fz = self._features_for(table, z_names, self.n_features_z)
+            gram = fz.T @ fz + self.ridge * n * np.eye(fz.shape[1])
+            # One Cholesky factorisation serves the whole group.
+            projector = cho_solve(cho_factor(gram), fz.T)
+            fy = fy - fz @ (projector @ fy)
+        cov_y = fy.T @ fy / n
+        eig_y = np.maximum(np.linalg.eigvalsh(cov_y), 0.0)
+
+        out: list[tuple[float, float] | None] = [None] * len(x_blocks)
+        by_cardinality: dict[int, list[int]] = {}
+        for j, names in enumerate(x_blocks):
+            by_cardinality.setdefault(len(names), []).append(j)
+        for members in by_cardinality.values():
+            fx = self._stacked_x_features(
+                table, [x_blocks[j] for j in members])
+            if fz is not None:
+                fx = fx - np.matmul(fz, np.matmul(projector, fx))
+            for slot, j in enumerate(members):
+                out[j] = self._query_pvalue(fx[slot], fy, eig_y, n)
+        return out
+
+    def _query_pvalue(self, fx: np.ndarray, fy: np.ndarray,
+                      eig_y: np.ndarray, n: int) -> tuple[float, float]:
+        """Per-query statistic from its residual features (small arrays)."""
+        cross_cov = fx.T @ fy / n
+        statistic = float(n * np.sum(cross_cov ** 2))
+        cov_x = fx.T @ fx / n
+        eig_x = np.maximum(np.linalg.eigvalsh(cov_x), 0.0)
+        weights = np.outer(eig_x, eig_y).ravel()
+        return _gamma_pvalue(statistic, weights), statistic
+
     def _test(self, x: np.ndarray, y: np.ndarray,
               z: np.ndarray | None) -> tuple[float, float]:
+        """Matrix-level path (no table context).
+
+        Retains the legacy v1 derivation — one stream consumed across all
+        blocks — because block-keyed derivation needs names, which raw
+        matrices do not carry.  Table-based callers (:meth:`test` /
+        :meth:`test_batch`) use the per-block derivation whenever the
+        seed is a value.
+        """
         rng = as_generator(self._seed)
         n = x.shape[0]
         xs = _standardize(x)
@@ -173,6 +389,15 @@ class RIT(RCIT):
     """Unconditional randomized independence test (RCIT with empty Z)."""
 
     method = "rit"
+
+    def cache_token(self) -> tuple:
+        # Beyond the distinct ``method``: mark that Z is *dropped*, so an
+        # RIT verdict for (x, y | z) can never alias RCIT's conditional
+        # verdict in any store that keys on the token alone.
+        return super().cache_token() + (("effective_z", "dropped"),)
+
+    def _effective_z(self, query: CIQuery) -> tuple[str, ...]:
+        return ()
 
     def _test(self, x, y, z):
         return super()._test(x, y, None)

@@ -18,7 +18,7 @@ from typing import Sequence
 
 from repro.ci.base import CITestLedger, CITester
 from repro.ci.executor import BatchExecutor
-from repro.ci.rcit import RCIT
+from repro.ci import default_tester
 from repro.ci.store import PersistentCICache
 from repro.core.problem import FairFeatureSelectionProblem
 from repro.core.result import Reason, SelectionResult
@@ -50,7 +50,7 @@ class GrpSel:
             raise ValueError(f"min_group must be >= 1, got {min_group}")
         # The default tester inherits ``seed`` so a fixed-seed run pins the
         # partition order *and* the test's random features.
-        self.tester = tester if tester is not None else RCIT(seed=seed)
+        self.tester = tester if tester is not None else default_tester(seed=seed)
         self.subset_strategy = subset_strategy or ExhaustiveSubsets()
         self.shuffle = shuffle
         self.min_group = min_group

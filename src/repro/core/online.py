@@ -35,7 +35,7 @@ from typing import Sequence
 
 from repro.ci.base import CIQuery, CITestLedger, CITester
 from repro.ci.executor import BatchExecutor
-from repro.ci.rcit import RCIT
+from repro.ci import default_tester
 from repro.ci.store import PersistentCICache
 from repro.core.problem import FairFeatureSelectionProblem
 from repro.core.result import Reason, SelectionResult
@@ -58,7 +58,7 @@ class OnlineSelector:
                  subset_strategy: SubsetStrategy | None = None,
                  cache: bool | str | os.PathLike | PersistentCICache = False,
                  executor: BatchExecutor | None = None) -> None:
-        self.tester = tester if tester is not None else RCIT(seed=0)
+        self.tester = tester if tester is not None else default_tester()
         self.subset_strategy = subset_strategy or ExhaustiveSubsets()
         self._ledger = CITestLedger(self.tester, cache=cache,
                                     executor=executor)

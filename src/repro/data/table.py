@@ -29,6 +29,20 @@ from repro.data.schema import ColumnSpec, Kind, Role, TableSchema
 from repro.rng import SeedLike, as_generator
 
 
+def standardize_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Zero-mean unit-variance columns (constant columns become zero).
+
+    Canonical home of the standardisation the continuous CI testers
+    (RCIT/KCIT) apply before kernel evaluation; lives here so
+    :meth:`Table.standardized_block` and the testers share one
+    bit-identical implementation without a data→ci import cycle.
+    """
+    centered = matrix - matrix.mean(axis=0, keepdims=True)
+    scale = centered.std(axis=0, keepdims=True)
+    scale[scale < 1e-12] = 1.0
+    return centered / scale
+
+
 def _infer_kind(values: np.ndarray) -> Kind:
     """Guess a :class:`Kind` for a raw column.
 
@@ -95,6 +109,15 @@ class Table:
         self._fingerprint: str | None = None
         self._float_cols: dict[str, np.ndarray] = {}
         self._codes_cache: dict[tuple[str, ...], tuple[np.ndarray, int]] = {}
+        # Continuous analogues of discrete_codes: standardized float
+        # blocks and RBF median-heuristic bandwidths, shared across every
+        # query of a fused continuous batch (see standardized_block /
+        # median_bandwidth).  Subset fingerprints are memoised too — the
+        # fused RCIT path derives per-block generators from them, which
+        # would otherwise re-hash full column content per query.
+        self._std_blocks: dict[tuple[str, ...], np.ndarray] = {}
+        self._bandwidth_cache: dict[tuple, float] = {}
+        self._subset_fingerprints: dict[tuple[str, ...], str] = {}
 
     # -- basic accessors --------------------------------------------------
 
@@ -166,12 +189,18 @@ class Table:
         columns a decision depends on — e.g. the online selector re-tests
         previously rejected features only when the columns its phase-2
         queries touch actually changed, not when an unrelated column was
-        appended to the (widening) table.
+        appended to the (widening) table.  Memoised per name-set
+        (columns are immutable): the continuous CI engine consults it on
+        every per-block generator derivation and bandwidth lookup.
         """
-        digest = hashlib.blake2b(digest_size=16)
-        for name in sorted(set(names)):
-            self._hash_column(digest, name)
-        return digest.hexdigest()
+        key = tuple(sorted(set(names)))
+        cached = self._subset_fingerprints.get(key)
+        if cached is None:
+            digest = hashlib.blake2b(digest_size=16)
+            for name in key:
+                self._hash_column(digest, name)
+            cached = self._subset_fingerprints[key] = digest.hexdigest()
+        return cached
 
     def _hash_column(self, digest, name: str) -> None:
         arr = self[name]
@@ -224,6 +253,55 @@ class Table:
         self._codes_cache[key] = (codes, n_levels)
         return codes, n_levels
 
+    def standardized_block(self, names: Sequence[str] | str) -> np.ndarray:
+        """Cached read-only standardized float block of the named columns.
+
+        The continuous testers' view of the data: ``standardize_matrix``
+        over :meth:`matrix`, built once per ``(table, name-tuple)`` —
+        every query of a same-``(Y, Z)`` burst standardizes its
+        conditioning block through this cache instead of redoing the
+        column scan per query.  Value semantics: the cache can never go
+        stale because tables are immutable under the documented
+        no-mutation contract.
+        """
+        key = (names,) if isinstance(names, str) else tuple(names)
+        cached = self._std_blocks.get(key)
+        if cached is None:
+            cached = standardize_matrix(self.matrix(key))
+            cached.setflags(write=False)
+            self._std_blocks[key] = cached
+        return cached
+
+    def median_bandwidth(self, names: Sequence[str] | str,
+                         seed_key: Sequence[int] | None = None,
+                         max_points: int = 500) -> float:
+        """Cached RBF median-heuristic bandwidth of a standardized block.
+
+        Keyed on ``(fingerprint_of(names), seed_key, max_points)``: the
+        *content* of the named columns plus the subsample derivation, so
+        differently-seeded testers never share a subsampled estimate
+        while a re-projected table with identical columns does.
+        ``seed_key`` is the entropy tuple the caller derived for the
+        subsample draw (see :func:`repro.rng.derived_seed`); ``None``
+        uses the bandwidth helper's fixed internal fallback generator.
+        """
+        key_names = (names,) if isinstance(names, str) else tuple(names)
+        key = (self.fingerprint_of(key_names),
+               tuple(int(w) for w in seed_key) if seed_key is not None
+               else None,
+               int(max_points))
+        cached = self._bandwidth_cache.get(key)
+        if cached is None:
+            # Lazy import: the kernel math lives with the testers; at call
+            # time the ci package is necessarily already loaded.
+            from repro.ci.rcit import median_bandwidth
+            rng = (np.random.default_rng(list(key[1]))
+                   if seed_key is not None else None)
+            cached = median_bandwidth(self.standardized_block(key_names),
+                                      max_points=max_points, rng=rng)
+            self._bandwidth_cache[key] = cached
+        return cached
+
     def _joint_codes(self, key: tuple[str, ...]) -> tuple[np.ndarray, int]:
         """Mixed-radix combination of per-column codes, then densified."""
         combined = np.zeros(self._n_rows, dtype=np.int64)
@@ -253,6 +331,10 @@ class Table:
             self.float_column(name)
             if self.schema.spec(name).kind.is_discrete:
                 self.discrete_codes(name)
+            else:
+                # Continuous columns are queried as single-column X blocks
+                # in phase-2 bursts; pre-standardize them.
+                self.standardized_block((name,))
         return self
 
     # -- serialization -----------------------------------------------------
@@ -269,6 +351,9 @@ class Table:
         state = self.__dict__.copy()
         state["_float_cols"] = {}
         state["_codes_cache"] = {}
+        state["_std_blocks"] = {}
+        state["_bandwidth_cache"] = {}
+        state["_subset_fingerprints"] = {}
         return state
 
     # -- relational operations --------------------------------------------

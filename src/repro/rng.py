@@ -8,6 +8,7 @@ ad hoc, which keeps experiments reproducible end to end.
 
 from __future__ import annotations
 
+import hashlib
 import uuid
 
 import numpy as np
@@ -48,6 +49,36 @@ def spawn(seed: SeedLike, n: int) -> list[np.random.Generator]:
     return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(n)] if isinstance(
         seed, np.random.Generator
     ) else [np.random.default_rng(s) for s in np.random.SeedSequence(_seed_entropy(seed)).spawn(n)]
+
+
+def derived_seed(seed: int | np.integer, *parts) -> tuple[int, ...]:
+    """Deterministic child-seed entropy for a value seed and structural key.
+
+    The continuous CI testers derive one generator per ``(seed, block)``
+    so a query's random draws depend only on its *own* variable sets —
+    never on how many other queries share a batch, their order, or which
+    executor shard evaluated them.  That independence is what lets the
+    fused batch kernels share a conditioning set's feature map across
+    queries while staying bitwise identical to sequential evaluation.
+
+    The key parts are hashed (blake2b) into :class:`numpy.random.SeedSequence`
+    entropy words appended to the value seed, so distinct structural keys
+    yield statistically independent streams and the same key always yields
+    the same stream, in any process.
+    """
+    if not isinstance(seed, (int, np.integer)):
+        raise TypeError(
+            f"derived_seed requires a value (int) seed, got "
+            f"{type(seed).__name__}; live Generator seeds have evolving "
+            f"state and cannot be re-derived")
+    digest = hashlib.blake2b(repr(parts).encode(), digest_size=16).digest()
+    words = np.frombuffer(digest, dtype=np.uint32)
+    return (int(seed), *(int(w) for w in words))
+
+
+def derive(seed: int | np.integer, *parts) -> np.random.Generator:
+    """Child generator seeded with :func:`derived_seed(seed, *parts)`."""
+    return np.random.default_rng(derived_seed(seed, *parts))
 
 
 def seed_token(seed: SeedLike) -> tuple:

@@ -24,6 +24,7 @@ from repro.ci.base import CIQuery, CITestLedger
 from repro.ci.executor import (ProcessExecutor, SerialExecutor,
                                ThreadedExecutor)
 from repro.ci.gtest import GTestCI
+from repro.ci.rcit import RCIT
 from repro.ci.store import ExperimentStore, PersistentCICache
 from repro.core.grpsel import GrpSel
 from repro.core.online import OnlineSelector
@@ -124,6 +125,115 @@ class TestRecordedCounts:
         assert first.n_ci_tests == EXPECTED_ONLINE_TESTS_CUMULATIVE[0]
         assert second.n_ci_tests == EXPECTED_ONLINE_TESTS_CUMULATIVE[1]
         assert sorted(second.selected_set) == EXPECTED_SELECTED
+
+
+# Recorded seed-state counts for the *continuous* (RCIT-backed) workload
+# below — the fused same-(Y, Z) path's cost model, locked exactly like the
+# discrete constants above.  See the module docstring before touching.
+EXPECTED_RCIT_SEQSEL_TESTS = 17
+EXPECTED_RCIT_GRPSEL_TESTS = 26
+EXPECTED_RCIT_ONLINE_TESTS_CUMULATIVE = (9, 19)
+EXPECTED_RCIT_SELECTED = ["f1", "f2", "f4", "f5", "f7"]
+
+N_CONTINUOUS_FEATURES = 8
+
+
+def make_continuous_problem(n=300, seed=0, n_features=N_CONTINUOUS_FEATURES):
+    """All-continuous analogue of :func:`make_problem`: linear-Gaussian
+    S -> A -> Y with planted biased (S- and Y-loaded) features."""
+    rng = np.random.default_rng(seed)
+    s = rng.normal(size=n)
+    a = 0.8 * s + rng.normal(size=n)
+    y = 0.9 * a + rng.normal(size=n)
+    data = {"s": s, "a": a, "y": y}
+    for i in range(n_features):
+        if i % 3 == 0:
+            # Planted biased features: direct S and Y components, so they
+            # fail phase 1 *and* phase 2.
+            data[f"f{i}"] = 0.8 * s + 0.8 * y + 0.4 * rng.normal(size=n)
+        elif i % 3 == 1:
+            data[f"f{i}"] = 0.9 * y + 0.3 * rng.normal(size=n)
+        else:
+            data[f"f{i}"] = rng.normal(size=n)
+    table = Table(data)
+    return FairFeatureSelectionProblem(
+        table=table, sensitive=["s"], admissible=["a"], target="y",
+        candidates=[f"f{i}" for i in range(n_features)])
+
+
+@pytest.fixture(scope="module")
+def continuous_problem():
+    return make_continuous_problem()
+
+
+class TestRecordedContinuousCounts:
+    """The fused continuous path is count-preserving under every executor."""
+
+    @pytest.mark.parametrize("make_executor", executor_factories())
+    def test_seqsel_rcit(self, continuous_problem, make_executor):
+        executor = make_executor()
+        try:
+            result = SeqSel(tester=RCIT(seed=0),
+                            subset_strategy=MarginalThenFull(),
+                            executor=executor).select(continuous_problem)
+        finally:
+            close(executor)
+        assert result.n_ci_tests == EXPECTED_RCIT_SEQSEL_TESTS
+        assert sorted(result.selected_set) == EXPECTED_RCIT_SELECTED
+
+    @pytest.mark.parametrize("make_executor", executor_factories())
+    def test_grpsel_rcit(self, continuous_problem, make_executor):
+        executor = make_executor()
+        try:
+            result = GrpSel(tester=RCIT(seed=0),
+                            subset_strategy=MarginalThenFull(), seed=0,
+                            executor=executor).select(continuous_problem)
+        finally:
+            close(executor)
+        assert result.n_ci_tests == EXPECTED_RCIT_GRPSEL_TESTS
+        assert sorted(result.selected_set) == EXPECTED_RCIT_SELECTED
+
+    @pytest.mark.parametrize("make_executor", executor_factories())
+    def test_online_rcit(self, continuous_problem, make_executor):
+        executor = make_executor()
+        try:
+            online = OnlineSelector(tester=RCIT(seed=0),
+                                    subset_strategy=MarginalThenFull(),
+                                    executor=executor)
+            first = online.observe(continuous_problem,
+                                   [f"f{i}" for i in range(4)])
+            second = online.observe(
+                continuous_problem,
+                [f"f{i}" for i in range(4, N_CONTINUOUS_FEATURES)])
+        finally:
+            close(executor)
+        assert first.n_ci_tests == \
+            EXPECTED_RCIT_ONLINE_TESTS_CUMULATIVE[0]
+        assert second.n_ci_tests == \
+            EXPECTED_RCIT_ONLINE_TESTS_CUMULATIVE[1]
+        assert sorted(second.selected_set) == EXPECTED_RCIT_SELECTED
+
+    @pytest.mark.parametrize("make_executor", executor_factories())
+    def test_seqsel_rcit_cold_then_warm_store(self, continuous_problem,
+                                              tmp_path, make_executor):
+        """Fixed-seed RCIT is deterministic, so persistent-store reuse
+        keeps its exact cold-run semantics: warm reruns execute nothing."""
+        path = tmp_path / "cache.json"
+        executor = make_executor()
+        try:
+            cold = SeqSel(tester=RCIT(seed=0),
+                          subset_strategy=MarginalThenFull(),
+                          cache=PersistentCICache(path),
+                          executor=executor).select(continuous_problem)
+            warm = SeqSel(tester=RCIT(seed=0),
+                          subset_strategy=MarginalThenFull(),
+                          cache=PersistentCICache(path),
+                          executor=executor).select(continuous_problem)
+        finally:
+            close(executor)
+        assert cold.n_ci_tests == EXPECTED_RCIT_SEQSEL_TESTS
+        assert warm.n_ci_tests == 0
+        assert warm.selected_set == cold.selected_set
 
 
 class TestStoreColdAndWarm:
