@@ -22,7 +22,8 @@ from repro.rng import SeedLike
 ENV_TESTER = "REPRO_CI_TESTER"
 
 
-def default_tester(alpha: float = 0.01, seed: SeedLike = 0) -> CITester:
+def default_tester(alpha: float = 0.01, seed: SeedLike = 0,
+                   name: str | None = None) -> CITester:
     """The tester a selector constructs when none is passed explicitly.
 
     Defaults to the paper's setup — :class:`RCIT` — and honours the
@@ -30,9 +31,14 @@ def default_tester(alpha: float = 0.01, seed: SeedLike = 0) -> CITester:
     ``chi2`` / ``fisher-z`` / ``kcit`` / ``adaptive``), which is how the
     CI matrix pins a whole run onto one backend — e.g. the fused
     continuous path under process sharding — without touching call sites.
-    Testers without a seed parameter ignore ``seed``.
+    An explicit ``name`` (the CLI's ``--tester`` flag, the suite driver's
+    leg spec) overrides the environment.  Testers without a seed
+    parameter ignore ``seed``.
     """
-    name = os.environ.get(ENV_TESTER, "").strip().lower() or "rcit"
+    if name is None:
+        name = os.environ.get(ENV_TESTER, "").strip().lower() or "rcit"
+    else:
+        name = name.strip().lower()
     if name == "rcit":
         return RCIT(alpha=alpha, seed=seed)
     if name == "gtest":
@@ -46,8 +52,8 @@ def default_tester(alpha: float = 0.01, seed: SeedLike = 0) -> CITester:
     if name == "adaptive":
         return AdaptiveCI(alpha=alpha, seed=seed)
     raise ValueError(
-        f"unknown {ENV_TESTER} value {name!r}; choose from "
-        f"rcit/gtest/chi2/fisher-z/kcit/adaptive")
+        f"unknown tester {name!r} (explicit or via {ENV_TESTER}); choose "
+        f"from rcit/gtest/chi2/fisher-z/kcit/adaptive")
 
 
 __all__ = [

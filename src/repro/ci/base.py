@@ -43,6 +43,12 @@ turn those bursts into batch-oriented evaluation over shared encoded state:
   ledger entry, so cached reuse is visible but does not inflate the
   paper's test counts.
 
+* :meth:`CITestLedger.test_waves` generalises the early-exit form to
+  *many* streams at once: wave ``k`` batches the rank-``k`` query of every
+  still-undecided stream (the wavefront selection engine's substrate, see
+  :mod:`repro.core.engine`), with per-stream early exit and the executed
+  query set provably equal to the per-stream sequential prefixes.
+
 Two further layers are pluggable on the ledger:
 
 * ``cache`` also accepts a :class:`~repro.ci.store.PersistentCICache`
@@ -259,6 +265,21 @@ class CITester:
         return results
 
 
+def _order_invariant(tester: "CITester") -> bool:
+    """Whether ``tester`` returns the same verdict for a query regardless
+    of *when* it executes relative to other queries.
+
+    This is precisely the :meth:`CITester.process_safe` property: value
+    (int/None) seeds derive an independent stream per test, while a live
+    ``Generator`` seed threads one evolving stream through every call —
+    execution order then *is* part of the input, and wave rescheduling
+    (like process sharding) would change it.  Conservatively False for
+    testers predating the protocol.
+    """
+    probe = getattr(tester, "process_safe", None)
+    return bool(probe()) if callable(probe) else False
+
+
 @dataclass
 class LedgerEntry:
     """One recorded CI test."""
@@ -455,6 +476,66 @@ class CITestLedger(CITester):
         for i, source in duplicate_of.items():
             results[i] = results[source]
             self.cache_hits += 1
+        return results
+
+    def test_waves(self, table: Table,
+                   streams: Iterable[Iterable[CIQuery | tuple]]
+                   ) -> list[list[CIResult]]:
+        """Advance many early-exit query streams in rank-synchronized waves.
+
+        Each stream is a lazy queue of queries in *rank* order — the
+        phase-1 ``∃ A' ⊆ A`` pattern, one stream per candidate (or per
+        group).  Wave ``k`` collects the rank-``k`` query from every
+        still-undecided stream and submits them as **one** batch, so
+        same-``(Y, Z)`` queries from different streams meet in the fused
+        backend kernels and shard across executors.  A stream is decided
+        when a query comes back independent (its result list then ends on
+        that verdict, exactly like
+        ``test_batch(..., stop_on_independent=True)``) or when it is
+        exhausted.
+
+        **Count invariant** (the wave-scheduling contract): a stream
+        reaches rank ``k`` iff its ranks ``0..k-1`` all came back
+        dependent, so the *executed query set* is exactly the union of
+        the per-stream sequential early-exit prefixes — ``n_tests`` and
+        ``cache_hits`` totals are identical to running each stream alone,
+        in any order; only the ledger-entry order differs.  Streams are
+        never advanced past their deciding verdict, so lazy generators
+        are consumed exactly as far as the sequential loop would.
+
+        Testers whose verdicts depend on *execution order* (a live
+        ``Generator`` seed: each test consumes the next stretch of one
+        shared stream — ``process_safe()`` is False) fall back to
+        per-stream sequential evaluation, because rescheduling would
+        hand each query a different draw and flip verdicts relative to
+        the sequential path.
+        """
+        iterators = [iter(stream) for stream in streams]
+        results: list[list[CIResult]] = [[] for _ in iterators]
+        if not _order_invariant(self.inner):
+            for iterator, prefix in zip(iterators, results):
+                prefix.extend(self.test_batch(table, iterator,
+                                              stop_on_independent=True))
+            return results
+        active = list(range(len(iterators)))
+        while active:
+            wave: list[CIQuery | tuple] = []
+            owners: list[int] = []
+            for index in active:
+                try:
+                    query = next(iterators[index])
+                except StopIteration:
+                    continue  # exhausted without independence: decided
+                wave.append(query)
+                owners.append(index)
+            if not wave:
+                break
+            undecided: list[int] = []
+            for index, verdict in zip(owners, self.test_batch(table, wave)):
+                results[index].append(verdict)
+                if not verdict.independent:
+                    undecided.append(index)
+            active = undecided
         return results
 
     def counts_by_conditioning_size(self) -> dict[int, int]:

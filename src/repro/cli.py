@@ -8,8 +8,17 @@ Commands:
 * ``python -m repro evaluate --dataset german``
   run the full Figure-2 method suite on one dataset and print the
   accuracy/fairness table,
+* ``python -m repro suite --datasets german compas --algorithms grpsel seqsel``
+  run a (dataset × selector × classifier) experiment suite, legs in
+  parallel worker processes over one shared experiment store,
 * ``python -m repro datasets``
   list bundled datasets and their role assignments.
+
+``select``/``evaluate``/``suite`` share the CI-test configuration flags:
+``--tester`` picks the backend family
+(:func:`repro.ci.default_tester`), ``--subsets`` the phase-1 subset
+strategy (:func:`repro.core.subset_search.strategy_by_name`), ``--jobs``
+the CI-batch worker processes, and ``--store`` a cross-run cache tree.
 """
 
 from __future__ import annotations
@@ -18,16 +27,20 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.ci.adaptive import AdaptiveCI
+from repro.ci import default_tester
 from repro.ci.executor import BatchExecutor, ProcessExecutor
 from repro.ci.store import ExperimentStore
 from repro.core.grpsel import GrpSel
 from repro.core.seqsel import SeqSel
+from repro.core.subset_search import strategy_by_name
 from repro.data.loaders import LOADERS
 from repro.experiments.figures import render_table
 from repro.experiments.tradeoff import run_tradeoff
 
 ALGORITHMS = {"seqsel": SeqSel, "grpsel": GrpSel}
+TESTERS = ("adaptive", "rcit", "gtest", "chi2", "fisher-z", "kcit")
+SUBSET_STRATEGIES = ("exhaustive", "full-set", "marginal+full", "greedy")
+CLASSIFIER_NAMES = ("logistic", "tree", "forest", "nb")
 
 
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
@@ -42,6 +55,18 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
              "over unchanged data re-executes nothing")
 
 
+def _add_ci_flags(parser: argparse.ArgumentParser,
+                  default_tester_name: str = "adaptive") -> None:
+    parser.add_argument(
+        "--tester", choices=TESTERS, default=default_tester_name,
+        help="CI-test backend family (default: %(default)s; previously "
+             "only reachable through the REPRO_CI_TESTER env var)")
+    parser.add_argument(
+        "--subsets", choices=SUBSET_STRATEGIES, default=None,
+        help="phase-1 subset-search strategy (default: the selector's, "
+             "exhaustive)")
+
+
 def _executor_from_args(args: argparse.Namespace) -> BatchExecutor | None:
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
@@ -52,6 +77,12 @@ def _executor_from_args(args: argparse.Namespace) -> BatchExecutor | None:
 
 def _store_from_args(args: argparse.Namespace) -> ExperimentStore | None:
     return ExperimentStore(args.store) if args.store else None
+
+
+def _tester_from_args(args: argparse.Namespace):
+    # The argparse default is "adaptive", preserving select's historical
+    # tester independently of the library/env default.
+    return default_tester(alpha=args.alpha, seed=args.seed, name=args.tester)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,15 +100,59 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument("--alpha", type=float, default=0.01,
                         help="CI-test significance level (default 0.01)")
     select.add_argument("--seed", type=int, default=0)
+    _add_ci_flags(select)
     _add_execution_flags(select)
 
     evaluate = sub.add_parser("evaluate",
                               help="run the full method suite on one dataset")
     evaluate.add_argument("--dataset", choices=sorted(LOADERS), required=True)
     evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--alpha", type=float, default=0.01,
+                          help="CI-test significance level (default 0.01)")
     evaluate.add_argument("--n-train", type=int, default=None,
                           help="override the training-set size")
+    _add_ci_flags(evaluate)
     _add_execution_flags(evaluate)
+
+    suite = sub.add_parser(
+        "suite",
+        help="run (dataset x selector x classifier) legs in parallel "
+             "worker processes over one shared experiment store")
+    suite.add_argument("--datasets", choices=sorted(LOADERS), nargs="+",
+                       required=True, metavar="NAME",
+                       help=f"datasets to sweep ({', '.join(sorted(LOADERS))})")
+    suite.add_argument("--algorithms", choices=sorted(ALGORITHMS),
+                       nargs="+", default=["grpsel"], metavar="ALGO",
+                       help="selection algorithms to sweep "
+                            "(default: grpsel)")
+    suite.add_argument("--classifiers", choices=CLASSIFIER_NAMES, nargs="+",
+                       default=["logistic"], metavar="CLF",
+                       help="downstream classifiers to sweep "
+                            "(default: logistic)")
+    suite.add_argument("--seed", type=int, default=0)
+    suite.add_argument("--alpha", type=float, default=0.01,
+                       help="CI-test significance level (default 0.01)")
+    suite.add_argument("--n-train", type=int, default=None,
+                       help="override the training-set size per leg")
+    suite.add_argument("--n-test", type=int, default=None,
+                       help="override the test-set size per leg")
+    suite.add_argument("--tester", choices=TESTERS, default=None,
+                       help="CI-test backend family for every leg "
+                            "(default: the library default / "
+                            "REPRO_CI_TESTER)")
+    suite.add_argument("--subsets", choices=SUBSET_STRATEGIES, default=None,
+                       help="phase-1 subset-search strategy for every leg")
+    suite.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="experiment-leg worker processes (default: one "
+                            "per leg, capped at the CPU count; 1 = inline)")
+    suite.add_argument("--mp-context", default="spawn",
+                       choices=("spawn", "fork", "forkserver"),
+                       help="multiprocessing start method for the leg "
+                            "workers (default: spawn)")
+    suite.add_argument("--store", default=None, metavar="DIR",
+                       help="shared experiment-store root for all legs "
+                            "(merge-on-save; a warm rerun executes zero "
+                            "CI tests)")
 
     sub.add_parser("datasets", help="list bundled datasets")
     return parser
@@ -86,12 +161,15 @@ def build_parser() -> argparse.ArgumentParser:
 def cmd_select(args: argparse.Namespace) -> int:
     dataset = LOADERS[args.dataset](seed=args.seed)
     problem = dataset.problem()
-    tester = AdaptiveCI(alpha=args.alpha, seed=args.seed)
+    tester = _tester_from_args(args)
+    strategy = strategy_by_name(args.subsets) if args.subsets else None
     executor = _executor_from_args(args)
     if args.algorithm == "grpsel":
-        selector = GrpSel(tester=tester, seed=args.seed, executor=executor)
+        selector = GrpSel(tester=tester, subset_strategy=strategy,
+                          seed=args.seed, executor=executor)
     else:
-        selector = SeqSel(tester=tester, executor=executor)
+        selector = SeqSel(tester=tester, subset_strategy=strategy,
+                          executor=executor)
     store = _store_from_args(args)
     if store is not None:
         with store:
@@ -113,11 +191,32 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     if args.n_train is not None:
         kwargs["n_train"] = args.n_train
     dataset = LOADERS[args.dataset](**kwargs)
-    result = run_tradeoff(dataset, seed=args.seed,
+    result = run_tradeoff(dataset, seed=args.seed, alpha=args.alpha,
                           store=_store_from_args(args),
-                          executor=_executor_from_args(args))
+                          executor=_executor_from_args(args),
+                          tester=args.tester,
+                          subsets=args.subsets)
     print(render_table(result.table(),
                        title=f"Method suite on {dataset.name}"))
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    # Imported here: the driver pulls in the experiment harness, which the
+    # lighter commands don't need at parse time.
+    from repro.experiments.driver import expand_legs, run_suite
+
+    legs = expand_legs(args.datasets, algorithms=args.algorithms,
+                       classifiers=args.classifiers, seed=args.seed,
+                       alpha=args.alpha, tester=args.tester,
+                       subsets=args.subsets, n_train=args.n_train,
+                       n_test=args.n_test)
+    result = run_suite(legs, store=args.store, jobs=args.jobs,
+                       mp_context=args.mp_context)
+    print(render_table(
+        result.table(),
+        title=f"Suite: {len(result.outcomes)} legs, "
+              f"{result.jobs} worker(s), {result.seconds:.1f}s"))
     return 0
 
 
@@ -139,7 +238,7 @@ def cmd_datasets(args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"select": cmd_select, "evaluate": cmd_evaluate,
-                "datasets": cmd_datasets}
+                "suite": cmd_suite, "datasets": cmd_datasets}
     return handlers[args.command](args)
 
 

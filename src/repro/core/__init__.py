@@ -1,5 +1,6 @@
 """The paper's core contribution: SeqSel, GrpSel, and the Theorem-1 oracle."""
 
+from repro.core.engine import WavefrontEngine, WavefrontRun
 from repro.core.grpsel import GrpSel
 from repro.core.online import OnlineSelector
 from repro.core.oracle_select import OracleSelector
@@ -16,6 +17,8 @@ from repro.core.subset_search import (
 )
 
 __all__ = [
+    "WavefrontEngine",
+    "WavefrontRun",
     "GrpSel",
     "OnlineSelector",
     "OracleSelector",

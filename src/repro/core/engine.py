@@ -1,0 +1,194 @@
+"""Wavefront selection engine: cross-candidate fused phase-1 scheduling.
+
+PRs 1-4 made the CI substrate batch-oriented (fused same-``(Y, Z)``
+kernels, pluggable executors, persistent stores), but the selectors still
+fed it one candidate at a time: every candidate's phase-1 ``∃ A' ⊆ A``
+search opened a private lazy stream, so the rank-``k`` queries of
+*different* candidates — which all share ``(Y=S, Z=A'_k)`` and are exactly
+what the fused RCIT/G-test kernels group on — never met in one batch.
+
+This module closes that gap.  :class:`WavefrontEngine` advances many
+per-candidate (or per-group) decision streams in *rank-synchronized
+waves* over one :class:`~repro.ci.base.CITestLedger`:
+
+* :meth:`WavefrontEngine.phase1_admitted` submits wave ``k`` — the
+  rank-``k`` query of every still-undecided stream — as one
+  ``test_batch``, so same-``(S, A'_k)`` queries fuse into the batched
+  backend kernels and shard across executors
+  (:meth:`~repro.ci.base.CITestLedger.test_waves` is the ledger half of
+  the mechanism).
+* :meth:`WavefrontEngine.refine_admitted` turns GrpSel's DFS recursion
+  into *level-synchronized BFS*: every frontier group's stream runs in one
+  wavefront, failed groups are refined (split, or expanded into fallback
+  singletons) into the next frontier.  Splits depend only on each group's
+  own verdicts, so the executed query set is exactly the DFS one.
+
+**Order invariance** (the scheduling contract): a stream reaches rank
+``k`` iff its ranks ``0..k-1`` all came back dependent, and refinement of
+a group consults nothing but that group's own verdicts — so the executed
+query set, ``n_ci_tests``, and ``cache_hits`` are provably identical to
+the sequential per-candidate implementation (the count locks in
+``tests/ci/test_count_invariants.py`` and the property suite in
+``tests/core/test_wavefront.py`` machine-check this), while wall-clock
+drops with the fusion width.  Testers whose verdicts depend on execution
+order (live-``Generator`` seeds) degrade to the sequential schedule
+inside ``test_waves`` — bitwise compatibility is never traded for fusion.
+
+The engine also hoists the ledger/timing/result boilerplate the three
+selectors used to triplicate: :meth:`WavefrontEngine.begin` opens a
+:class:`WavefrontRun` whose :meth:`~WavefrontRun.finish` fills the count,
+cache-hit, and timing fields and flushes any persistent cache.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Sequence
+
+from repro.ci import default_tester
+from repro.ci.base import CIQuery, CITestLedger, CITester
+from repro.ci.executor import BatchExecutor
+from repro.ci.store import PersistentCICache
+from repro.core.problem import FairFeatureSelectionProblem
+from repro.core.result import SelectionResult
+from repro.core.subset_search import ExhaustiveSubsets, SubsetStrategy
+
+#: A phase-1 unit of decision: one candidate name or one group of names.
+Unit = Sequence[str] | str
+
+
+class WavefrontRun:
+    """One selection run: the ledger plus timing/result finalisation.
+
+    Created by :meth:`WavefrontEngine.begin`; call :meth:`finish` exactly
+    once to stamp the ledger totals and wall-clock time onto the result
+    and flush any persistent cache.
+    """
+
+    def __init__(self, ledger: CITestLedger, algorithm: str) -> None:
+        self.ledger = ledger
+        self.result = SelectionResult(algorithm=algorithm)
+        self._start = time.perf_counter()
+
+    def finish(self) -> SelectionResult:
+        self.result.n_ci_tests = self.ledger.n_tests
+        self.result.cache_hits = self.ledger.cache_hits
+        self.result.seconds = time.perf_counter() - self._start
+        self.ledger.flush_cache()
+        return self.result
+
+
+class WavefrontEngine:
+    """Shared wave-scheduling substrate for the selection algorithms.
+
+    Holds the CI configuration every selector used to wire up by hand —
+    tester, subset strategy, ledger cache, batch executor — and exposes
+    the wave primitives the selectors are rebuilt on.  Engines are cheap:
+    selectors construct one per ``select()`` call so mid-life mutations of
+    their public ``cache``/``executor`` attributes (the
+    :class:`~repro.ci.store.ExperimentStore` plumbing does this) take
+    effect on the next run.
+    """
+
+    def __init__(self, tester: CITester | None = None,
+                 subset_strategy: SubsetStrategy | None = None,
+                 cache: bool | str | os.PathLike | PersistentCICache = False,
+                 executor: BatchExecutor | None = None) -> None:
+        self.tester = tester if tester is not None else default_tester()
+        self.subset_strategy = subset_strategy or ExhaustiveSubsets()
+        self.cache = cache
+        self.executor = executor
+
+    # -- run boilerplate -----------------------------------------------------
+
+    def open_ledger(self) -> CITestLedger:
+        """A fresh ledger bound to this engine's cache and executor."""
+        return CITestLedger(self.tester, cache=self.cache,
+                            executor=self.executor)
+
+    def begin(self, algorithm: str,
+              ledger: CITestLedger | None = None) -> WavefrontRun:
+        """Open a run (fresh ledger unless one is passed — the online
+        selector's ledger spans its lifetime)."""
+        return WavefrontRun(ledger if ledger is not None else
+                            self.open_ledger(), algorithm)
+
+    # -- wave primitives -----------------------------------------------------
+
+    def phase1_admitted(self, ledger: CITestLedger,
+                        problem: FairFeatureSelectionProblem,
+                        units: Sequence[Unit]) -> list[bool]:
+        """Phase-1 admission for many units in rank-synchronized waves.
+
+        Unit ``i`` is admitted iff some conditioning subset renders it
+        independent of S — detected exactly as in the sequential
+        early-exit loop, but with all units' rank-``k`` queries fused
+        into wave ``k``.
+        """
+        streams = self.subset_strategy.phase1_streams(
+            units, problem.sensitive, problem.admissible)
+        outcomes = ledger.test_waves(problem.table, streams)
+        return [bool(prefix) and prefix[-1].independent
+                for prefix in outcomes]
+
+    def refine_admitted(self, ledger: CITestLedger,
+                        problem: FairFeatureSelectionProblem,
+                        groups: Sequence[Sequence[str]],
+                        streams_for: Callable[[Sequence[Sequence[str]]],
+                                              Sequence],
+                        refine: Callable[[Sequence[str]],
+                                         list[list[str]]]) -> list[str]:
+        """Level-synchronized BFS over group decision streams.
+
+        Each BFS level runs every frontier group's stream in one
+        wavefront (``streams_for(frontier)`` builds them); groups whose
+        stream ends independent are admitted wholesale, the rest are
+        replaced by ``refine(group)`` — their split halves, fallback
+        singletons, or nothing — in the next frontier.  Refinement sees
+        only the group's own verdict, so the BFS executes exactly the
+        query set of the equivalent DFS recursion, level by level, with
+        sibling groups' same-rank queries fused.
+
+        Returns the admitted feature names in frontier order (callers
+        re-order against the candidate pool anyway).
+        """
+        admitted: list[str] = []
+        frontier = [list(group) for group in groups if group]
+        while frontier:
+            outcomes = ledger.test_waves(problem.table,
+                                         streams_for(frontier))
+            next_frontier: list[list[str]] = []
+            for group, prefix in zip(frontier, outcomes):
+                if prefix and prefix[-1].independent:
+                    admitted.extend(group)
+                else:
+                    next_frontier.extend(
+                        [list(sub) for sub in refine(group) if sub])
+            frontier = next_frontier
+        return admitted
+
+    # -- common stream shapes ------------------------------------------------
+
+    def phase1_group_streams(self, problem: FairFeatureSelectionProblem,
+                             frontier: Sequence[Sequence[str]]) -> list:
+        """Phase-1 (Algorithm 3) streams: ``group ⊥ S | A' ⊆ A``."""
+        return self.subset_strategy.phase1_streams(
+            frontier, problem.sensitive, problem.admissible)
+
+    @staticmethod
+    def phase2_group_streams(problem: FairFeatureSelectionProblem,
+                             frontier: Sequence[Sequence[str]],
+                             conditioning: Sequence[str]) -> list:
+        """Phase-2 (Algorithm 4) streams: the single query
+        ``group ⊥ Y | A ∪ C1`` per group (a one-rank stream, so each BFS
+        level is one fused batch)."""
+        return [[CIQuery.make(list(group), problem.target,
+                              list(conditioning))]
+                for group in frontier]
+
+    @staticmethod
+    def bisect(group: Sequence[str]) -> list[list[str]]:
+        """The paper's split: first half / second half, order preserved."""
+        mid = len(group) // 2
+        return [list(group[:mid]), list(group[mid:])]

@@ -8,18 +8,28 @@ from the graphoid composition/decomposition axioms under faithfulness
 
 Complexity: ``O(2^|A| · k · log n)`` phase-1 tests where ``k`` is the
 number of biased features, versus SeqSel's ``O(2^|A| · n)``.
+
+Execution rides the wavefront engine (:mod:`repro.core.engine`): the
+paper's DFS recursion becomes *level-synchronized BFS* — every frontier
+group's subset stream advances in rank-synchronized waves, so sibling
+groups' same-``(S, A'_k)`` queries fuse into one batched kernel call.
+Splits depend only on each group's own verdicts, so the executed query
+set (and ``n_ci_tests``) is exactly the recursive implementation's.  The
+``min_group > 1`` fallback rides the same mechanism: a small failed
+group's members re-enter the next frontier as sibling singletons, fusing
+their streams instead of re-enumerating them sequentially per member.
 """
 
 from __future__ import annotations
 
 import os
-import time
 from typing import Sequence
 
-from repro.ci.base import CITestLedger, CITester
+from repro.ci.base import CITester
 from repro.ci.executor import BatchExecutor
 from repro.ci import default_tester
 from repro.ci.store import PersistentCICache
+from repro.core.engine import WavefrontEngine
 from repro.core.problem import FairFeatureSelectionProblem
 from repro.core.result import Reason, SelectionResult
 from repro.core.subset_search import ExhaustiveSubsets, SubsetStrategy
@@ -68,28 +78,41 @@ class GrpSel:
                 self.subset_strategy.name, bool(self.shuffle),
                 int(self.min_group), seed_token(self._seed))
 
+    def _engine(self) -> WavefrontEngine:
+        return WavefrontEngine(self.tester, self.subset_strategy,
+                               cache=self.cache, executor=self.executor)
+
     def select(self, problem: FairFeatureSelectionProblem) -> SelectionResult:
         """Run both group-tested phases and return the selection."""
-        ledger = CITestLedger(self.tester, cache=self.cache,
-                              executor=self.executor)
-        start = time.perf_counter()
-        result = SelectionResult(algorithm=self.name)
+        engine = self._engine()
+        run = engine.begin(self.name)
+        ledger, result = run.ledger, run.result
         rng = as_generator(self._seed)
 
         pool = list(problem.candidates)
         if self.shuffle and len(pool) > 1:
             pool = [pool[i] for i in rng.permutation(len(pool))]
 
-        # Phase 1 (Algorithm 3): recursive group test of X ⊥ S | A' ⊆ A.
-        c1 = self._first_phase(ledger, problem, pool)
+        # Phase 1 (Algorithm 3): group test of X ⊥ S | A' ⊆ A, as
+        # level-synchronized BFS over the recursion tree.
+        c1 = engine.refine_admitted(
+            ledger, problem, [pool],
+            streams_for=lambda frontier: engine.phase1_group_streams(
+                problem, frontier),
+            refine=self._refine_phase1)
         result.c1 = [c for c in problem.candidates if c in set(c1)]
         for feature in result.c1:
             result.reasons[feature] = Reason.PHASE1_INDEPENDENT
 
-        # Phase 2 (Algorithm 4): recursive group test of X ⊥ Y | A ∪ C1.
+        # Phase 2 (Algorithm 4): group test of X ⊥ Y | A ∪ C1 — one-rank
+        # streams, so each BFS level is a single fused batch.
         rest = [c for c in pool if c not in set(c1)]
         conditioning = list(problem.admissible) + list(result.c1)
-        c2 = self._final_candidates(ledger, problem, rest, conditioning)
+        c2 = engine.refine_admitted(
+            ledger, problem, [rest],
+            streams_for=lambda frontier: engine.phase2_group_streams(
+                problem, frontier, conditioning),
+            refine=self._refine_phase2)
         result.c2 = [c for c in problem.candidates if c in set(c2)]
         for feature in result.c2:
             result.reasons[feature] = Reason.PHASE2_IRRELEVANT
@@ -99,60 +122,25 @@ class GrpSel:
         for feature in result.rejected:
             result.reasons[feature] = Reason.REJECTED_BIASED
 
-        result.n_ci_tests = ledger.n_tests
-        result.cache_hits = ledger.cache_hits
-        result.seconds = time.perf_counter() - start
-        ledger.flush_cache()
-        return result
+        return run.finish()
 
-    # -- Algorithm 3 --------------------------------------------------------
+    # -- refinement policies (consult only the group's own verdict) ----------
 
-    def _first_phase(self, ledger: CITestLedger,
-                     problem: FairFeatureSelectionProblem,
-                     group: Sequence[str]) -> list[str]:
-        if not group:
-            return []
-        if self._group_independent_of_s(ledger, problem, group):
-            return list(group)
+    def _refine_phase1(self, group: Sequence[str]) -> list[list[str]]:
+        """What a failed phase-1 group becomes on the next BFS level."""
         if len(group) <= self.min_group:
             if len(group) == 1 or self.min_group == 1:
                 return []
-            # Fall back to per-feature tests inside a small group.
-            return [g for g in group
-                    if self._group_independent_of_s(ledger, problem, [g])]
-        left, right = self._split(group)
-        return (self._first_phase(ledger, problem, left)
-                + self._first_phase(ledger, problem, right))
-
-    def _group_independent_of_s(self, ledger: CITestLedger,
-                                problem: FairFeatureSelectionProblem,
-                                group: Sequence[str]) -> bool:
-        queries = self.subset_strategy.phase1_queries(
-            group, problem.sensitive, problem.admissible)
-        verdicts = ledger.test_batch(problem.table, queries,
-                                     stop_on_independent=True)
-        return bool(verdicts) and verdicts[-1].independent
-
-    # -- Algorithm 4 --------------------------------------------------------
-
-    def _final_candidates(self, ledger: CITestLedger,
-                          problem: FairFeatureSelectionProblem,
-                          group: Sequence[str],
-                          conditioning: list[str]) -> list[str]:
-        if not group:
-            return []
-        if ledger.independent(problem.table, list(group), problem.target,
-                              conditioning):
-            return list(group)
-        if len(group) == 1:
-            return []
-        left, right = self._split(group)
-        return (self._final_candidates(ledger, problem, left, conditioning)
-                + self._final_candidates(ledger, problem, right, conditioning))
-
-    # -- helpers -------------------------------------------------------------
+            # Fall back to per-feature tests inside a small group; the
+            # members join the next frontier as sibling singletons, so
+            # their subset streams fuse in the same waves instead of
+            # re-running the full enumeration once per member.
+            return [[member] for member in group]
+        return WavefrontEngine.bisect(group)
 
     @staticmethod
-    def _split(group: Sequence[str]) -> tuple[list[str], list[str]]:
-        mid = len(group) // 2
-        return list(group[:mid]), list(group[mid:])
+    def _refine_phase2(group: Sequence[str]) -> list[list[str]]:
+        """What a failed phase-2 group becomes on the next BFS level."""
+        if len(group) == 1:
+            return []
+        return WavefrontEngine.bisect(group)

@@ -33,10 +33,11 @@ import os
 import time
 from typing import Sequence
 
-from repro.ci.base import CIQuery, CITestLedger, CITester
+from repro.ci.base import CIQuery, CITester
 from repro.ci.executor import BatchExecutor
 from repro.ci import default_tester
 from repro.ci.store import PersistentCICache
+from repro.core.engine import WavefrontEngine
 from repro.core.problem import FairFeatureSelectionProblem
 from repro.core.result import Reason, SelectionResult
 from repro.core.subset_search import ExhaustiveSubsets, SubsetStrategy
@@ -60,8 +61,11 @@ class OnlineSelector:
                  executor: BatchExecutor | None = None) -> None:
         self.tester = tester if tester is not None else default_tester()
         self.subset_strategy = subset_strategy or ExhaustiveSubsets()
-        self._ledger = CITestLedger(self.tester, cache=cache,
-                                    executor=executor)
+        # One engine (and one ledger) spans the selector's lifetime: the
+        # ledger accumulates counts across observe() calls.
+        self._engine = WavefrontEngine(self.tester, self.subset_strategy,
+                                       cache=cache, executor=executor)
+        self._ledger = self._engine.open_ledger()
         self._c1: list[str] = []
         self._c2: list[str] = []
         self._rejected: list[str] = []
@@ -120,10 +124,13 @@ class OnlineSelector:
                 )
         self._seen.update(batch)
 
-        # Phase 1 on the new batch.
+        # Phase 1 on the new batch: every arriving feature's subset
+        # stream advances in one wavefront, fusing same-(S, A') queries.
         phase2_queue: list[str] = []
-        for feature in batch:
-            if self._phase1_admits(problem, feature):
+        admitted = self._engine.phase1_admitted(self._ledger, problem,
+                                                list(batch))
+        for feature, admit in zip(batch, admitted):
+            if admit:
                 self._c1.append(feature)
             else:
                 phase2_queue.append(feature)
@@ -181,11 +188,3 @@ class OnlineSelector:
         involved = (set(conditioning) | {problem.target}
                     | set(self._rejected) | set(self._c2))
         return (conditioning, problem.table.fingerprint_of(involved))
-
-    def _phase1_admits(self, problem: FairFeatureSelectionProblem,
-                       feature: str) -> bool:
-        queries = self.subset_strategy.phase1_queries(
-            feature, problem.sensitive, problem.admissible)
-        verdicts = self._ledger.test_batch(problem.table, queries,
-                                           stop_on_independent=True)
-        return bool(verdicts) and verdicts[-1].independent

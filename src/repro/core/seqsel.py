@@ -8,17 +8,23 @@ Sequentially tests every candidate feature:
 * **Phase 2**: admit remaining ``X`` into ``C2`` if ``X ⊥ Y | A ∪ C1``.
 
 Both phases only consult the CI tester — no causal graph is required.
+
+Execution rides the wavefront engine (:mod:`repro.core.engine`): phase 1
+advances every candidate's subset stream in rank-synchronized waves, so
+the same-``(S, A'_k)`` queries of different candidates fuse into one
+batched kernel call — while the executed query set (and so ``n_ci_tests``)
+stays exactly the sequential one.
 """
 
 from __future__ import annotations
 
 import os
-import time
 
-from repro.ci.base import CIQuery, CITestLedger, CITester
+from repro.ci.base import CIQuery, CITester
 from repro.ci.executor import BatchExecutor
 from repro.ci import default_tester
 from repro.ci.store import PersistentCICache
+from repro.core.engine import WavefrontEngine
 from repro.core.problem import FairFeatureSelectionProblem
 from repro.core.result import Reason, SelectionResult
 from repro.core.subset_search import ExhaustiveSubsets, SubsetStrategy
@@ -65,17 +71,23 @@ class SeqSel:
         return (self.name, self.tester.method, float(self.tester.alpha),
                 self.subset_strategy.name)
 
+    def _engine(self) -> WavefrontEngine:
+        return WavefrontEngine(self.tester, self.subset_strategy,
+                               cache=self.cache, executor=self.executor)
+
     def select(self, problem: FairFeatureSelectionProblem) -> SelectionResult:
         """Run both phases and return the selection with provenance."""
-        ledger = CITestLedger(self.tester, cache=self.cache,
-                              executor=self.executor)
-        start = time.perf_counter()
-        result = SelectionResult(algorithm=self.name)
+        engine = self._engine()
+        run = engine.begin(self.name)
+        ledger, result = run.ledger, run.result
 
-        # Phase 1: C1 = {X : exists A' subset of A with X ⊥ S | A'}.
+        # Phase 1: C1 = {X : exists A' subset of A with X ⊥ S | A'} —
+        # every candidate's subset stream advances in one wavefront.
         remaining: list[str] = []
-        for candidate in problem.candidates:
-            if self._phase1_admits(ledger, problem, candidate):
+        admitted = engine.phase1_admitted(ledger, problem,
+                                          problem.candidates)
+        for candidate, admit in zip(problem.candidates, admitted):
+            if admit:
                 result.c1.append(candidate)
                 result.reasons[candidate] = Reason.PHASE1_INDEPENDENT
             else:
@@ -95,17 +107,4 @@ class SeqSel:
                 result.rejected.append(candidate)
                 result.reasons[candidate] = Reason.REJECTED_BIASED
 
-        result.n_ci_tests = ledger.n_tests
-        result.cache_hits = ledger.cache_hits
-        result.seconds = time.perf_counter() - start
-        ledger.flush_cache()
-        return result
-
-    def _phase1_admits(self, ledger: CITestLedger,
-                       problem: FairFeatureSelectionProblem,
-                       candidate: str) -> bool:
-        queries = self.subset_strategy.phase1_queries(
-            candidate, problem.sensitive, problem.admissible)
-        verdicts = ledger.test_batch(problem.table, queries,
-                                     stop_on_independent=True)
-        return bool(verdicts) and verdicts[-1].independent
+        return run.finish()

@@ -50,6 +50,26 @@ class SubsetStrategy:
         for subset in self.subsets(admissible):
             yield CIQuery.make(group_names, list(sensitive), list(subset))
 
+    def phase1_streams(self, units: Sequence[Sequence[str] | str],
+                       sensitive: Sequence[str],
+                       admissible: Sequence[str]) -> list[Iterator[CIQuery]]:
+        """One lazy phase-1 query stream per unit — the ranked-stream
+        protocol of the wavefront engine.
+
+        **Rank alignment contract**: :meth:`subsets` is a deterministic
+        function of the admissible list alone, so at rank ``k`` *every*
+        stream's query conditions on the *same* subset ``A'_k`` — which is
+        exactly what makes wave ``k`` of
+        :meth:`~repro.ci.base.CITestLedger.test_waves` a single
+        same-``(S, A'_k)`` fusion group for the batched backend kernels.
+        A strategy whose enumeration depended on the unit under test would
+        still be *correct* under wave scheduling (streams only ever meet
+        in shared batches, never exchange verdicts) but would forfeit the
+        fusion, so keep ``subsets`` unit-independent.
+        """
+        return [self.phase1_queries(unit, sensitive, admissible)
+                for unit in units]
+
 
 class ExhaustiveSubsets(SubsetStrategy):
     """Every subset of ``A``, by increasing size (2^|A| worst case)."""

@@ -1,7 +1,21 @@
 """Experiment harnesses regenerating every table and figure of the paper."""
 
 from repro.experiments.alpha_sweep import AlphaPoint, AlphaSweep, sweep_alpha
-from repro.experiments.harness import MethodRun, default_classifier, run_method
+from repro.experiments.driver import (
+    ExperimentLeg,
+    LegOutcome,
+    SuiteResult,
+    expand_legs,
+    map_parallel,
+    run_suite,
+)
+from repro.experiments.harness import (
+    CLASSIFIERS,
+    MethodRun,
+    classifier_by_name,
+    default_classifier,
+    run_method,
+)
 from repro.experiments.recovery import (
     RecoveryScore,
     recovery_at_size,
@@ -14,7 +28,12 @@ from repro.experiments.spuriousness import (
     spurious_counts,
     sweep_spuriousness,
 )
-from repro.experiments.table2 import Table2Row, expand_dataset, table2_row
+from repro.experiments.table2 import (
+    Table2Row,
+    expand_dataset,
+    run_table2,
+    table2_row,
+)
 from repro.experiments.test_counts import (
     CountPoint,
     CountSweep,
@@ -33,7 +52,15 @@ __all__ = [
     "AlphaPoint",
     "AlphaSweep",
     "sweep_alpha",
+    "ExperimentLeg",
+    "LegOutcome",
+    "SuiteResult",
+    "expand_legs",
+    "map_parallel",
+    "run_suite",
+    "CLASSIFIERS",
     "MethodRun",
+    "classifier_by_name",
     "default_classifier",
     "run_method",
     "RecoveryScore",
@@ -48,6 +75,7 @@ __all__ = [
     "sweep_spuriousness",
     "Table2Row",
     "expand_dataset",
+    "run_table2",
     "table2_row",
     "CountPoint",
     "CountSweep",

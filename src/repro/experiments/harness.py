@@ -47,6 +47,43 @@ def default_classifier() -> Classifier:
     return LogisticRegression(max_iter=100)
 
 
+def _make_tree() -> Classifier:
+    from repro.ml.tree import DecisionTreeClassifier
+
+    return DecisionTreeClassifier(max_depth=8)
+
+
+def _make_forest() -> Classifier:
+    from repro.ml.forest import RandomForestClassifier
+
+    return RandomForestClassifier(n_estimators=20, max_depth=8, seed=0)
+
+
+def _make_nb() -> Classifier:
+    from repro.ml.naive_bayes import GaussianNB
+
+    return GaussianNB()
+
+
+#: Classifier factories addressable by name — how the suite driver (and
+#: the CLI) pick a model inside a worker process without shipping
+#: unpicklable factory closures across the pool boundary.
+CLASSIFIERS: dict[str, ClassifierFactory] = {
+    "logistic": default_classifier,
+    "tree": _make_tree,
+    "forest": _make_forest,
+    "nb": _make_nb,
+}
+
+
+def classifier_by_name(name: str) -> ClassifierFactory:
+    """Look up a classifier factory from :data:`CLASSIFIERS`."""
+    if name not in CLASSIFIERS:
+        raise ValueError(f"unknown classifier {name!r}; "
+                         f"choose from {sorted(CLASSIFIERS)}")
+    return CLASSIFIERS[name]
+
+
 def run_method(dataset: Dataset, selector,
                classifier_factory: ClassifierFactory | None = None,
                privileged: int | None = None,

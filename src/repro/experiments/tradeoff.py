@@ -30,21 +30,39 @@ from repro.rng import SeedLike
 
 
 def default_method_suite(alpha: float = 0.01, seed: SeedLike = 0,
-                         executor: BatchExecutor | None = None) -> list:
+                         executor: BatchExecutor | None = None,
+                         tester: str | None = None,
+                         subsets: str | None = None) -> list:
     """The Figure 2 method line-up, sharing one CI-test configuration.
 
     ``executor`` parallelises the CI-testing methods' cache-miss batches
-    (verdicts and counts are executor-invariant)."""
+    (verdicts and counts are executor-invariant).  ``tester`` picks the
+    CI backend family by name for the selection methods (see
+    :func:`repro.ci.default_tester`; default AdaptiveCI, the mixed-type
+    choice) and ``subsets`` the phase-1 strategy (see
+    :func:`repro.core.subset_search.strategy_by_name`; default
+    exhaustive) — the CLI's ``--tester``/``--subsets`` flags land here.
+    """
+    from repro.ci import default_tester
+    from repro.core.subset_search import strategy_by_name
+
+    def make_tester():
+        if tester is None:
+            return AdaptiveCI(alpha=alpha, seed=seed)
+        return default_tester(alpha=alpha, seed=seed, name=tester)
+
+    strategy = strategy_by_name(subsets) if subsets is not None else None
     return [
-        GrpSel(tester=AdaptiveCI(alpha=alpha, seed=seed), seed=seed,
+        GrpSel(tester=make_tester(), subset_strategy=strategy, seed=seed,
                executor=executor),
-        SeqSel(tester=AdaptiveCI(alpha=alpha, seed=seed), executor=executor),
+        SeqSel(tester=make_tester(), subset_strategy=strategy,
+               executor=executor),
         Hamlet(),
         SPred(seed=seed),
         AdmissibleOnly(),
         AllFeatures(),
         Capuchin(),
-        FairPC(tester=AdaptiveCI(alpha=alpha, seed=seed)),
+        FairPC(tester=make_tester()),
     ]
 
 
@@ -71,16 +89,22 @@ class TradeoffResult:
 def run_tradeoff(dataset: Dataset, methods: list | None = None,
                  classifier_factory: ClassifierFactory | None = None,
                  seed: SeedLike = 0,
+                 alpha: float = 0.01,
                  store: ExperimentStore | None = None,
-                 executor: BatchExecutor | None = None) -> TradeoffResult:
+                 executor: BatchExecutor | None = None,
+                 tester: str | None = None,
+                 subsets: str | None = None) -> TradeoffResult:
     """Evaluate every method on one dataset (one Figure 2 panel).
 
     ``store`` memoises the CI-testing methods' tests and selections in
-    per-selector namespaces (baselines run uncached); ``executor``
-    parallelises their CI batches when ``methods`` is not given.
+    per-selector namespaces (baselines run uncached); ``alpha``,
+    ``executor``, ``tester``, and ``subsets`` configure the default
+    suite's CI testing when ``methods`` is not given (see
+    :func:`default_method_suite`).
     """
     suite = methods if methods is not None \
-        else default_method_suite(seed=seed, executor=executor)
+        else default_method_suite(alpha=alpha, seed=seed, executor=executor,
+                                  tester=tester, subsets=subsets)
     result = TradeoffResult(dataset=dataset.name)
     for selector in suite:
         run = run_method(dataset, selector,

@@ -37,6 +37,14 @@ from repro.data.table import Table
 # module docstring before touching these.
 EXPECTED_SEQSEL_TESTS = 18
 EXPECTED_GRPSEL_TESTS = 36
+# min_group=2 routes small failed groups through the per-member fallback,
+# which the wavefront engine fuses as sibling singleton streams; on this
+# workload the executed query set coincides with min_group=1's (a failed
+# pair's fallback singletons are exactly its split halves), while
+# min_group=3 diverges — both are locked so the fallback path can never
+# silently change cost semantics.
+EXPECTED_GRPSEL_MIN_GROUP2_TESTS = 36
+EXPECTED_GRPSEL_MIN_GROUP3_TESTS = 35
 # Cumulative after each observed batch (the ledger spans the run).
 EXPECTED_ONLINE_TESTS_CUMULATIVE = (9, 20)
 EXPECTED_SELECTED = ["f1", "f2", "f4", "f5", "f7", "f8"]
@@ -110,6 +118,27 @@ class TestRecordedCounts:
         assert sorted(result.selected_set) == EXPECTED_SELECTED
 
     @pytest.mark.parametrize("make_executor", executor_factories())
+    @pytest.mark.parametrize("min_group,expected", [
+        (2, EXPECTED_GRPSEL_MIN_GROUP2_TESTS),
+        (3, EXPECTED_GRPSEL_MIN_GROUP3_TESTS),
+    ])
+    def test_grpsel_min_group_fallback(self, problem, make_executor,
+                                       min_group, expected):
+        """The min_group>1 per-member fallback (wave-fused singleton
+        streams) is count-locked too: fusing the siblings must never
+        change which queries execute."""
+        executor = make_executor()
+        try:
+            result = GrpSel(tester=GTestCI(),
+                            subset_strategy=MarginalThenFull(), seed=0,
+                            min_group=min_group,
+                            executor=executor).select(problem)
+        finally:
+            close(executor)
+        assert result.n_ci_tests == expected
+        assert sorted(result.selected_set) == EXPECTED_SELECTED
+
+    @pytest.mark.parametrize("make_executor", executor_factories())
     def test_online(self, problem, make_executor):
         executor = make_executor()
         try:
@@ -132,6 +161,7 @@ class TestRecordedCounts:
 # discrete constants above.  See the module docstring before touching.
 EXPECTED_RCIT_SEQSEL_TESTS = 17
 EXPECTED_RCIT_GRPSEL_TESTS = 26
+EXPECTED_RCIT_GRPSEL_MIN_GROUP2_TESTS = 26
 EXPECTED_RCIT_ONLINE_TESTS_CUMULATIVE = (9, 19)
 EXPECTED_RCIT_SELECTED = ["f1", "f2", "f4", "f5", "f7"]
 
@@ -191,6 +221,20 @@ class TestRecordedContinuousCounts:
         finally:
             close(executor)
         assert result.n_ci_tests == EXPECTED_RCIT_GRPSEL_TESTS
+        assert sorted(result.selected_set) == EXPECTED_RCIT_SELECTED
+
+    @pytest.mark.parametrize("make_executor", executor_factories())
+    def test_grpsel_rcit_min_group_fallback(self, continuous_problem,
+                                            make_executor):
+        executor = make_executor()
+        try:
+            result = GrpSel(tester=RCIT(seed=0),
+                            subset_strategy=MarginalThenFull(), seed=0,
+                            min_group=2,
+                            executor=executor).select(continuous_problem)
+        finally:
+            close(executor)
+        assert result.n_ci_tests == EXPECTED_RCIT_GRPSEL_MIN_GROUP2_TESTS
         assert sorted(result.selected_set) == EXPECTED_RCIT_SELECTED
 
     @pytest.mark.parametrize("make_executor", executor_factories())

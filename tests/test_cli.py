@@ -23,6 +23,35 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["select", "--dataset", "nope"])
 
+    def test_select_tester_and_subsets_flags(self):
+        args = build_parser().parse_args(
+            ["select", "--dataset", "german", "--tester", "gtest",
+             "--subsets", "greedy"])
+        assert args.tester == "gtest"
+        assert args.subsets == "greedy"
+        # Defaults preserve the historical behaviour.
+        args = build_parser().parse_args(["select", "--dataset", "german"])
+        assert args.tester == "adaptive"
+        assert args.subsets is None
+
+    def test_unknown_tester_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["select", "--dataset", "german", "--tester", "nope"])
+
+    def test_suite_args(self):
+        args = build_parser().parse_args(
+            ["suite", "--datasets", "german", "compas",
+             "--algorithms", "grpsel", "seqsel",
+             "--classifiers", "logistic", "tree",
+             "--jobs", "3", "--mp-context", "fork", "--store", "cache-dir"])
+        assert args.datasets == ["german", "compas"]
+        assert args.algorithms == ["grpsel", "seqsel"]
+        assert args.classifiers == ["logistic", "tree"]
+        assert args.jobs == 3
+        assert args.mp_context == "fork"
+        assert args.store == "cache-dir"
+
 
 class TestCommands:
     def test_datasets_lists_all(self, capsys):
@@ -50,3 +79,24 @@ class TestCommands:
         for method in ("GrpSel", "SeqSel", "ALL", "Hamlet"):
             assert method in out
         assert "accuracy" in out
+
+    def test_select_with_tester_and_subsets(self, capsys):
+        assert main(["select", "--dataset", "german", "--tester", "gtest",
+                     "--subsets", "marginal+full"]) == 0
+        assert "GrpSel" in capsys.readouterr().out
+
+    def test_suite_runs_legs_and_reports_table(self, capsys, tmp_path):
+        argv = ["suite", "--datasets", "german", "compas",
+                "--algorithms", "grpsel", "seqsel", "--tester", "gtest",
+                "--n-train", "150", "--n-test", "60",
+                "--jobs", "1", "--store", str(tmp_path / "suite")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "4 legs" in out
+        for cell in ("german", "compas", "GrpSel", "SeqSel", "n_ci_tests"):
+            assert cell in out
+        # A warm rerun over the same store reports the same table while
+        # executing nothing (recorded selections replay).
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "4 legs" in warm
