@@ -16,6 +16,7 @@ recorded but not asserted.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -23,7 +24,7 @@ import numpy as np
 import pytest
 
 from repro.ci.base import CIQuery, CITestLedger
-from repro.ci.executor import SerialExecutor, ThreadedExecutor
+from repro.ci.executor import SerialExecutor, ThreadedExecutor, default_executor
 from repro.ci.gtest import GTestCI
 from repro.ci.rcit import RCIT
 from repro.ci.store import PersistentCICache
@@ -175,7 +176,21 @@ def test_threaded_executor_rcit_shards(benchmark):
         "threaded_seconds": threaded,
         "n_workers": threaded_executor.n_workers,
         "speedup": serial / threaded,
+        # Regression note: this shard path has measured as slow as 0.37x
+        # serial for RCIT/KCIT on CI runners (the GIL serialises the
+        # numpy-light stretches of the kernel).  It is therefore never a
+        # default: with REPRO_CI_EXECUTOR unset, default_executor picks
+        # threads only when calibration data (repro.ci.autotune) measured
+        # it strictly faster than serial on this machine.
+        "note": "threads measured as slow as 0.37x serial for RCIT/KCIT; "
+                "never chosen by default_executor without calibration "
+                "evidence it beats serial (repro.ci.autotune)",
     }
+    if not os.environ.get("REPRO_CI_EXECUTOR", "").strip() \
+            and not os.environ.get("REPRO_CI_CALIBRATION", "").strip():
+        # The guard itself: unset env + no measurements -> serial, so the
+        # regression path above cannot be picked by guesswork.
+        assert isinstance(default_executor(tester), SerialExecutor)
     print(f"\nthreaded RCIT batch of 16: serial {1e3 * serial:.1f} ms, "
           f"4 workers {1e3 * threaded:.1f} ms, "
           f"speedup {serial / threaded:.2f}x")

@@ -322,9 +322,10 @@ class CITestLedger(CITester):
             cache if isinstance(cache, PersistentCICache) else None)
         self._cache_enabled = bool(cache) or self.store is not None
         self._cache: dict[tuple, CIResult] = {}
-        # With no explicit executor the process-wide default applies (the
-        # REPRO_CI_EXECUTOR environment variable; serial when unset).
-        self.executor: BatchExecutor = executor or default_executor()
+        # With no explicit executor the process-wide default applies:
+        # REPRO_CI_EXECUTOR, else measured calibration for this tester's
+        # method, else serial (see repro.ci.executor.default_executor).
+        self.executor: BatchExecutor = executor or default_executor(inner)
 
     def cache_token(self) -> tuple:
         # A ledger is configuration-transparent: forward the wrapped
@@ -479,8 +480,8 @@ class CITestLedger(CITester):
         return results
 
     def test_waves(self, table: Table,
-                   streams: Iterable[Iterable[CIQuery | tuple]]
-                   ) -> list[list[CIResult]]:
+                   streams: Iterable[Iterable[CIQuery | tuple]],
+                   max_wave: int | None = None) -> list[list[CIResult]]:
         """Advance many early-exit query streams in rank-synchronized waves.
 
         Each stream is a lazy queue of queries in *rank* order — the
@@ -509,6 +510,15 @@ class CITestLedger(CITester):
         per-stream sequential evaluation, because rescheduling would
         hand each query a different draw and flip verdicts relative to
         the sequential path.
+
+        ``max_wave`` caps how many queries one ``test_batch`` submission
+        may carry: an over-wide wave is split into consecutive
+        sub-batches (the wavefront engine derives the cap from the
+        memory budget).  The cap is invisible to every invariant — the
+        wave's query set is fixed before submission (no intra-wave early
+        exit), fused kernels are partition-invariant by the fusion
+        contract, and within-batch key-duplicates are accounted as cache
+        hits exactly like cross-batch ones — so only peak memory changes.
         """
         iterators = [iter(stream) for stream in streams]
         results: list[list[CIResult]] = [[] for _ in iterators]
@@ -531,7 +541,13 @@ class CITestLedger(CITester):
             if not wave:
                 break
             undecided: list[int] = []
-            for index, verdict in zip(owners, self.test_batch(table, wave)):
+            width = (max_wave if max_wave is not None and max_wave > 0
+                     else len(wave))
+            verdicts: list[CIResult] = []
+            for start in range(0, len(wave), width):
+                verdicts.extend(
+                    self.test_batch(table, wave[start:start + width]))
+            for index, verdict in zip(owners, verdicts):
                 results[index].append(verdict)
                 if not verdict.independent:
                     undecided.append(index)

@@ -410,7 +410,7 @@ def executor_by_name(name: str, **kwargs) -> BatchExecutor:
 _DEFAULT_EXECUTORS: dict[tuple, BatchExecutor] = {}
 
 
-def default_executor() -> BatchExecutor:
+def default_executor(tester: "CITester | None" = None) -> BatchExecutor:
     """The executor a :class:`~repro.ci.base.CITestLedger` uses when none
     is passed explicitly.
 
@@ -418,16 +418,33 @@ def default_executor() -> BatchExecutor:
     be switched onto a different execution strategy without touching call
     sites — the equivalence contract guarantees identical results/counts:
 
-    * ``REPRO_CI_EXECUTOR`` — ``serial`` (default), ``threads``, ``process``
+    * ``REPRO_CI_EXECUTOR`` — ``serial``, ``threads``, ``process``
     * ``REPRO_CI_JOBS`` — worker count for the pooled executors
     * ``REPRO_CI_MP_CONTEXT`` — start method for ``process``
       (``spawn``/``fork``/``forkserver``)
+
+    With ``REPRO_CI_EXECUTOR`` unset the choice is *measured*, not
+    guessed: if calibration data is active
+    (:func:`repro.ci.autotune.active_calibration` — the
+    ``REPRO_CI_CALIBRATION`` env var or an in-process override) the
+    executor measured fastest for ``tester``'s method is used, under the
+    never-slower-than-serial rule.  Without calibration the default is
+    serial for every tester — in particular the threads shard, measured
+    at ~0.4x serial for RCIT/KCIT
+    (``BENCH_multiquery.json``), can never be picked by guesswork.
 
     Pooled executors are shared process-wide per configuration (they are
     thread-safe), so every ledger in a run amortises one worker pool;
     serial executors are stateless and constructed fresh.
     """
-    name = os.environ.get(ENV_EXECUTOR, "").strip().lower() or "serial"
+    name = os.environ.get(ENV_EXECUTOR, "").strip().lower()
+    if not name:
+        # Lazy import: autotune sits above the store layer, which this
+        # module must not import at load time.
+        from repro.ci.autotune import active_calibration
+        calibration = active_calibration()
+        name = (calibration.choose(getattr(tester, "method", None))
+                if calibration is not None else "serial")
     if name == "serial":
         return SerialExecutor()
     kwargs: dict = {}

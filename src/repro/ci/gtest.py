@@ -37,6 +37,7 @@ import numpy as np
 from scipy import stats
 
 from repro.ci.base import CIQuery, CIResult, CITester, as_queries, encode_rows
+from repro.data.backend import iter_slices, resolve_chunk_rows
 from repro.data.table import Table
 from repro.exceptions import CITestError
 
@@ -50,9 +51,22 @@ def _dense_codes(matrix: np.ndarray) -> tuple[np.ndarray, int]:
 
 def fused_counts(x_codes: np.ndarray, n_x: int, y_codes: np.ndarray, n_y: int,
                  z_codes: np.ndarray, n_z: int) -> np.ndarray:
-    """Count tensor ``N[z, x, y]`` from one fused bincount pass."""
-    flat = (z_codes * n_x + x_codes) * n_y + y_codes
-    counts = np.bincount(flat, minlength=n_z * n_x * n_y)
+    """Count tensor ``N[z, x, y]`` from fused bincount passes.
+
+    Streams in row chunks past the working-set budget (see
+    :func:`repro.data.backend.resolve_chunk_rows`): contingency counts are
+    exactly additive over any row partition, so the tensor is bitwise
+    identical for every chunk size — including the historical single-pass
+    shape, which small tables keep.
+    """
+    n_rows = x_codes.shape[0]
+    size = n_z * n_x * n_y
+    counts = np.zeros(size, dtype=np.int64)
+    for window in iter_slices(n_rows, resolve_chunk_rows(n_rows,
+                                                         row_bytes=32)):
+        flat = ((z_codes[window] * n_x + x_codes[window]) * n_y
+                + y_codes[window])
+        counts += np.bincount(flat, minlength=size)
     return counts.reshape(n_z, n_x, n_y).astype(np.float64)
 
 
@@ -183,17 +197,26 @@ class GTestCI(CITester):
             block = n_z * n_x * n_y
             per_chunk = max(1, min(MAX_DENSE_CELLS // block,
                                    MAX_DENSE_CELLS // max(n_rows, 1)))
-            base = z_codes * (n_x * n_y) + y_codes
             for start in range(0, len(members), per_chunk):
                 chunk = members[start:start + per_chunk]
                 offsets = np.arange(len(chunk), dtype=np.int64) * block
-                flat = np.empty((len(chunk), n_rows), dtype=np.int64)
-                for row, j in enumerate(chunk):
-                    np.multiply(xs[j][0], n_y, out=flat[row])
-                flat += base[None, :]
-                flat += offsets[:, None]
-                counts = np.bincount(flat.ravel(),
-                                     minlength=len(chunk) * block)
+                # Row-streamed offset bincount: counts are additive over
+                # any row partition, so the accumulated tensor is bitwise
+                # identical to the single-pass layout for any chunk size.
+                counts = np.zeros(len(chunk) * block, dtype=np.int64)
+                row_chunk = resolve_chunk_rows(
+                    n_rows, row_bytes=24 * (len(chunk) + 1))
+                for window in iter_slices(n_rows, row_chunk):
+                    base = z_codes[window] * (n_x * n_y) + y_codes[window]
+                    flat = np.empty((len(chunk),
+                                     window.stop - window.start),
+                                    dtype=np.int64)
+                    for row, j in enumerate(chunk):
+                        np.multiply(xs[j][0][window], n_y, out=flat[row])
+                    flat += base[None, :]
+                    flat += offsets[:, None]
+                    counts += np.bincount(flat.ravel(),
+                                          minlength=len(chunk) * block)
                 tensors = counts.reshape(
                     len(chunk) * n_z, n_x, n_y).astype(np.float64)
                 stat_z, dof_z = self._stratum_terms(tensors)

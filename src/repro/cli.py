@@ -11,6 +11,9 @@ Commands:
 * ``python -m repro suite --datasets german compas --algorithms grpsel seqsel``
   run a (dataset × selector × classifier) experiment suite, legs in
   parallel worker processes over one shared experiment store,
+* ``python -m repro calibrate --store runs/``
+  measure per-tester executor throughput on this machine and persist the
+  choices ``default_executor`` makes when ``REPRO_CI_EXECUTOR`` is unset,
 * ``python -m repro datasets``
   list bundled datasets and their role assignments.
 
@@ -18,18 +21,22 @@ Commands:
 ``--tester`` picks the backend family
 (:func:`repro.ci.default_tester`), ``--subsets`` the phase-1 subset
 strategy (:func:`repro.core.subset_search.strategy_by_name`), ``--jobs``
-the CI-batch worker processes, and ``--store`` a cross-run cache tree.
+the CI-batch worker processes, ``--store`` a cross-run cache tree, and
+``--backend`` the table column storage (in-RAM vs memory-mapped; results
+are bitwise identical — the flag is exported to worker processes).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
 from repro.ci import default_tester
 from repro.ci.executor import BatchExecutor, ProcessExecutor
 from repro.ci.store import ExperimentStore
+from repro.data.backend import ENV_BACKEND, set_default_backend
 from repro.core.grpsel import GrpSel
 from repro.core.seqsel import SeqSel
 from repro.core.subset_search import strategy_by_name
@@ -53,6 +60,28 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         help="experiment-store directory: caches CI verdicts and finished "
              "selections across runs (per-selector namespaces), so a rerun "
              "over unchanged data re-executes nothing")
+    _add_backend_flag(parser)
+
+
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=("memory", "mmap"), default=None,
+        help="table column-storage backend: 'memory' (in-RAM, the "
+             "default) or 'mmap' (columns spilled to memory-mapped "
+             "files so out-of-core datasets open without materialising; "
+             "results are bitwise identical). Default: the "
+             f"{ENV_BACKEND} env var, else memory")
+
+
+def _apply_backend(args: argparse.Namespace) -> None:
+    """Activate ``--backend`` for this process *and* its workers.
+
+    Sets the in-process default and exports the env var so spawned
+    suite/CI worker processes inherit the choice.
+    """
+    if getattr(args, "backend", None):
+        set_default_backend(args.backend)
+        os.environ[ENV_BACKEND] = args.backend
 
 
 def _add_ci_flags(parser: argparse.ArgumentParser,
@@ -153,6 +182,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shared experiment-store root for all legs "
                             "(merge-on-save; a warm rerun executes zero "
                             "CI tests)")
+    _add_backend_flag(suite)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="measure per-tester executor throughput and persist the "
+             "choices default_executor makes when REPRO_CI_EXECUTOR is "
+             "unset")
+    calibrate.add_argument("--store", default=None, metavar="DIR",
+                           help="experiment-store root; measurements land "
+                                "in <DIR>/calibration.json")
+    calibrate.add_argument("--output", default=None, metavar="FILE",
+                           help="calibration file path (overrides --store)")
+    calibrate.add_argument("--testers", choices=TESTERS, nargs="+",
+                           default=["gtest", "rcit"], metavar="TESTER",
+                           help="tester families to probe "
+                                "(default: gtest rcit)")
+    calibrate.add_argument("--rows", type=int, default=2000,
+                           help="probe table rows (default 2000)")
+    calibrate.add_argument("--repeats", type=int, default=3,
+                           help="timing repeats, best-of (default 3)")
+    calibrate.add_argument("--jobs", type=int, default=None, metavar="N",
+                           help="worker count for the pooled executors "
+                                "under test")
+    calibrate.add_argument("--seed", type=int, default=0)
+    _add_backend_flag(calibrate)
 
     sub.add_parser("datasets", help="list bundled datasets")
     return parser
@@ -220,6 +274,37 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.ci.autotune import ENV_CALIBRATION, Calibration, run_probe
+
+    if args.output:
+        path = args.output
+    elif args.store:
+        path = ExperimentStore(args.store).calibration_path
+    else:
+        raise SystemExit("calibrate needs --store DIR or --output FILE")
+    testers = [default_tester(seed=args.seed, name=name)
+               for name in dict.fromkeys(args.testers)]
+    calibration = run_probe(testers=testers, n_rows=args.rows,
+                            repeats=args.repeats, seed=args.seed,
+                            n_workers=args.jobs,
+                            calibration=Calibration(path))
+    rows = []
+    for row in calibration.rows():
+        seconds = row["seconds"]
+        rows.append({
+            "tester": row["method"], "backend": row["backend"],
+            "batch": row["batch_size"],
+            **{name: f"{value * 1e3:.1f}ms"
+               for name, value in sorted(seconds.items())},
+            "chosen": row["chosen"],
+        })
+    print(render_table(rows, title=f"Executor calibration -> {path}"))
+    print(f"export {ENV_CALIBRATION}={path}  # default_executor will use "
+          "these measurements")
+    return 0
+
+
 def cmd_datasets(args: argparse.Namespace) -> int:
     rows = []
     for name, loader in sorted(LOADERS.items()):
@@ -237,8 +322,10 @@ def cmd_datasets(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_backend(args)
     handlers = {"select": cmd_select, "evaluate": cmd_evaluate,
-                "suite": cmd_suite, "datasets": cmd_datasets}
+                "suite": cmd_suite, "calibrate": cmd_calibrate,
+                "datasets": cmd_datasets}
     return handlers[args.command](args)
 
 

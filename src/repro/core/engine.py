@@ -53,9 +53,49 @@ from repro.ci.store import PersistentCICache
 from repro.core.problem import FairFeatureSelectionProblem
 from repro.core.result import SelectionResult
 from repro.core.subset_search import ExhaustiveSubsets, SubsetStrategy
+from repro.data.backend import ENV_RAM_CAP_MB
 
 #: A phase-1 unit of decision: one candidate name or one group of names.
 Unit = Sequence[str] | str
+
+#: Override for the wave-cell budget (rows x queries one wave submission
+#: may span); unset derives it from ``REPRO_TABLE_RAM_CAP_MB``.
+ENV_WAVE_CELLS = "REPRO_CI_WAVE_CELLS"
+
+
+def wave_width_cap(n_rows: int) -> int:
+    """Max queries per wave submission for a table of ``n_rows`` rows.
+
+    A wave of ``w`` queries drives fused kernels whose temporaries scale
+    with ``w * n_rows`` cells; bounding that product bounds peak memory
+    regardless of how wide the candidate pool is.  The budget comes from
+    ``REPRO_CI_WAVE_CELLS``, or from the table working-set cap
+    (``REPRO_TABLE_RAM_CAP_MB``, default 512 MiB) at 16 bytes per cell.
+    Capping only splits a wave into consecutive sub-batches —
+    results and counts are provably unchanged
+    (:meth:`~repro.ci.base.CITestLedger.test_waves`) — so on small
+    tables, where the cap exceeds any plausible pool width, behaviour is
+    identical to the uncapped engine.
+    """
+    env = os.environ.get(ENV_WAVE_CELLS, "").strip()
+    if env:
+        try:
+            cells = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_WAVE_CELLS} must be an integer, got {env!r}"
+            ) from None
+        if cells < 1:
+            raise ValueError(f"{ENV_WAVE_CELLS} must be >= 1, got {cells}")
+    else:
+        cap = os.environ.get(ENV_RAM_CAP_MB, "").strip()
+        try:
+            cap_mb = float(cap) if cap else 512.0
+        except ValueError:
+            raise ValueError(
+                f"{ENV_RAM_CAP_MB} must be a number, got {cap!r}") from None
+        cells = int(cap_mb * (1 << 20) / 16)
+    return max(1, cells // max(n_rows, 1))
 
 
 class WavefrontRun:
@@ -128,7 +168,9 @@ class WavefrontEngine:
         """
         streams = self.subset_strategy.phase1_streams(
             units, problem.sensitive, problem.admissible)
-        outcomes = ledger.test_waves(problem.table, streams)
+        outcomes = ledger.test_waves(
+            problem.table, streams,
+            max_wave=wave_width_cap(problem.table.n_rows))
         return [bool(prefix) and prefix[-1].independent
                 for prefix in outcomes]
 
@@ -155,9 +197,11 @@ class WavefrontEngine:
         """
         admitted: list[str] = []
         frontier = [list(group) for group in groups if group]
+        max_wave = wave_width_cap(problem.table.n_rows)
         while frontier:
             outcomes = ledger.test_waves(problem.table,
-                                         streams_for(frontier))
+                                         streams_for(frontier),
+                                         max_wave=max_wave)
             next_frontier: list[list[str]] = []
             for group, prefix in zip(frontier, outcomes):
                 if prefix and prefix[-1].independent:

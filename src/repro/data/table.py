@@ -6,15 +6,27 @@ provides the minimal substrate for that story without pandas: named columns
 of equal length, role-aware schemas, selection/projection, inner equi-joins,
 and train/test splitting.
 
-Columns are stored as 1-D :class:`numpy.ndarray`; the table never aliases
-caller arrays on construction (it copies) so instances behave as values.
+Column storage is delegated to a pluggable
+:class:`~repro.data.backend.ColumnBackend`: in-RAM numpy arrays by default,
+or memory-mapped files (``REPRO_TABLE_BACKEND=mmap``) so datasets far
+larger than RAM open without materialising.  The table itself is a thin
+façade — roles, fingerprints, and the CI-engine caches — and its observable
+behaviour is a pure function of the column values, never of the backend
+(see the backend invariance contract in :mod:`repro.data.backend`).  The
+table never aliases caller arrays on construction (backends ingest by
+copy) so instances behave as values.
 
 Because instances behave as values (every relational operation returns a
 new table), each table also carries lazy per-instance caches used by the CI
 engine: a content :attr:`fingerprint`, per-column float conversions
 (:meth:`float_column`), and joint integer codes for discrete queries
 (:meth:`discrete_codes`).  The caches are valid as long as callers respect
-the documented no-mutation contract on :meth:`__getitem__` views.
+the documented no-mutation contract on :meth:`__getitem__` views.  On
+columns past the streaming budget the code/moment builders run chunked
+passes (exactly additive, hence bitwise chunk-invariant for the integer
+kernels; fixed internal block sizes for the float moment pass) and place
+their outputs in backend scratch storage, so derived state inherits the
+backend's locality.
 """
 
 from __future__ import annotations
@@ -25,6 +37,9 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.exceptions import SchemaError
+from repro.data.backend import (ColumnBackend, HASH_BLOCK_ROWS,
+                                MOMENT_BLOCK_ROWS, iter_slices, make_backend,
+                                resolve_chunk_rows)
 from repro.data.schema import ColumnSpec, Kind, Role, TableSchema
 from repro.rng import SeedLike, as_generator
 
@@ -66,6 +81,13 @@ class Table:
     ...           roles={"s": Role.SENSITIVE, "y": Role.TARGET})
     >>> t.n_rows, t.schema.sensitive
     (2, ['s'])
+
+    ``backend`` selects the column storage: a
+    :class:`~repro.data.backend.ColumnBackend` instance, a kind string
+    (``"memory"``/``"mmap"``), or ``None`` for the process default
+    (``REPRO_TABLE_BACKEND`` / :func:`~repro.data.backend.set_default_backend`).
+    Derived tables (projections, row selections, joins) inherit their
+    parent's backend *kind*.
     """
 
     def __init__(
@@ -73,34 +95,45 @@ class Table:
         columns: Mapping[str, np.ndarray | Sequence],
         schema: TableSchema | None = None,
         roles: Mapping[str, Role] | None = None,
+        backend: ColumnBackend | str | None = None,
     ) -> None:
-        self._data: dict[str, np.ndarray] = {}
+        if isinstance(backend, ColumnBackend):
+            self._backend = backend
+        else:
+            self._backend = make_backend(backend)
+        names: list[str] = []
+        kinds: dict[str, Kind] = {}
         lengths = set()
+        infer = schema is None
         for name, values in columns.items():
             arr = np.asarray(values)
             if arr.ndim != 1:
                 raise SchemaError(f"column {name!r} must be 1-D, got shape {arr.shape}")
-            self._data[name] = arr.copy()
+            self._backend.put(name, arr)
+            names.append(name)
+            if infer:
+                kinds[name] = _infer_kind(arr)
             lengths.add(arr.shape[0])
         if len(lengths) > 1:
             raise SchemaError(f"columns have mismatched lengths: {sorted(lengths)}")
         self._n_rows = lengths.pop() if lengths else 0
+        self._names = frozenset(names)
 
         if schema is None:
             role_map = dict(roles or {})
-            unknown = set(role_map) - set(self._data)
+            unknown = set(role_map) - set(names)
             if unknown:
                 raise SchemaError(f"roles given for unknown columns: {sorted(unknown)}")
             schema = TableSchema(
                 [
-                    ColumnSpec(name, _infer_kind(arr), role_map.get(name, Role.OTHER))
-                    for name, arr in self._data.items()
+                    ColumnSpec(name, kinds[name], role_map.get(name, Role.OTHER))
+                    for name in names
                 ]
             )
         else:
             if roles is not None:
                 schema = schema.with_roles(dict(roles))
-            missing = set(schema.names) ^ set(self._data)
+            missing = set(schema.names) ^ set(names)
             if missing:
                 raise SchemaError(f"schema/column mismatch on: {sorted(missing)}")
         self.schema = schema
@@ -129,24 +162,29 @@ class Table:
     @property
     def n_cols(self) -> int:
         """Number of columns."""
-        return len(self._data)
+        return len(self._names)
 
     @property
     def columns(self) -> list[str]:
         """Column names in schema order."""
         return self.schema.names
 
+    @property
+    def backend(self) -> ColumnBackend:
+        """The column-storage backend (read-only façade state)."""
+        return self._backend
+
     def __len__(self) -> int:
         return self._n_rows
 
     def __contains__(self, name: str) -> bool:
-        return name in self._data
+        return name in self._names
 
     def __getitem__(self, name: str) -> np.ndarray:
         """Return a *copy-free view* of one column (do not mutate)."""
-        if name not in self._data:
+        if name not in self._names:
             raise SchemaError(f"unknown column: {name!r}")
-        return self._data[name]
+        return self._backend.get(name)
 
     def column(self, name: str) -> np.ndarray:
         """Alias of ``table[name]``."""
@@ -173,7 +211,9 @@ class Table:
         dispatch on it: the same values annotated discrete vs continuous
         answer through different backends, so they must never share cache
         entries.  (Roles deliberately do not participate — they steer
-        selection, not test outcomes.)
+        selection, not test outcomes.  The storage backend does not either:
+        fingerprints hash the byte stream in fixed blocks, so in-memory and
+        memory-mapped tables with the same data share one fingerprint.)
         """
         if self._fingerprint is None:
             digest = hashlib.blake2b(digest_size=16)
@@ -210,20 +250,35 @@ class Table:
         if arr.dtype.kind == "O":
             digest.update(repr(arr.tolist()).encode())
         else:
-            digest.update(np.ascontiguousarray(arr).tobytes())
+            # Fixed-block incremental hashing: identical digest to hashing
+            # the whole buffer at once, bounded peak memory on memmaps.
+            for window in iter_slices(self._n_rows, HASH_BLOCK_ROWS):
+                digest.update(
+                    np.ascontiguousarray(arr[window]).tobytes())
 
     def float_column(self, name: str) -> np.ndarray:
         """Cached read-only float conversion of one column."""
         cached = self._float_cols.get(name)
         if cached is None:
-            cached = np.asarray(self[name], dtype=float)
-            if cached is self._data[name]:
-                # Already float64: copy before freezing, so the read-only
-                # flag never leaks onto the table's own storage.
+            raw = self[name]
+            cached = np.asarray(raw, dtype=float)
+            if cached is raw and raw.flags.writeable:
+                # Already float64 and in mutable storage: copy before
+                # freezing, so the read-only flag never leaks onto the
+                # table's own storage.  (Memmap-backed columns are
+                # already read-only and served as-is — no RAM copy.)
                 cached = cached.copy()
             cached.setflags(write=False)
             self._float_cols[name] = cached
         return cached
+
+    def _float_chunk(self, name: str, window: slice) -> np.ndarray:
+        """One row window of :meth:`float_column`, without caching the
+        full conversion (the streaming kernels' accessor)."""
+        cached = self._float_cols.get(name)
+        if cached is not None:
+            return cached[window]
+        return np.asarray(self._backend.chunk(name, window), dtype=float)
 
     def discrete_codes(self, names: Sequence[str] | str) -> tuple[np.ndarray, int]:
         """Dense integer codes of the joint of rounded columns (cached).
@@ -234,6 +289,13 @@ class Table:
         and a multi-column request encodes the *joint* level of the tuple,
         labelled in lexicographic order of the per-column levels (identical
         to :func:`repro.ci.base.encode_rows` on the stacked matrix).
+
+        Past the streaming budget (``REPRO_CI_CHUNK_ROWS`` /
+        ``REPRO_TABLE_RAM_CAP_MB``) the codes are built by a chunked
+        two-pass sweep — per-chunk level discovery, then
+        ``np.searchsorted`` labelling — which is bitwise identical to the
+        single-pass ``np.unique(..., return_inverse=True)`` for any chunk
+        size, with the codes placed in backend scratch storage.
         """
         key = (names,) if isinstance(names, str) else tuple(names)
         cached = self._codes_cache.get(key)
@@ -243,15 +305,49 @@ class Table:
             codes = np.zeros(self._n_rows, dtype=np.int64)
             n_levels = 1 if self._n_rows else 0
         elif len(key) == 1:
-            col = np.round(self.float_column(key[0])).astype(np.int64)
-            uniq, inverse = np.unique(col, return_inverse=True)
-            codes = inverse.astype(np.int64)
-            n_levels = int(uniq.size)
+            codes, n_levels = self._single_codes(key[0])
         else:
             codes, n_levels = self._joint_codes(key)
         codes.setflags(write=False)
         self._codes_cache[key] = (codes, n_levels)
         return codes, n_levels
+
+    def _single_codes(self, name: str) -> tuple[np.ndarray, int]:
+        """Dense codes of one rounded column (single-pass or streamed)."""
+        # Working set: the int64 codes plus the float chunk in flight.
+        chunk = resolve_chunk_rows(self._n_rows, row_bytes=24)
+        if not chunk:
+            col = np.round(self.float_column(name)).astype(np.int64)
+            uniq, inverse = np.unique(col, return_inverse=True)
+            return inverse.astype(np.int64), int(uniq.size)
+        parts = [
+            np.unique(np.round(self._float_chunk(name, window))
+                      .astype(np.int64))
+            for window in iter_slices(self._n_rows, chunk)
+        ]
+        uniq = np.unique(np.concatenate(parts))
+        codes = self._backend.empty(self._n_rows, np.int64)
+        for window in iter_slices(self._n_rows, chunk):
+            codes[window] = np.searchsorted(
+                uniq, np.round(self._float_chunk(name, window))
+                .astype(np.int64))
+        return codes, int(uniq.size)
+
+    def _densify_int(self, values: np.ndarray,
+                     chunk: int) -> tuple[np.ndarray, int]:
+        """Dense ``[0, n)`` relabelling of an int64 array, streamed.
+
+        Exactly ``np.unique(values, return_inverse=True)`` — searchsorted
+        against the sorted union of per-chunk uniques labels every element
+        with its rank, bitwise identical for any chunk partition.
+        """
+        parts = [np.unique(values[window])
+                 for window in iter_slices(values.shape[0], chunk)]
+        uniq = np.unique(np.concatenate(parts)) if len(parts) > 1 else parts[0]
+        codes = self._backend.empty(values.shape[0], np.int64)
+        for window in iter_slices(values.shape[0], chunk):
+            codes[window] = np.searchsorted(uniq, values[window])
+        return codes, int(uniq.size)
 
     def standardized_block(self, names: Sequence[str] | str) -> np.ndarray:
         """Cached read-only standardized float block of the named columns.
@@ -263,14 +359,47 @@ class Table:
         column scan per query.  Value semantics: the cache can never go
         stale because tables are immutable under the documented
         no-mutation contract.
+
+        Columns longer than the fixed
+        :data:`~repro.data.backend.MOMENT_BLOCK_ROWS` stream through a
+        two-pass moment computation (sum, then squared deviations) into
+        backend scratch storage instead of materialising the stacked
+        matrix.  The pass uses a *fixed* internal block size — never the
+        user chunk setting — so the result depends only on the column
+        values, identically across backends and ``REPRO_CI_CHUNK_ROWS``.
         """
         key = (names,) if isinstance(names, str) else tuple(names)
         cached = self._std_blocks.get(key)
         if cached is None:
-            cached = standardize_matrix(self.matrix(key))
+            if self._n_rows > MOMENT_BLOCK_ROWS and key:
+                cached = self._streamed_standardized(key)
+            else:
+                cached = standardize_matrix(self.matrix(key))
             cached.setflags(write=False)
             self._std_blocks[key] = cached
         return cached
+
+    def _streamed_standardized(self, key: tuple[str, ...]) -> np.ndarray:
+        """Two-pass streaming standardisation for past-budget columns."""
+        n = self._n_rows
+        sums = np.zeros(len(key))
+        for window in iter_slices(n, MOMENT_BLOCK_ROWS):
+            for j, name in enumerate(key):
+                sums[j] += self._float_chunk(name, window).sum()
+        mean = sums / n
+        sumsq = np.zeros(len(key))
+        for window in iter_slices(n, MOMENT_BLOCK_ROWS):
+            for j, name in enumerate(key):
+                centered = self._float_chunk(name, window) - mean[j]
+                sumsq[j] += (centered * centered).sum()
+        scale = np.sqrt(sumsq / n)
+        scale[scale < 1e-12] = 1.0
+        out = self._backend.empty((n, len(key)), np.float64)
+        for window in iter_slices(n, MOMENT_BLOCK_ROWS):
+            for j, name in enumerate(key):
+                out[window, j] = (self._float_chunk(name, window)
+                                  - mean[j]) / scale[j]
+        return out
 
     def median_bandwidth(self, names: Sequence[str] | str,
                          seed_key: Sequence[int] | None = None,
@@ -303,8 +432,15 @@ class Table:
         return cached
 
     def _joint_codes(self, key: tuple[str, ...]) -> tuple[np.ndarray, int]:
-        """Mixed-radix combination of per-column codes, then densified."""
-        combined = np.zeros(self._n_rows, dtype=np.int64)
+        """Mixed-radix combination of per-column codes, then densified.
+
+        Streams the combination (and the final densify) chunk by chunk
+        when past the streaming budget — integer arithmetic and exact
+        relabelling, so the result is bitwise chunk-invariant.
+        """
+        # Working set per row: the combined int64 plus one column's codes.
+        chunk = resolve_chunk_rows(self._n_rows, row_bytes=16 * len(key))
+        per_column: list[tuple[np.ndarray, int]] = []
         capacity = 1
         for name in key:
             col_codes, col_levels = self.discrete_codes(name)
@@ -314,10 +450,22 @@ class Table:
                 stacked = np.round(self.matrix(list(key))).astype(np.int64)
                 _, inverse = np.unique(stacked, axis=0, return_inverse=True)
                 combined = inverse.astype(np.int64)
-                break
-            combined = combined * max(col_levels, 1) + col_codes
-        uniq, inverse = np.unique(combined, return_inverse=True)
-        return inverse.astype(np.int64), int(uniq.size)
+                return self._densify_int(combined, chunk)
+            per_column.append((col_codes, max(col_levels, 1)))
+        if not chunk:
+            combined = np.zeros(self._n_rows, dtype=np.int64)
+            for col_codes, levels in per_column:
+                combined = combined * levels + col_codes
+            uniq, inverse = np.unique(combined, return_inverse=True)
+            return inverse.astype(np.int64), int(uniq.size)
+        combined = self._backend.empty(self._n_rows, np.int64)
+        for window in iter_slices(self._n_rows, chunk):
+            acc = np.zeros(window.stop - window.start, dtype=np.int64)
+            for col_codes, levels in per_column:
+                acc *= levels
+                acc += col_codes[window]
+            combined[window] = acc
+        return self._densify_int(combined, chunk)
 
     def warm_cache(self, names: Iterable[str] | None = None) -> "Table":
         """Precompute the fingerprint and per-column CI caches; returns self.
@@ -328,13 +476,14 @@ class Table:
         use = list(names) if names is not None else self.columns
         _ = self.fingerprint
         for name in use:
-            self.float_column(name)
             if self.schema.spec(name).kind.is_discrete:
                 self.discrete_codes(name)
             else:
                 # Continuous columns are queried as single-column X blocks
                 # in phase-2 bursts; pre-standardize them.
                 self.standardized_block((name,))
+            if not resolve_chunk_rows(self._n_rows, row_bytes=24):
+                self.float_column(name)
         return self
 
     # -- serialization -----------------------------------------------------
@@ -346,7 +495,10 @@ class Table:
         many times the size of the raw columns; a process-pool worker
         rebuilds exactly the codes its shards need via
         :meth:`warm_cache`/lazy access.  The content fingerprint is kept —
-        it is a value, already paid for, and pool reuse keys on it.
+        it is a value, already paid for, and pool reuse keys on it.  The
+        backend handles its own serialization: a memory-mapped backend
+        ships column *paths* (never bytes or open handles) and workers
+        reopen the files lazily.
         """
         state = self.__dict__.copy()
         state["_float_cols"] = {}
@@ -361,7 +513,8 @@ class Table:
     def select(self, names: Iterable[str]) -> "Table":
         """Projection: a new table with only the requested columns."""
         use = list(names)
-        return Table({n: self[n] for n in use}, schema=self.schema.select(use))
+        return Table({n: self[n] for n in use}, schema=self.schema.select(use),
+                     backend=self._backend.kind)
 
     def drop(self, names: Iterable[str]) -> "Table":
         """Projection complement: remove the requested columns."""
@@ -374,7 +527,8 @@ class Table:
     def take(self, index: np.ndarray) -> "Table":
         """Row selection by integer or boolean index array."""
         idx = np.asarray(index)
-        return Table({n: self._data[n][idx] for n in self.columns}, schema=self.schema)
+        return Table({n: self[n][idx] for n in self.columns},
+                     schema=self.schema, backend=self._backend.kind)
 
     def head(self, n: int) -> "Table":
         """First ``n`` rows."""
@@ -388,25 +542,27 @@ class Table:
             raise SchemaError(
                 f"column {name!r} has {arr.shape[0]} rows, table has {self._n_rows}"
             )
-        data = {n: self._data[n] for n in self.columns}
+        data = {n: self[n] for n in self.columns}
         data[name] = arr
         spec = ColumnSpec(name, kind or _infer_kind(arr), role)
-        if name in self._data:
+        if name in self._names:
             schema = TableSchema([spec if c.name == name else c for c in self.schema])
         else:
             schema = self.schema.add(spec)
-        return Table(data, schema=schema)
+        return Table(data, schema=schema, backend=self._backend.kind)
 
     def with_roles(self, roles: Mapping[str, Role]) -> "Table":
         """A new table with reassigned column roles."""
-        return Table({n: self._data[n] for n in self.columns},
-                     schema=self.schema.with_roles(dict(roles)))
+        return Table({n: self[n] for n in self.columns},
+                     schema=self.schema.with_roles(dict(roles)),
+                     backend=self._backend.kind)
 
     def rename(self, mapping: Mapping[str, str]) -> "Table":
         """A new table with columns renamed via ``mapping``."""
         schema = self.schema.rename(dict(mapping))
         return Table(
-            {mapping.get(n, n): self._data[n] for n in self.columns}, schema=schema
+            {mapping.get(n, n): self[n] for n in self.columns}, schema=schema,
+            backend=self._backend.kind
         )
 
     def join(self, other: "Table", on: str, how: str = "inner") -> "Table":
@@ -471,7 +627,7 @@ class Table:
 
     def to_dict(self) -> dict[str, np.ndarray]:
         """Copy of the underlying column mapping."""
-        return {n: self._data[n].copy() for n in self.columns}
+        return {n: np.array(self[n]) for n in self.columns}
 
     def equals(self, other: "Table") -> bool:
         """Exact equality of schema order, names and cell values."""
