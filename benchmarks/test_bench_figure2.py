@@ -5,8 +5,6 @@ fair and least accurate; GrpSel/SeqSel sit near-ALL accuracy at near-A
 fairness; Hamlet/SPred/Capuchin/FairPC fall in between.
 """
 
-import pytest
-
 from benchmarks.conftest import run_once
 from repro.experiments.figures import ascii_scatter, render_table
 from repro.experiments.tradeoff import run_tradeoff

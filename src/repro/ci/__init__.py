@@ -1,7 +1,6 @@
 """Conditional-independence testing substrate."""
 
-import os
-
+from repro import env
 from repro.ci.base import CIQuery, CIResult, CITestLedger, CITester, LedgerEntry
 from repro.ci.adaptive import AdaptiveCI
 from repro.ci.autotune import (Calibration, active_calibration, run_probe,
@@ -21,7 +20,7 @@ from repro.rng import SeedLike
 
 #: Environment override for the tester family selectors construct when
 #: none is passed explicitly (see :func:`default_tester`).
-ENV_TESTER = "REPRO_CI_TESTER"
+ENV_TESTER = env.CI_TESTER.name
 
 
 def default_tester(alpha: float = 0.01, seed: SeedLike = 0,
@@ -38,7 +37,7 @@ def default_tester(alpha: float = 0.01, seed: SeedLike = 0,
     parameter ignore ``seed``.
     """
     if name is None:
-        name = os.environ.get(ENV_TESTER, "").strip().lower() or "rcit"
+        name = env.CI_TESTER.read().lower()
     else:
         name = name.strip().lower()
     if name == "rcit":

@@ -41,7 +41,9 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
+from repro import env
 from repro.ci.store import _SAVE_LOCK, _read_document, _write_document
+from repro.rng import as_generator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.ci.base import CITester
@@ -49,7 +51,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 #: Path of the calibration document ``default_executor`` consults when
 #: ``REPRO_CI_EXECUTOR`` is unset (typically an ``ExperimentStore``'s
 #: ``calibration.json`` — see ``ExperimentStore.calibration_path``).
-ENV_CALIBRATION = "REPRO_CI_CALIBRATION"
+ENV_CALIBRATION = env.CI_CALIBRATION.name
 
 CALIBRATION_TAG = "repro-ci-calibration"
 CALIBRATION_VERSION = 1
@@ -211,7 +213,7 @@ def active_calibration() -> Calibration | None:
     """
     if _ACTIVE is not None:
         return _ACTIVE
-    path = os.environ.get(ENV_CALIBRATION, "").strip()
+    path = env.CI_CALIBRATION.read()
     if not path:
         return None
     cached = _LOADED.get(path)
@@ -232,7 +234,7 @@ def _probe_table(n_rows: int, n_candidates: int, seed: int):
     from repro.data.schema import Role
     from repro.data.table import Table
 
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     columns: dict[str, np.ndarray] = {
         "y": rng.integers(0, 2, size=n_rows),
         "z0": rng.integers(0, 3, size=n_rows),

@@ -58,15 +58,16 @@ from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
 from typing import TYPE_CHECKING, Sequence
 
+from repro import env
 from repro.exceptions import CITestError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.ci.base import CIQuery, CIResult, CITester
     from repro.data.table import Table
 
-ENV_EXECUTOR = "REPRO_CI_EXECUTOR"
-ENV_JOBS = "REPRO_CI_JOBS"
-ENV_MP_CONTEXT = "REPRO_CI_MP_CONTEXT"
+ENV_EXECUTOR = env.CI_EXECUTOR.name
+ENV_JOBS = env.CI_JOBS.name
+ENV_MP_CONTEXT = env.CI_MP_CONTEXT.name
 
 
 def _replay_safe(tester: "CITester") -> bool:
@@ -437,7 +438,7 @@ def default_executor(tester: "CITester | None" = None) -> BatchExecutor:
     thread-safe), so every ledger in a run amortises one worker pool;
     serial executors are stateless and constructed fresh.
     """
-    name = os.environ.get(ENV_EXECUTOR, "").strip().lower()
+    name = env.CI_EXECUTOR.read().lower()
     if not name:
         # Lazy import: autotune sits above the store layer, which this
         # module must not import at load time.
@@ -448,14 +449,10 @@ def default_executor(tester: "CITester | None" = None) -> BatchExecutor:
     if name == "serial":
         return SerialExecutor()
     kwargs: dict = {}
-    jobs = os.environ.get(ENV_JOBS, "").strip()
-    if jobs:
-        try:
-            kwargs["n_workers"] = max(1, int(jobs))
-        except ValueError:
-            raise ValueError(
-                f"{ENV_JOBS} must be an integer, got {jobs!r}") from None
-    context = os.environ.get(ENV_MP_CONTEXT, "").strip()
+    jobs = env.CI_JOBS.read_int()
+    if jobs is not None:
+        kwargs["n_workers"] = max(1, jobs)
+    context = env.CI_MP_CONTEXT.read()
     if context and name == "process":
         kwargs["mp_context"] = context
     key = (name, *sorted(kwargs.items()))

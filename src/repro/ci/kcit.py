@@ -33,7 +33,7 @@ from repro.ci.base import CIQuery, CITester, as_queries
 from repro.ci.rcit import _standardize, median_bandwidth
 from repro.data.table import Table
 from repro.exceptions import CITestError
-from repro.rng import seed_token
+from repro.rng import as_generator, seed_token
 
 
 def rbf_gram(matrix: np.ndarray, bandwidth: float) -> np.ndarray:
@@ -132,7 +132,10 @@ class KCIT(CITester):
         n = table.n_rows
         idx = None
         if n > self.max_samples:
-            rng = np.random.default_rng(self._seed)
+            # as_generator(seed) is default_rng(seed) for value seeds and
+            # passes a live Generator through — bitwise-identical draws,
+            # but with one central construction site (seed discipline).
+            rng = as_generator(self._seed)
             idx = rng.choice(n, size=self.max_samples, replace=False)
             n = self.max_samples
 
@@ -189,7 +192,7 @@ class KCIT(CITester):
         """Matrix-level path (no table context); same kernels, one query."""
         n = x.shape[0]
         if n > self.max_samples:
-            rng = np.random.default_rng(self._seed)
+            rng = as_generator(self._seed)
             idx = rng.choice(n, size=self.max_samples, replace=False)
             x, y = x[idx], y[idx]
             z = z[idx] if z is not None else None

@@ -74,7 +74,10 @@ def median_bandwidth(matrix: np.ndarray, max_points: int = 500,
     n = matrix.shape[0]
     if n > max_points:
         if rng is None:
-            rng = np.random.default_rng(0)
+            # The fixed fallback stream; as_generator(0) IS
+            # default_rng(0), routed through the central conversion so
+            # every generator in the CI layer has one construction site.
+            rng = as_generator(0)
         idx = rng.choice(n, size=max_points, replace=False)
         matrix = matrix[idx]
     sq = np.sum(matrix ** 2, axis=1)

@@ -66,7 +66,6 @@ def _has_one_time_token(value) -> bool:
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.core.problem import FairFeatureSelectionProblem
     from repro.core.result import SelectionResult
-    from repro.data.table import Table
 
 FORMAT_TAG = "repro-ci-cache"
 FORMAT_VERSION = 1

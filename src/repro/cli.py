@@ -14,6 +14,9 @@ Commands:
 * ``python -m repro calibrate --store runs/``
   measure per-tester executor throughput on this machine and persist the
   choices ``default_executor`` makes when ``REPRO_CI_EXECUTOR`` is unset,
+* ``python -m repro lint [paths]``
+  run the contract linter (:mod:`repro.lint`) over the source tree and
+  exit non-zero on findings,
 * ``python -m repro datasets``
   list bundled datasets and their role assignments.
 
@@ -29,10 +32,10 @@ are bitwise identical — the flag is exported to worker processes).
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 from typing import Sequence
 
+from repro import env
 from repro.ci import default_tester
 from repro.ci.executor import BatchExecutor, ProcessExecutor
 from repro.ci.store import ExperimentStore
@@ -81,7 +84,7 @@ def _apply_backend(args: argparse.Namespace) -> None:
     """
     if getattr(args, "backend", None):
         set_default_backend(args.backend)
-        os.environ[ENV_BACKEND] = args.backend
+        env.TABLE_BACKEND.write(args.backend)
 
 
 def _add_ci_flags(parser: argparse.ArgumentParser,
@@ -208,6 +211,22 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument("--seed", type=int, default=0)
     _add_backend_flag(calibrate)
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism/caching contract linter over the "
+             "source tree (exit 1 on findings)")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint (default: the "
+                           "installed repro package source)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="output format (default: text)")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="JSON baseline of accepted findings to filter "
+                           "out (ratchet mode)")
+    lint.add_argument("--write-baseline", default=None, metavar="FILE",
+                      help="write the current findings as a baseline file "
+                           "and exit 0")
+
     sub.add_parser("datasets", help="list bundled datasets")
     return parser
 
@@ -305,6 +324,29 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import default_target, lint_paths
+    from repro.lint import report
+
+    run = lint_paths(args.paths or [default_target()])
+    if args.baseline:
+        run = type(run)(
+            findings=tuple(report.filter_baseline(
+                run.findings, report.load_baseline(args.baseline))),
+            n_files=run.n_files)
+    if args.write_baseline:
+        report.write_baseline(args.write_baseline, run.findings)
+        print(f"wrote {len(run.findings)} baseline entr"
+              f"{'y' if len(run.findings) == 1 else 'ies'} to "
+              f"{args.write_baseline}")
+        return 0
+    if args.format == "json":
+        print(report.render_json(run))
+    else:
+        print(report.render_text(run))
+    return 0 if run.ok else 1
+
+
 def cmd_datasets(args: argparse.Namespace) -> int:
     rows = []
     for name, loader in sorted(LOADERS.items()):
@@ -325,7 +367,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     _apply_backend(args)
     handlers = {"select": cmd_select, "evaluate": cmd_evaluate,
                 "suite": cmd_suite, "calibrate": cmd_calibrate,
-                "datasets": cmd_datasets}
+                "lint": cmd_lint, "datasets": cmd_datasets}
     return handlers[args.command](args)
 
 

@@ -53,14 +53,14 @@ from repro.ci.store import PersistentCICache
 from repro.core.problem import FairFeatureSelectionProblem
 from repro.core.result import SelectionResult
 from repro.core.subset_search import ExhaustiveSubsets, SubsetStrategy
-from repro.data.backend import ENV_RAM_CAP_MB
+from repro import env as _env
 
 #: A phase-1 unit of decision: one candidate name or one group of names.
 Unit = Sequence[str] | str
 
 #: Override for the wave-cell budget (rows x queries one wave submission
 #: may span); unset derives it from ``REPRO_TABLE_RAM_CAP_MB``.
-ENV_WAVE_CELLS = "REPRO_CI_WAVE_CELLS"
+ENV_WAVE_CELLS = _env.CI_WAVE_CELLS.name
 
 
 def wave_width_cap(n_rows: int) -> int:
@@ -77,24 +77,9 @@ def wave_width_cap(n_rows: int) -> int:
     tables, where the cap exceeds any plausible pool width, behaviour is
     identical to the uncapped engine.
     """
-    env = os.environ.get(ENV_WAVE_CELLS, "").strip()
-    if env:
-        try:
-            cells = int(env)
-        except ValueError:
-            raise ValueError(
-                f"{ENV_WAVE_CELLS} must be an integer, got {env!r}"
-            ) from None
-        if cells < 1:
-            raise ValueError(f"{ENV_WAVE_CELLS} must be >= 1, got {cells}")
-    else:
-        cap = os.environ.get(ENV_RAM_CAP_MB, "").strip()
-        try:
-            cap_mb = float(cap) if cap else 512.0
-        except ValueError:
-            raise ValueError(
-                f"{ENV_RAM_CAP_MB} must be a number, got {cap!r}") from None
-        cells = int(cap_mb * (1 << 20) / 16)
+    cells = _env.CI_WAVE_CELLS.read_int(minimum=1)
+    if cells is None:
+        cells = int(_env.TABLE_RAM_CAP_MB.read_float() * (1 << 20) / 16)
     return max(1, cells // max(n_rows, 1))
 
 

@@ -54,9 +54,11 @@ from typing import Iterator, Mapping
 
 import numpy as np
 
-ENV_BACKEND = "REPRO_TABLE_BACKEND"
-ENV_CHUNK_ROWS = "REPRO_CI_CHUNK_ROWS"
-ENV_RAM_CAP_MB = "REPRO_TABLE_RAM_CAP_MB"
+from repro import env
+
+ENV_BACKEND = env.TABLE_BACKEND.name
+ENV_CHUNK_ROWS = env.CI_CHUNK_ROWS.name
+ENV_RAM_CAP_MB = env.TABLE_RAM_CAP_MB.name
 
 #: Fixed block length for content hashing.  Independent of every user
 #: setting: BLAKE2 digests are incremental, so hashing in any block size
@@ -89,7 +91,7 @@ def default_backend_kind() -> str:
     """The backend kind new tables use when none is passed explicitly."""
     if _DEFAULT_KIND is not None:
         return _DEFAULT_KIND
-    kind = os.environ.get(ENV_BACKEND, "").strip().lower() or "memory"
+    kind = env.TABLE_BACKEND.read().lower()
     _check_kind(kind)
     return kind
 
@@ -119,24 +121,10 @@ def resolve_chunk_rows(n_rows: int, row_bytes: int = 64) -> int:
     to *exactly additive* integer kernels (counts, codes), where the
     result is provably chunk-invariant.
     """
-    env = os.environ.get(ENV_CHUNK_ROWS, "").strip()
-    if env:
-        try:
-            forced = int(env)
-        except ValueError:
-            raise ValueError(
-                f"{ENV_CHUNK_ROWS} must be an integer, got {env!r}"
-            ) from None
-        if forced < 1:
-            raise ValueError(
-                f"{ENV_CHUNK_ROWS} must be >= 1, got {forced}")
+    forced = env.CI_CHUNK_ROWS.read_int(minimum=1)
+    if forced is not None:
         return 0 if forced >= n_rows else forced
-    cap = os.environ.get(ENV_RAM_CAP_MB, "").strip()
-    try:
-        cap_mb = float(cap) if cap else 512.0
-    except ValueError:
-        raise ValueError(
-            f"{ENV_RAM_CAP_MB} must be a number, got {cap!r}") from None
+    cap_mb = env.TABLE_RAM_CAP_MB.read_float()
     cap_rows = int(cap_mb * (1 << 20) / max(row_bytes, 1))
     if n_rows <= cap_rows:
         return 0

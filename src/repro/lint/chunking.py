@@ -1,0 +1,134 @@
+"""RL105 — chunk additivity.
+
+Chunk-streamed kernels must return bitwise-identical results for every
+user-chosen chunk size (``REPRO_CI_CHUNK_ROWS`` / RAM-cap derived).
+Integer accumulation (bincount counts) is exactly additive under any
+split; float accumulation is not — it may only happen under the *fixed*
+internal block sizes (``MOMENT_BLOCK_ROWS``, ``HASH_BLOCK_ROWS``), which
+make the summation tree a constant of the engine.  This checker flags
+float ``+=`` accumulation across the iterations of a
+variable-chunk-size ``iter_slices`` loop in the chunk-streamed modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import (Checker, Finding, ModuleSource, ProjectContext,
+                             Rule, assigned_names, dotted_name)
+
+RULE = Rule(
+    id="RL105",
+    name="chunk-additivity",
+    summary=("no float += accumulation across user-sized iter_slices "
+             "chunks; floats accumulate only under fixed block sizes"),
+    contract=("chunked execution is bitwise identical for every chunk "
+              "size: integer bincounts are exactly additive, float sums "
+              "are only reproducible under MOMENT_BLOCK_ROWS/"
+              "HASH_BLOCK_ROWS"),
+)
+
+FIXED_BLOCK_NAMES = frozenset({"MOMENT_BLOCK_ROWS", "HASH_BLOCK_ROWS"})
+_INT_DTYPE_FRAGMENTS = ("int", "uint", "bool")
+_ALLOC_CALLS = ("zeros", "empty", "zeros_like", "empty_like", "full")
+
+
+def _chunk_arg_is_fixed(chunk: ast.AST) -> bool:
+    if isinstance(chunk, ast.Name):
+        return chunk.id in FIXED_BLOCK_NAMES
+    if isinstance(chunk, ast.Attribute):
+        return chunk.attr in FIXED_BLOCK_NAMES
+    return False
+
+
+def _root_name(node: ast.AST) -> str | None:
+    """The base Name of an assignment target (``sums[j]`` -> sums)."""
+    while isinstance(node, (ast.Subscript, ast.Attribute, ast.Starred)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _dtype_is_integer(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg != "dtype":
+            continue
+        if isinstance(kw.value, ast.Constant) and isinstance(
+                kw.value.value, str):
+            text = kw.value.value
+        else:
+            text = dotted_name(kw.value)
+        text = text.lower()
+        if any(frag in text for frag in _INT_DTYPE_FRAGMENTS):
+            return True
+    return False
+
+
+def _integer_inits(func: ast.AST) -> set[str]:
+    """Names bound (anywhere in ``func``) to an integer-dtype allocation."""
+    out: set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        callee = dotted_name(value.func)
+        if callee.rsplit(".", 1)[-1] not in _ALLOC_CALLS:
+            continue
+        if not _dtype_is_integer(value):
+            continue
+        for target in node.targets:
+            name = _root_name(target)
+            if name:
+                out.add(name)
+    return out
+
+
+def _contains_bincount(node: ast.AST) -> bool:
+    return any(isinstance(sub, ast.Call)
+               and dotted_name(sub.func).endswith("bincount")
+               for sub in ast.walk(node))
+
+
+class ChunkAdditivityChecker(Checker):
+    rule = RULE
+
+    def scope(self, module: ModuleSource) -> bool:
+        path = module.display_path
+        return path.endswith(("data/table.py", "data/backend.py",
+                              "ci/gtest.py"))
+
+    def check(self, module: ModuleSource,
+              context: ProjectContext) -> Iterator[Finding]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            int_accs = _integer_inits(func)
+            for loop in ast.walk(func):
+                if not isinstance(loop, ast.For):
+                    continue
+                call = loop.iter
+                if not (isinstance(call, ast.Call) and dotted_name(
+                        call.func).endswith("iter_slices")):
+                    continue
+                if len(call.args) >= 2 and _chunk_arg_is_fixed(call.args[1]):
+                    continue  # fixed internal block size: floats are fine
+                body = ast.Module(body=loop.body, type_ignores=[])
+                local = assigned_names(body)
+                for stmt in ast.walk(body):
+                    if not (isinstance(stmt, ast.AugAssign)
+                            and isinstance(stmt.op, ast.Add)):
+                        continue
+                    acc = _root_name(stmt.target)
+                    if acc is None or acc in local:
+                        continue  # per-chunk temporary, not an accumulator
+                    if acc in int_accs or _contains_bincount(stmt.value):
+                        continue  # integer accumulation: exactly additive
+                    yield self.finding(
+                        module, stmt,
+                        f"float accumulation into '{acc}' across "
+                        "user-sized iter_slices chunks; accumulate "
+                        "integers (bincount) here, or restructure the "
+                        "float sum under MOMENT_BLOCK_ROWS/"
+                        "HASH_BLOCK_ROWS so the summation tree is fixed")

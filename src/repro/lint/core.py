@@ -1,0 +1,278 @@
+"""Checker framework for the contract linter.
+
+The linter is a purpose-built static-analysis pass over the repository's
+own source: each :class:`Checker` encodes one of the engine's landed
+determinism/caching contracts (see ``ROADMAP.md`` → "Landed contracts &
+invariants") as an AST predicate, so violating a contract is a build
+failure rather than a flaky hypothesis repro.
+
+Design notes:
+
+* **stdlib only.**  Everything runs on :mod:`ast` — no third-party lint
+  framework, so the checks run wherever the library itself runs.
+* **Project context.**  Files are parsed once into :class:`ModuleSource`
+  records; a :class:`ProjectContext` then offers whole-run views (e.g.
+  the transitive ``CITester`` subclass closure, which a single-file pass
+  cannot compute) before any checker fires.
+* **Suppressions.**  A finding on line ``L`` is suppressed by a
+  ``# repro-lint: disable=<rule>`` comment on ``L`` (rule id, rule name,
+  or ``all``); ``# repro-lint: disable-file=<rule>`` anywhere in the file
+  suppresses the rule for the whole file.  Suppressions are deliberate,
+  reviewable artifacts — the escape hatch for the rare legitimate
+  exception.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Pseudo-rule for files the parser rejects: a file that cannot be parsed
+#: cannot be checked, which must fail the run rather than pass silently.
+PARSE_ERROR_RULE_ID = "RL000"
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)=([A-Za-z0-9_,\- ]+)")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: stable id, slug, and the contract it enforces."""
+
+    id: str
+    name: str
+    summary: str
+    contract: str  # the ROADMAP prose contract this rule machine-checks
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    rule_name: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "name": self.rule_name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule_id} [{self.rule_name}] {self.message}")
+
+
+class ModuleSource:
+    """One parsed source file plus its suppression directives."""
+
+    def __init__(self, path: Path, display_path: str, text: str,
+                 tree: ast.Module) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.text = text
+        self.tree = tree
+        self.line_disables: dict[int, set[str]] = {}
+        self.file_disables: set[str] = set()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _DIRECTIVE.search(line)
+            if not match:
+                continue
+            tokens = {tok.strip() for tok in match.group(2).split(",")
+                      if tok.strip()}
+            if match.group(1) == "disable-file":
+                self.file_disables |= tokens
+            else:
+                self.line_disables.setdefault(lineno, set()).update(tokens)
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return Path(self.display_path).parts
+
+    def suppressed(self, rule: Rule, line: int) -> bool:
+        tokens = (self.line_disables.get(line, set()) | self.file_disables)
+        return bool(tokens & {rule.id, rule.name, "all"})
+
+
+class ProjectContext:
+    """Whole-run views shared by the checkers."""
+
+    def __init__(self, modules: Sequence[ModuleSource]) -> None:
+        self.modules = list(modules)
+        self._tester_classes: set[str] | None = None
+
+    @property
+    def tester_classes(self) -> set[str]:
+        """Transitive subclass closure of ``CITester`` across the run.
+
+        Name-based: a class is a tester if one of its base names is
+        ``CITester`` or an already-known tester class.  Iterated to a
+        fixpoint over every linted file, so ``RIT(RCIT)`` resolves even
+        though ``rcit.py`` never mentions ``CITester`` in RIT's bases.
+        """
+        if self._tester_classes is None:
+            bases_by_class: dict[str, set[str]] = {}
+            for module in self.modules:
+                for node in ast.walk(module.tree):
+                    if not isinstance(node, ast.ClassDef):
+                        continue
+                    names = {base_name(b) for b in node.bases}
+                    bases_by_class.setdefault(node.name, set()).update(
+                        n for n in names if n)
+            closure = {"CITester"}
+            changed = True
+            while changed:
+                changed = False
+                for name, bases in bases_by_class.items():
+                    if name not in closure and bases & closure:
+                        closure.add(name)
+                        changed = True
+            self._tester_classes = closure
+        return self._tester_classes
+
+
+class Checker:
+    """Base class for one lint rule's checker."""
+
+    rule: Rule
+
+    def scope(self, module: ModuleSource) -> bool:
+        """Whether ``module`` is in this rule's path scope (default all)."""
+        return True
+
+    def check(self, module: ModuleSource,
+              context: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleSource, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(self.rule.id, self.rule.name, module.display_path,
+                       getattr(node, "lineno", 0),
+                       getattr(node, "col_offset", 0), message)
+
+
+# -- shared AST helpers ------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for Name/Attribute chains, ``""`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def base_name(node: ast.AST) -> str:
+    """The unqualified name of a class base (``ci.CITester`` → CITester)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def call_func_name(node: ast.Call) -> str:
+    """Dotted name of a call's callee (``np.random.seed(...)`` →
+    ``np.random.seed``)."""
+    return dotted_name(node.func)
+
+
+def self_attribute_names(node: ast.AST, contexts=(ast.Load,)) -> set[str]:
+    """Names of ``self.<attr>`` accesses under ``node`` in the given
+    expression contexts."""
+    out: set[str] = set()
+    for sub in ast.walk(node):
+        if (isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+                and isinstance(sub.ctx, tuple(contexts))):
+            out.add(sub.attr)
+    return out
+
+
+def assigned_names(node: ast.AST) -> set[str]:
+    """Plain names bound by assignments/loops under ``node`` (the roots of
+    Name targets).  ``AugAssign`` is deliberately excluded: ``x += ...``
+    accumulates into an existing binding rather than creating one."""
+    out: set[str] = set()
+    for sub in ast.walk(node):
+        targets: list[ast.AST] = []
+        if isinstance(sub, ast.Assign):
+            targets = list(sub.targets)
+        elif isinstance(sub, ast.AnnAssign):
+            targets = [sub.target]
+        elif isinstance(sub, ast.For):
+            targets = [sub.target]
+        for target in targets:
+            for leaf in ast.walk(target):
+                if isinstance(leaf, ast.Name):
+                    out.add(leaf.id)
+    return out
+
+
+# -- file collection and the run loop ----------------------------------------
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    seen: set[Path] = set()
+    for entry in paths:
+        root = Path(entry)
+        candidates = (sorted(root.rglob("*.py")) if root.is_dir()
+                      else [root])
+        for path in candidates:
+            if path not in seen:
+                seen.add(path)
+                yield path
+
+
+def load_module(path: Path) -> ModuleSource | Finding:
+    """Parse one file; a syntax error becomes a ``RL000`` finding."""
+    display = path.as_posix()
+    text = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=display)
+    except SyntaxError as exc:
+        return Finding(PARSE_ERROR_RULE_ID, "parse-error", display,
+                       exc.lineno or 0, exc.offset or 0,
+                       f"file does not parse: {exc.msg}")
+    return ModuleSource(path, display, text, tree)
+
+
+def run_checkers(paths: Iterable[str | Path],
+                 checkers: Sequence[Checker]) -> list[Finding]:
+    """Lint ``paths`` with ``checkers``; returns sorted, unsuppressed
+    findings."""
+    modules: list[ModuleSource] = []
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        loaded = load_module(path)
+        if isinstance(loaded, Finding):
+            findings.append(loaded)
+        else:
+            modules.append(loaded)
+    context = ProjectContext(modules)
+    for checker in checkers:
+        for module in modules:
+            if not checker.scope(module):
+                continue
+            for finding in checker.check(module, context):
+                if not module.suppressed(checker.rule, finding.line):
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings

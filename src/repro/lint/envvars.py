@@ -1,0 +1,72 @@
+"""RL106 — env-var registry.
+
+Every ``REPRO_*`` environment variable must be read through the central
+registry in :mod:`repro.env`: scattered ``os.environ`` reads drift on
+default handling (empty-string vs unset, missing ``strip()``), dodge the
+documented-variable table, and make run fingerprints lie about the
+configuration that produced them.  This checker flags any ``os.environ``
+/ ``os.getenv`` use outside ``env.py`` itself, and module-level
+``REPRO_*`` name literals that should be registrations instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.core import (Checker, Finding, ModuleSource, ProjectContext,
+                             Rule, dotted_name)
+
+RULE = Rule(
+    id="RL106",
+    name="env-registry",
+    summary=("REPRO_* environment variables are read/written only "
+             "through repro.env"),
+    contract=("one registry defines each variable's name, default and "
+              "empty-string handling, and regenerates the documented "
+              "variable table; ad-hoc os.environ reads drift on all "
+              "three"),
+)
+
+_REPRO_NAME = re.compile(r"^REPRO_[A-Z0-9_]+$")
+
+
+class EnvRegistryChecker(Checker):
+    rule = RULE
+
+    def scope(self, module: ModuleSource) -> bool:
+        # env.py is the one sanctioned os.environ touchpoint.
+        return module.parts[-1] != "env.py"
+
+    def check(self, module: ModuleSource,
+              context: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                name = dotted_name(node)
+                if name in ("os.environ", "os.getenv", "os.putenv",
+                            "os.unsetenv"):
+                    yield self.finding(
+                        module, node,
+                        f"direct {name} use: read/write environment "
+                        "variables through repro.env so defaults and "
+                        "empty-string handling stay centralised")
+            elif isinstance(node, ast.Call):
+                if dotted_name(node.func) == "getenv":
+                    yield self.finding(
+                        module, node,
+                        "direct getenv() call: use repro.env instead")
+        # Module-level REPRO_* string literals are shadow registrations;
+        # the sanctioned spelling is `NAME = env.<VAR>.name`.
+        for stmt in module.tree.body:
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = stmt.value
+            if (isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                    and _REPRO_NAME.match(value.value)):
+                yield self.finding(
+                    module, stmt,
+                    f"module-level literal {value.value!r}: register the "
+                    "variable in repro.env and reference "
+                    "env.<VAR>.name instead")

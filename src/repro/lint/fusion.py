@@ -1,0 +1,83 @@
+"""RL104 — fusion width safety.
+
+The batched CI kernels fuse same-``(Y, Z)`` queries by *stacking along a
+new leading axis* (3-D tensors, one GEMM per query slice).  The tempting
+alternative — ``np.column_stack`` of per-query feature columns into one
+wide 2-D operand — changes BLAS blocking with operand width, so the same
+query returns bit-different statistics depending on who it was batched
+with, breaking cache-key stability and run-to-run identity.  This
+checker flags column-wise stacking of per-query/candidate/block
+collections inside ``repro/ci``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import (Checker, Finding, ModuleSource, ProjectContext,
+                             Rule, dotted_name)
+
+RULE = Rule(
+    id="RL104",
+    name="fusion-width",
+    summary=("never column_stack/hstack per-query arrays into one wide "
+             "2-D GEMM operand; fuse along a new leading axis"),
+    contract=("fused kernels must be bitwise identical to sequential "
+              "execution; 2-D operand width changes BLAS blocking, "
+              "3-D stacking keeps each query's GEMM shape fixed"),
+)
+
+_STACKERS = ("np.column_stack", "numpy.column_stack",
+             "np.hstack", "numpy.hstack")
+_CONCATS = ("np.concatenate", "numpy.concatenate")
+#: Identifier fragments that mark a collection as per-query: stacking
+#: *these* is what couples one query's numerics to its batch-mates.
+_PER_QUERY_MARKERS = ("quer", "candidat", "block")
+
+
+def _per_query_comprehension(arg: ast.AST) -> bool:
+    """A list/generator comprehension iterating over a per-query
+    collection (``[f(q) for q in queries]``)."""
+    if not isinstance(arg, (ast.ListComp, ast.GeneratorExp)):
+        return False
+    for comp in arg.generators:
+        name = dotted_name(comp.iter).lower()
+        if not name and isinstance(comp.iter, ast.Call):
+            name = dotted_name(comp.iter.func).lower()
+        if any(marker in name for marker in _PER_QUERY_MARKERS):
+            return True
+    return False
+
+
+def _axis_is_one(node: ast.Call) -> bool:
+    for kw in node.keywords:
+        if (kw.arg == "axis" and isinstance(kw.value, ast.Constant)
+                and kw.value.value == 1):
+            return True
+    return False
+
+
+class FusionWidthChecker(Checker):
+    rule = RULE
+
+    def scope(self, module: ModuleSource) -> bool:
+        return "ci" in module.parts[:-1]
+
+    def check(self, module: ModuleSource,
+              context: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            name = dotted_name(node.func)
+            is_stacker = name in _STACKERS
+            is_concat = name in _CONCATS and _axis_is_one(node)
+            if not (is_stacker or is_concat):
+                continue
+            if _per_query_comprehension(node.args[0]):
+                yield self.finding(
+                    module, node,
+                    f"{name} over a per-query collection builds a "
+                    "width-dependent 2-D GEMM operand; stack queries "
+                    "along a new leading axis (np.stack -> 3-D) so each "
+                    "slice keeps its sequential shape")

@@ -1,0 +1,78 @@
+"""Output formats for the contract linter: text, JSON, and baselines.
+
+The JSON schema is versioned and consumed by tests and CI tooling; the
+baseline format lets a new rule land with existing debt ratcheted (known
+findings filtered, new ones failing) instead of blocking on a big-bang
+cleanup.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.lint.core import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.lint import LintRun
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(run: "LintRun") -> str:
+    lines = [finding.render() for finding in run.findings]
+    if run.findings:
+        lines.append(f"{len(run.findings)} finding(s) in "
+                     f"{run.n_files} file(s)")
+    else:
+        lines.append(f"OK: no findings ({run.n_files} file(s) checked)")
+    return "\n".join(lines)
+
+
+def as_json(run: "LintRun") -> dict:
+    by_rule: dict[str, int] = {}
+    for finding in run.findings:
+        by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "findings": [finding.as_dict() for finding in run.findings],
+        "summary": {
+            "files": run.n_files,
+            "findings": len(run.findings),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+    }
+
+
+def render_json(run: "LintRun") -> str:
+    return json.dumps(as_json(run), indent=2, sort_keys=False)
+
+
+# -- baselines ---------------------------------------------------------------
+#
+# A baseline entry deliberately omits the line number: accepted debt should
+# survive unrelated edits shifting the file, but a *new* instance of the
+# same rule in the same file with a different message still fails.
+
+
+def baseline_key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.rule_id, finding.path, finding.message)
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> None:
+    entries = [{"rule": f.rule_id, "path": f.path, "message": f.message}
+               for f in findings]
+    Path(path).write_text(json.dumps(entries, indent=2) + "\n",
+                          encoding="utf-8")
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    entries = json.loads(Path(path).read_text(encoding="utf-8"))
+    return {(e["rule"], e["path"], e["message"]) for e in entries}
+
+
+def filter_baseline(findings: Sequence[Finding],
+                    baseline: set[tuple[str, str, str]]) -> list[Finding]:
+    return [f for f in findings if baseline_key(f) not in baseline]

@@ -1,0 +1,60 @@
+"""RL102 — seed discipline.
+
+All randomness in the CI substrate and the core engine must flow through
+``repro.rng`` (``derive`` / ``derived_seed`` / ``as_generator`` /
+``spawn``): global seeding mutates process-wide state that parallel
+executors then race on, and ad-hoc ``np.random.*`` draws are invisible to
+the seed-derivation scheme, so two runs with the same top-level seed can
+diverge.  This checker forbids any ``np.random`` / ``numpy.random`` call
+inside ``repro/ci`` and ``repro/core``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import (Checker, Finding, ModuleSource, ProjectContext,
+                             Rule, call_func_name)
+
+RULE = Rule(
+    id="RL102",
+    name="seed-discipline",
+    summary=("ci/ and core/ must not call np.random.* directly; use "
+             "repro.rng (derive, derived_seed, as_generator, spawn)"),
+    contract=("seeds are derived per purpose/fingerprint via repro.rng so "
+              "results are independent of execution order and process "
+              "layout; global or ad-hoc np.random state breaks that"),
+)
+
+_FORBIDDEN_PREFIXES = ("np.random.", "numpy.random.")
+
+
+class SeedDisciplineChecker(Checker):
+    rule = RULE
+
+    def scope(self, module: ModuleSource) -> bool:
+        dirs = module.parts[:-1]
+        return "ci" in dirs or "core" in dirs
+
+    def check(self, module: ModuleSource,
+              context: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_func_name(node)
+            if not name.startswith(_FORBIDDEN_PREFIXES):
+                continue
+            tail = name.rsplit(".", 1)[-1]
+            if tail == "seed":
+                hint = ("global seeding poisons every caller in the "
+                        "process; derive a local generator with "
+                        "repro.rng.as_generator instead")
+            elif tail == "default_rng":
+                hint = ("construct generators through "
+                        "repro.rng.as_generator (identical stream) or "
+                        "repro.rng.derive (purpose-keyed)")
+            else:
+                hint = ("draw from a generator obtained via repro.rng, "
+                        "not from the shared np.random module state")
+            yield self.finding(module, node, f"call to {name}: {hint}")

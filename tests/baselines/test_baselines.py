@@ -15,8 +15,6 @@ from repro.baselines import (
     reweighing_weights,
 )
 from repro.ci.adaptive import AdaptiveCI
-from repro.ci.base import encode_rows
-from repro.core.problem import FairFeatureSelectionProblem
 from repro.data.loaders import load_german
 
 

@@ -1,8 +1,6 @@
 """Property-based tests: d-separation vs brute-force path enumeration,
 and the graphoid axioms on random DAGs."""
 
-from itertools import combinations
-
 import networkx as nx
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -44,7 +42,6 @@ def blocked_by_enumeration(dag: CausalDAG, x: str, y: str, z: set) -> bool:
         for idx in range(1, len(path) - 1):
             prev, mid, nxt = path[idx - 1], path[idx], path[idx + 1]
             into_mid = dag.has_edge(prev, mid)
-            out_of_mid = dag.has_edge(mid, nxt)
             is_collider = into_mid and dag.has_edge(nxt, mid)
             if is_collider:
                 if mid not in z_desc:

@@ -6,9 +6,6 @@ that statistical CI verdicts match d-separation on a systematic set of
 queries — both directions (no missed dependences, no spurious ones).
 """
 
-import numpy as np
-import pytest
-
 from repro.causal.dsep import d_separated
 from repro.causal.random_graphs import FairnessGraphSpec, fairness_scm
 from repro.ci.adaptive import AdaptiveCI

@@ -1,6 +1,5 @@
 """Tests for StructuralCausalModel sampling and interventions."""
 
-import numpy as np
 import pytest
 
 from repro.causal.mechanisms import BernoulliRoot, LogisticBinary, NoisyCopy

@@ -21,8 +21,7 @@ import numpy as np
 import pytest
 
 from repro.ci.base import CIQuery, CITestLedger
-from repro.ci.executor import (ProcessExecutor, SerialExecutor,
-                               ThreadedExecutor)
+from repro.ci.executor import ProcessExecutor, ThreadedExecutor
 from repro.ci.gtest import GTestCI
 from repro.ci.rcit import RCIT
 from repro.ci.store import ExperimentStore, PersistentCICache

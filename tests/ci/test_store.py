@@ -9,7 +9,6 @@ from repro.ci.base import CIQuery, CITestLedger
 from repro.ci.gtest import GTestCI
 from repro.ci.store import FORMAT_TAG, FORMAT_VERSION, PersistentCICache
 from repro.data.table import Table
-from repro.exceptions import CITestError
 
 
 def make_table(n=400, seed=0):

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.ci.oracle import OracleCI
-from repro.core.problem import FairFeatureSelectionProblem
 from repro.core.seqsel import SeqSel
 from repro.data.integration import (
     FeatureSource,

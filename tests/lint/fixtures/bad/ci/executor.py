@@ -1,0 +1,10 @@
+"""RL103 fixture: an executor mutating accounting state and result order."""
+
+
+class ImpureExecutor:
+    def run(self, ledger, results):
+        ledger.n_tests += 2
+        ledger.cache_hits = 0
+        ledger.entries.append("phantom")
+        results.sort()
+        return sorted(results)

@@ -1,0 +1,9 @@
+"""RL104 fixture: per-query columns fused into one wide 2-D operand."""
+
+import numpy as np
+
+
+def fuse(queries, feats):
+    wide = np.column_stack([feats[q] for q in queries])
+    also_wide = np.hstack([feats[q] for q in candidates(queries)])
+    return wide @ wide.T + also_wide @ also_wide.T

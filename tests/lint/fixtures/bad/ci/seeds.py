@@ -1,0 +1,9 @@
+"""RL102 fixture: forbidden np.random use inside a ci/ module."""
+
+import numpy as np
+
+
+def draw(seed):
+    np.random.seed(seed)
+    rng = np.random.default_rng()
+    return rng.normal() + np.random.normal()

@@ -1,0 +1,10 @@
+"""RL105 fixture: float accumulation across user-sized chunks."""
+
+import numpy as np
+
+
+def column_sums(matrix, chunk):
+    total = np.zeros(matrix.shape[1])
+    for start, stop in iter_slices(matrix.shape[0], chunk):  # noqa: F821
+        total += matrix[start:stop].sum(axis=0)
+    return total

@@ -1,0 +1,11 @@
+"""RL106 fixture: scattered os.environ reads and shadow registrations."""
+
+import os
+
+TOGGLE = "REPRO_FIXTURE_TOGGLE"
+
+
+def backend():
+    if os.getenv("REPRO_TABLE_BACKEND"):
+        return os.environ["REPRO_TABLE_BACKEND"]
+    return "memory"

@@ -1,0 +1,25 @@
+"""RL101 fixture: testers whose cache tokens miss stored parameters."""
+
+
+class IncompleteTokenTester(CITester):  # noqa: F821 - parsed, never run
+    method = "fixture-bad"
+
+    def __init__(self, alpha=0.01, bandwidth=1.0):
+        super().__init__(alpha=alpha)
+        self.bandwidth = bandwidth
+
+    def cache_token(self):
+        return ()  # bandwidth missing: cached verdicts survive a change
+
+    def test(self, table, x, y, z=()):
+        return self.bandwidth
+
+
+class NoTokenTester(CITester):  # noqa: F821
+    method = "fixture-none"
+
+    def __init__(self, gamma=2.0):
+        self.gamma = gamma
+
+    def test(self, table, x, y, z=()):
+        return self.gamma

@@ -1,0 +1,6 @@
+"""RL103 fixture: a mechanism-only executor."""
+
+
+class PureExecutor:
+    def run(self, inner, table, queries):
+        return [inner.test(table, q.x, q.y, q.z) for q in queries]

@@ -1,0 +1,14 @@
+"""RL104 fixture: queries stacked along a new leading axis (3-D)."""
+
+import numpy as np
+
+
+def fuse(queries, feats):
+    stacked = np.stack([feats[q] for q in queries])
+    return stacked @ np.swapaxes(stacked, 1, 2)
+
+
+def design(z):
+    # Column-stacking *one query's own* columns is fine - the operand
+    # shape does not depend on batch composition.
+    return np.column_stack([np.ones(z.shape[0]), z])

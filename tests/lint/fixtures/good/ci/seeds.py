@@ -1,0 +1,8 @@
+"""RL102 fixture: randomness routed through repro.rng."""
+
+from repro.rng import as_generator, derive
+
+
+def draw(seed, fingerprint):
+    rng = as_generator(derive(seed, "fixture", fingerprint))
+    return rng.normal()

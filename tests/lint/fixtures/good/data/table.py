@@ -1,0 +1,20 @@
+"""RL105 fixture: fixed-block float sums and exactly-additive int counts."""
+
+import numpy as np
+
+MOMENT_BLOCK_ROWS = 1 << 18
+
+
+def column_sums(matrix):
+    total = np.zeros(matrix.shape[1])
+    for start, stop in iter_slices(matrix.shape[0],  # noqa: F821
+                                   MOMENT_BLOCK_ROWS):
+        total += matrix[start:stop].sum(axis=0)
+    return total
+
+
+def histogram(codes, size, chunk):
+    counts = np.zeros(size, dtype=np.int64)
+    for start, stop in iter_slices(codes.shape[0], chunk):  # noqa: F821
+        counts += np.bincount(codes[start:stop], minlength=size)
+    return counts

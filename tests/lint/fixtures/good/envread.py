@@ -1,0 +1,7 @@
+"""RL106 fixture: env reads routed through the central registry."""
+
+from repro import env
+
+
+def backend():
+    return env.TABLE_BACKEND.read()

@@ -1,0 +1,15 @@
+"""RL101 fixture: a tester whose token covers every stored parameter."""
+
+
+class CompleteTokenTester(CITester):  # noqa: F821 - parsed, never run
+    method = "fixture-good"
+
+    def __init__(self, alpha=0.01, bandwidth=1.0):
+        super().__init__(alpha=alpha)
+        self.bandwidth = bandwidth
+
+    def cache_token(self):
+        return (("bandwidth", self.bandwidth),)
+
+    def test(self, table, x, y, z=()):
+        return self.bandwidth

@@ -1,0 +1,8 @@
+"""Suppression fixture: every violation carries a disable directive."""
+
+import numpy as np
+
+
+def legacy(seed):
+    np.random.seed(seed)  # repro-lint: disable=RL102
+    return np.random.default_rng()  # repro-lint: disable=seed-discipline

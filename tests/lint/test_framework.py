@@ -1,0 +1,131 @@
+"""Framework behaviour: suppressions, JSON schema, baselines, parse
+errors, and the ``python -m repro lint`` entry point."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import lint_paths
+from repro.lint.core import PARSE_ERROR_RULE_ID
+from repro.lint.report import (as_json, baseline_key, filter_baseline,
+                               load_baseline, write_baseline)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _write_ci_module(tmp_path: Path, body: str) -> Path:
+    # Under a ci/ directory so the seed-discipline scope applies.
+    target = tmp_path / "ci"
+    target.mkdir(exist_ok=True)
+    module = target / "mod.py"
+    module.write_text(body, encoding="utf-8")
+    return module
+
+
+class TestSuppressions:
+    def test_suppressed_fixture_is_clean(self):
+        run = lint_paths([FIXTURES / "suppressed"])
+        assert run.findings == ()
+
+    def test_line_directive_only_covers_its_line(self, tmp_path):
+        module = _write_ci_module(tmp_path, (
+            "import numpy as np\n"
+            "a = np.random.default_rng()  # repro-lint: disable=RL102\n"
+            "b = np.random.default_rng()\n"))
+        run = lint_paths([module])
+        assert [f.line for f in run.findings] == [3]
+
+    def test_rule_name_works_like_rule_id(self, tmp_path):
+        module = _write_ci_module(tmp_path, (
+            "import numpy as np\n"
+            "a = np.random.default_rng()"
+            "  # repro-lint: disable=seed-discipline\n"))
+        assert lint_paths([module]).findings == ()
+
+    def test_file_directive_covers_the_file(self, tmp_path):
+        module = _write_ci_module(tmp_path, (
+            "# repro-lint: disable-file=RL102\n"
+            "import numpy as np\n"
+            "a = np.random.default_rng()\n"
+            "b = np.random.default_rng()\n"))
+        assert lint_paths([module]).findings == ()
+
+    def test_unrelated_rule_does_not_suppress(self, tmp_path):
+        module = _write_ci_module(tmp_path, (
+            "import numpy as np\n"
+            "a = np.random.default_rng()  # repro-lint: disable=RL106\n"))
+        assert len(lint_paths([module]).findings) == 1
+
+
+class TestJsonOutput:
+    def test_schema(self):
+        run = lint_paths([FIXTURES / "bad"])
+        payload = as_json(run)
+        assert payload["version"] == 1
+        assert payload["tool"] == "repro-lint"
+        assert payload["summary"]["files"] == run.n_files
+        assert payload["summary"]["findings"] == len(run.findings)
+        assert sum(payload["summary"]["by_rule"].values()) == len(
+            run.findings)
+        for entry in payload["findings"]:
+            assert set(entry) == {"rule", "name", "path", "line", "col",
+                                  "message"}
+
+    def test_clean_run(self):
+        payload = as_json(lint_paths([FIXTURES / "good"]))
+        assert payload["findings"] == []
+        assert payload["summary"]["by_rule"] == {}
+
+
+class TestBaseline:
+    def test_roundtrip_filters_known_findings(self, tmp_path):
+        run = lint_paths([FIXTURES / "bad"])
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, run.findings)
+        baseline = load_baseline(baseline_file)
+        assert filter_baseline(run.findings, baseline) == []
+
+    def test_new_findings_pass_through(self, tmp_path):
+        run = lint_paths([FIXTURES / "bad"])
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, run.findings[:1])
+        kept = filter_baseline(run.findings,
+                               load_baseline(baseline_file))
+        assert len(kept) == len(run.findings) - 1
+        assert baseline_key(run.findings[0]) not in {
+            baseline_key(f) for f in kept}
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_rl000(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        run = lint_paths([bad])
+        assert [f.rule_id for f in run.findings] == [PARSE_ERROR_RULE_ID]
+
+
+class TestCli:
+    def test_clean_target_exits_zero(self, capsys):
+        assert main(["lint", str(FIXTURES / "good")]) == 0
+        assert "OK: no findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        assert main(["lint", str(FIXTURES / "bad")]) == 1
+        out = capsys.readouterr().out
+        assert "RL10" in out and "finding(s)" in out
+
+    def test_json_format(self, capsys):
+        assert main(["lint", "--format", "json",
+                     str(FIXTURES / "bad")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "repro-lint"
+        assert payload["summary"]["findings"] > 0
+
+    def test_baseline_ratchet(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "--write-baseline", str(baseline),
+                     str(FIXTURES / "bad")]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--baseline", str(baseline),
+                     str(FIXTURES / "bad")]) == 0
+        assert "OK: no findings" in capsys.readouterr().out

@@ -6,7 +6,6 @@ declared biased features are rejected, the classifier's CMI with the
 sensitive attribute is near zero, and group fairness improves over ALL.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines import AllFeatures
