@@ -56,9 +56,22 @@ ENV_CALIBRATION = env.CI_CALIBRATION.name
 CALIBRATION_TAG = "repro-ci-calibration"
 CALIBRATION_VERSION = 1
 
-#: Executor names the probe measures, serial always first (the baseline
+#: Executor names the probe always measures, serial first (the baseline
 #: of the never-slower-than-serial rule).
 PROBE_EXECUTORS = ("serial", "threads", "process")
+
+
+def probe_executors() -> tuple[str, ...]:
+    """The candidate set for this machine's probe.
+
+    ``remote`` joins the candidates only when ``REPRO_CI_REMOTE_QUEUE``
+    names a live queue — measuring a transport nobody serves would just
+    time the dispatch timeout — and is then subject to the same
+    never-slower-than-serial rule as every pooled executor.
+    """
+    if env.CI_REMOTE_QUEUE.is_set():
+        return PROBE_EXECUTORS + ("remote",)
+    return PROBE_EXECUTORS
 
 
 def _entry_key(method: str, backend: str, batch_size: int) -> str:
@@ -254,7 +267,7 @@ def _candidate_names(tester: "CITester", n_candidates: int) -> list[str]:
 
 
 def run_probe(testers: Sequence["CITester"] | None = None,
-              executors: Iterable[str] = PROBE_EXECUTORS,
+              executors: Iterable[str] | None = None,
               batch_sizes: Sequence[int] = (4, 16),
               n_rows: int = 2000, repeats: int = 3, seed: int = 0,
               calibration: Calibration | None = None,
@@ -268,13 +281,17 @@ def run_probe(testers: Sequence["CITester"] | None = None,
     executors compute bitwise-identical results by the executor
     contract; only time differs.  Measurements are recorded into
     ``calibration`` (a fresh pathless one by default) which is saved
-    before returning when it has a path.
+    before returning when it has a path.  ``executors`` defaults to
+    :func:`probe_executors` — the pools, plus ``remote`` when a work
+    queue is configured.
     """
     from repro.ci import default_tester
     from repro.ci.base import CIQuery
     from repro.ci.executor import executor_by_name
     from repro.data.backend import default_backend_kind
 
+    if executors is None:
+        executors = probe_executors()
     if testers is None:
         testers = [default_tester(name="g-test", seed=seed),
                    default_tester(name="rcit", seed=seed)]

@@ -22,6 +22,13 @@ remainder through an executor, which decides *how* the inner tester's
   and re-warms its ``discrete_codes`` per worker) and the pool is kept
   alive across calls for the same pair, so a selection run pays the
   process start-up cost once, not per burst.
+* :class:`RemoteExecutor` — shards the batch onto a
+  :class:`~repro.distributed.queue.WorkQueue` served by external workers
+  (``python -m repro worker``), which may live in other processes or on
+  other machines sharing the spool/socket.  The ``(tester, table)`` pair
+  is published once per configuration as a queue *context* (the exact
+  :class:`ProcessExecutor` pool key), so shards stay lightweight; lease
+  expiry and retry budgets make a dead worker a requeue, not a hang.
 
 Sharding splits a backend's fusion groups at shard boundaries — results
 stay bitwise identical (fusion is exact: discrete kernels count the same
@@ -52,10 +59,13 @@ contract.
 
 from __future__ import annotations
 
+import hashlib
 import os
+import pickle
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
+from contextlib import contextmanager
 from typing import TYPE_CHECKING, Sequence
 
 from repro import env
@@ -64,6 +74,7 @@ from repro.exceptions import CITestError
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.ci.base import CIQuery, CIResult, CITester
     from repro.data.table import Table
+    from repro.distributed.queue import WorkQueue
 
 ENV_EXECUTOR = env.CI_EXECUTOR.name
 ENV_JOBS = env.CI_JOBS.name
@@ -391,12 +402,207 @@ class ProcessExecutor(BatchExecutor):
                 f"mp_context={self.mp_context!r})")
 
 
+# -- remote execution --------------------------------------------------------
+
+# Thread-local, not process-global: a WorkerThread serving a queue shares
+# its process with the dispatcher whose batches it executes, and only the
+# serving thread must lose the right to re-dispatch.
+_WORKER_STATE = threading.local()
+
+
+def worker_mode() -> bool:
+    """Whether the current thread is executing a remote work-queue task.
+
+    Inside a worker, anything that would dispatch *back* onto a queue —
+    ``REPRO_CI_EXECUTOR=remote`` inherited into the worker's environment,
+    or a :class:`RemoteExecutor` riding in on a pickled tester — must run
+    serially instead: a finite worker pool whose members wait on tasks
+    only that same pool can serve is a deadlock.
+    """
+    return bool(getattr(_WORKER_STATE, "active", False))
+
+
+@contextmanager
+def worker_mode_scope():
+    """Mark the current thread as a remote worker for the duration."""
+    previous = getattr(_WORKER_STATE, "active", False)
+    _WORKER_STATE.active = True
+    try:
+        yield
+    finally:
+        _WORKER_STATE.active = previous
+
+
+def _transportable(tester: "CITester") -> bool:
+    """Whether remote worker processes can unpickle ``tester`` at all.
+
+    Workers import shipped objects by module path; a tester class defined
+    in a test file or a notebook does not exist on their import path, so
+    only library-defined testers may travel.
+    """
+    module = type(tester).__module__ or ""
+    return module.split(".", 1)[0] == "repro"
+
+
+class RemoteExecutor(BatchExecutor):
+    """Shard the batch onto a work queue served by external workers.
+
+    The distributed sibling of :class:`ProcessExecutor`: same sharding,
+    same results, but the workers are whoever runs ``python -m repro
+    worker`` against the same queue — other processes on this box
+    (filesystem spool) or other machines (socket transport).  The
+    ``(tester, table)`` pair is published once per configuration as a
+    queue *context* keyed by the :class:`ProcessExecutor` pool key, so
+    per-burst traffic is just query lists and result payloads.
+
+    ``queue`` may be a live :class:`~repro.distributed.queue.WorkQueue`,
+    a spec string (a spool directory or ``tcp://host:port``), or ``None``
+    to read ``REPRO_CI_REMOTE_QUEUE`` lazily at first use.
+
+    Falls back to inline serial execution (identical results, by the
+    executor contract) for batches below ``min_batch``, state-collecting
+    or non-process-safe testers (exactly like the pools), testers whose
+    class workers cannot import (see ``allow_foreign`` — pass ``True``
+    only when every worker shares the dispatcher's process, e.g.
+    :class:`~repro.distributed.worker.WorkerThread`), and on any thread
+    already executing a remote task (:func:`worker_mode`).
+
+    Error contract: a failing query's :class:`CITestError` — with
+    ``error.query`` attached by the worker-side replay — ships back
+    verbatim in a failure payload and re-raises here; transport-level
+    failures (retry budget exhausted after worker deaths, batch timeout)
+    surface as :class:`CITestError` with ``query=None``, exactly like a
+    :class:`ProcessExecutor` pool break.
+    """
+
+    name = "remote"
+
+    def __init__(self, queue: "WorkQueue | str | None" = None,
+                 n_workers: int | None = None, min_batch: int = 16,
+                 timeout: float | None = None, poll: float | None = None,
+                 allow_foreign: bool = False) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers or min(8, os.cpu_count() or 1)
+        self.min_batch = min_batch
+        self.timeout = timeout
+        self.poll = poll
+        self.allow_foreign = allow_foreign
+        self._spec = queue if isinstance(queue, str) else ""
+        self._queue = queue if not isinstance(queue, str) else None
+        self._owns_queue = False
+        self._published: set[str] = set()
+        self._lock = threading.RLock()
+
+    # -- queue lifecycle -----------------------------------------------------
+
+    def _queue_for_run(self) -> "WorkQueue":
+        if self._queue is None:
+            from repro.distributed.queue import queue_from_spec
+
+            spec = self._spec or env.CI_REMOTE_QUEUE.read()
+            self._queue = queue_from_spec(spec)
+            self._owns_queue = True
+        return self._queue
+
+    def close(self) -> None:
+        """Drop the queue handle (closing it if this executor opened it)."""
+        with self._lock:
+            if self._queue is not None and self._owns_queue:
+                try:
+                    self._queue.close()
+                except Exception:  # pragma: no cover - transport teardown
+                    pass
+            self._queue = None
+            self._owns_queue = False
+            self._published = set()
+
+    def __enter__(self) -> "RemoteExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __getstate__(self) -> dict:
+        # Like ProcessExecutor: the executor may travel inside a pickled
+        # tester — ship configuration, never the live transport handle.
+        state = self.__dict__.copy()
+        state["_queue"] = None
+        state["_owns_queue"] = False
+        state["_published"] = set()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+    # -- execution -----------------------------------------------------------
+
+    @staticmethod
+    def _context_id(tester: "CITester", table: "Table") -> str:
+        key = ProcessExecutor._pool_key_for(tester, table)
+        return hashlib.sha256(repr(key).encode()).hexdigest()[:24]
+
+    @staticmethod
+    def _namespace_for(tester: "CITester") -> str:
+        method = str(getattr(tester, "method", "") or "ci")
+        safe = "".join(ch if ch.isalnum() or ch in "._-" else "-"
+                       for ch in method)
+        return f"remote-{safe}"
+
+    def run(self, tester: "CITester", table: "Table",
+            queries: Sequence["CIQuery"]) -> list["CIResult"]:
+        queries = list(queries)
+        if (len(queries) < max(2, self.min_batch)
+                or getattr(tester, "collects_state", False)
+                or not _process_safe(tester)
+                or not (self.allow_foreign or _transportable(tester))
+                or worker_mode()):
+            return _run_shard(tester, table, queries)
+        from repro.distributed.dispatch import collect, submit_batch
+
+        with self._lock:
+            queue = self._queue_for_run()
+            context_id = self._context_id(tester, table)
+            if context_id not in self._published:
+                warm_names = sorted({name for query in queries
+                                     for name in query.x + query.y + query.z})
+                queue.put_context(context_id, pickle.dumps(
+                    {"tester": tester, "table": table, "warm": warm_names},
+                    protocol=pickle.HIGHEST_PROTOCOL))
+                self._published.add(context_id)
+            shards = _contiguous_shards(
+                queries, min(self.n_workers, len(queries)))
+            payloads = [pickle.dumps(
+                {"kind": "shard", "queries": shard,
+                 "namespace": self._namespace_for(tester)},
+                protocol=pickle.HIGHEST_PROTOCOL) for shard in shards]
+            task_ids = submit_batch(queue, payloads, context_id=context_id)
+            try:
+                shard_results = collect(queue, task_ids,
+                                        timeout=self.timeout, poll=self.poll)
+            except CITestError:
+                raise  # worker-attributed failure, already on contract
+            except Exception as exc:
+                error = CITestError(
+                    f"remote CI batch failed in transport: {exc}")
+                error.query = None
+                raise error from exc
+        return [result for shard in shard_results for result in shard]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RemoteExecutor(n_workers={self.n_workers}, "
+                f"queue={self._spec or self._queue!r})")
+
+
 def executor_by_name(name: str, **kwargs) -> BatchExecutor:
     """Look up an executor by its ``name`` attribute
-    (``serial``/``threads``/``process``)."""
+    (``serial``/``threads``/``process``/``remote``)."""
     executors: dict[str, type[BatchExecutor]] = {
         cls.name: cls
-        for cls in (SerialExecutor, ThreadedExecutor, ProcessExecutor)
+        for cls in (SerialExecutor, ThreadedExecutor, ProcessExecutor,
+                    RemoteExecutor)
     }
     if name not in executors:
         raise ValueError(f"unknown executor {name!r}; "
@@ -419,10 +625,17 @@ def default_executor(tester: "CITester | None" = None) -> BatchExecutor:
     be switched onto a different execution strategy without touching call
     sites — the equivalence contract guarantees identical results/counts:
 
-    * ``REPRO_CI_EXECUTOR`` — ``serial``, ``threads``, ``process``
-    * ``REPRO_CI_JOBS`` — worker count for the pooled executors
+    * ``REPRO_CI_EXECUTOR`` — ``serial``, ``threads``, ``process``,
+      ``remote``
+    * ``REPRO_CI_JOBS`` — worker count for the pooled executors (shard
+      count for ``remote``)
     * ``REPRO_CI_MP_CONTEXT`` — start method for ``process``
       (``spawn``/``fork``/``forkserver``)
+    * ``REPRO_CI_REMOTE_QUEUE`` — the work queue ``remote`` dispatches
+      to; required when ``remote`` is requested explicitly, and the
+      gate for calibration ever choosing it (no queue → serial).  On a
+      thread already serving remote tasks (:func:`worker_mode`) the
+      choice is always serial, whatever the environment says.
 
     With ``REPRO_CI_EXECUTOR`` unset the choice is *measured*, not
     guessed: if calibration data is active
@@ -439,6 +652,7 @@ def default_executor(tester: "CITester | None" = None) -> BatchExecutor:
     serial executors are stateless and constructed fresh.
     """
     name = env.CI_EXECUTOR.read().lower()
+    explicit = bool(name)
     if not name:
         # Lazy import: autotune sits above the store layer, which this
         # module must not import at load time.
@@ -446,6 +660,18 @@ def default_executor(tester: "CITester | None" = None) -> BatchExecutor:
         calibration = active_calibration()
         name = (calibration.choose(getattr(tester, "method", None))
                 if calibration is not None else "serial")
+    if name == "remote":
+        if worker_mode():
+            # A worker serving a leg must not re-dispatch into the queue
+            # it is being served from — a finite pool would deadlock.
+            return SerialExecutor()
+        if not env.CI_REMOTE_QUEUE.is_set():
+            if explicit:
+                raise ValueError(
+                    f"{env.CI_EXECUTOR.name}=remote requires "
+                    f"{env.CI_REMOTE_QUEUE.name} to name a work queue "
+                    "(a spool directory or tcp://host:port)")
+            name = "serial"  # calibration chose remote, but no queue is up
     if name == "serial":
         return SerialExecutor()
     kwargs: dict = {}
@@ -455,6 +681,10 @@ def default_executor(tester: "CITester | None" = None) -> BatchExecutor:
     context = env.CI_MP_CONTEXT.read()
     if context and name == "process":
         kwargs["mp_context"] = context
+    if name == "remote":
+        # The spec joins the memo key: repointing the queue between runs
+        # must yield a fresh executor, not a cached stale transport.
+        kwargs["queue"] = env.CI_REMOTE_QUEUE.read()
     key = (name, *sorted(kwargs.items()))
     cached = _DEFAULT_EXECUTORS.get(key)
     if cached is None:

@@ -183,14 +183,20 @@ class PersistentCICache:
 
     def get(self, fingerprint: str, query_key: tuple, method: str,
             alpha: float, token: tuple = ()) -> dict | None:
-        """Stored record for one key, or ``None``."""
+        """Stored record for one key (a copy), or ``None``.
+
+        A *copy*, not the live internal dict: callers routinely decorate
+        what they get back (harness code tagging rows), and a mutated
+        alias would silently rewrite the committed entry — then persist
+        on the next merge-on-save.
+        """
         record = self._entries.get(
             _key_string(fingerprint, query_key, method, alpha, token))
         if record is None:
             self.misses += 1
             return None
         self.hits += 1
-        return record
+        return dict(record)
 
     def put(self, fingerprint: str, query_key: tuple, method: str,
             alpha: float, record: Mapping, token: tuple = ()) -> None:

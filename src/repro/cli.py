@@ -14,6 +14,10 @@ Commands:
 * ``python -m repro calibrate --store runs/``
   measure per-tester executor throughput on this machine and persist the
   choices ``default_executor`` makes when ``REPRO_CI_EXECUTOR`` is unset,
+* ``python -m repro worker --queue runs/spool``
+  serve a distributed work queue: claim CI-test shards and experiment
+  legs published by remote-mode dispatchers (``suite --queue``, the
+  ``remote`` executor), execute them, and post results back,
 * ``python -m repro lint [paths]``
   run the contract linter (:mod:`repro.lint`) over the source tree and
   exit non-zero on findings,
@@ -185,7 +189,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shared experiment-store root for all legs "
                             "(merge-on-save; a warm rerun executes zero "
                             "CI tests)")
+    suite.add_argument("--queue", default=None, metavar="SPEC",
+                       help="run the suite distributed: dispatch legs to "
+                            "`repro worker` processes serving this work "
+                            "queue (a spool directory or tcp://host:port) "
+                            "instead of a local process pool; results are "
+                            "identical")
     _add_backend_flag(suite)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve a distributed work queue: execute CI-test shards and "
+             "experiment legs published by remote-mode dispatchers")
+    worker.add_argument("--queue", required=True, metavar="SPEC",
+                        help="work queue to serve: a filesystem spool "
+                             "directory (shared with the dispatcher) or "
+                             "tcp://host:port of a queue server")
+    worker.add_argument("--store", default=None, metavar="DIR",
+                        help="experiment-store root: CI verdicts this "
+                             "worker computes are merge-saved there so the "
+                             "shared tree warm-starts later runs")
+    worker.add_argument("--id", default="", metavar="NAME", dest="worker_id",
+                        help="worker name stamped on claims (default: "
+                             "pid-derived)")
+    worker.add_argument("--max-idle", type=float, default=None, metavar="S",
+                        help="exit after this many seconds without a "
+                             "claimable task (default: serve forever)")
+    worker.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                        help="exit after executing N tasks (worker "
+                             "rotation; default: unlimited)")
+    worker.add_argument("--lease", type=float, default=None, metavar="S",
+                        help="spool lease seconds before an unheartbeaten "
+                             "claim is reclaimed (default: "
+                             "REPRO_CI_REMOTE_LEASE)")
+    _add_backend_flag(worker)
 
     calibrate = sub.add_parser(
         "calibrate",
@@ -285,12 +322,22 @@ def cmd_suite(args: argparse.Namespace) -> int:
                        subsets=args.subsets, n_train=args.n_train,
                        n_test=args.n_test)
     result = run_suite(legs, store=args.store, jobs=args.jobs,
-                       mp_context=args.mp_context)
+                       mp_context=args.mp_context, queue=args.queue)
+    mode = "remote worker(s)" if args.queue else \
+        f"{result.jobs} worker(s)"
     print(render_table(
         result.table(),
         title=f"Suite: {len(result.outcomes)} legs, "
-              f"{result.jobs} worker(s), {result.seconds:.1f}s"))
+              f"{mode}, {result.seconds:.1f}s"))
     return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distributed.worker import run_worker
+
+    return run_worker(args.queue, store=args.store,
+                      worker_id=args.worker_id, max_idle=args.max_idle,
+                      max_tasks=args.max_tasks, lease=args.lease)
 
 
 def cmd_calibrate(args: argparse.Namespace) -> int:
@@ -367,7 +414,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     _apply_backend(args)
     handlers = {"select": cmd_select, "evaluate": cmd_evaluate,
                 "suite": cmd_suite, "calibrate": cmd_calibrate,
-                "lint": cmd_lint, "datasets": cmd_datasets}
+                "worker": cmd_worker, "lint": cmd_lint,
+                "datasets": cmd_datasets}
     return handlers[args.command](args)
 
 

@@ -1,0 +1,116 @@
+"""Submission-side primitives: batch dispatch and the wait/reclaim loop.
+
+:func:`collect` is the one polling loop every dispatcher rides — the
+:class:`~repro.ci.executor.RemoteExecutor` for CI shards,
+:func:`remote_map` for whole experiment legs.  It owns the robustness
+half of the distribution contract: while waiting it keeps reclaiming
+expired leases (so a dead worker's tasks requeue even when no other
+worker is scanning), raises the *first* failure as soon as its payload
+lands (cancelling still-pending siblings), and times out explicitly
+rather than wedging.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import uuid
+from typing import Callable, Sequence
+
+from repro import env
+from repro.distributed.queue import Task, WorkQueue, decode_result
+from repro.exceptions import RemoteTaskError
+
+__all__ = ["collect", "remote_map", "submit_batch"]
+
+
+def _timing(timeout: float | None, poll: float | None) -> tuple[float, float]:
+    if timeout is None:
+        timeout = env.CI_REMOTE_TIMEOUT.read_float() or 0.0
+    if poll is None:
+        poll = env.CI_REMOTE_POLL.read_float() or 0.05
+    return float(timeout), max(float(poll), 1e-4)
+
+
+def batch_id() -> str:
+    """A fresh dispatch-batch id (task ids are ``<batch>-<index>``)."""
+    return uuid.uuid4().hex[:12]
+
+
+def submit_batch(queue: WorkQueue, payloads: Sequence[bytes],
+                 context_id: str = "") -> list[str]:
+    """Enqueue one task per payload; returns the task ids in order."""
+    batch = batch_id()
+    task_ids = [f"{batch}-{index:05d}" for index in range(len(payloads))]
+    for task_id, payload in zip(task_ids, payloads):
+        queue.submit(Task(task_id=task_id, context_id=context_id,
+                          payload=payload))
+    return task_ids
+
+
+def collect(queue: WorkQueue, task_ids: Sequence[str],
+            timeout: float | None = None,
+            poll: float | None = None) -> list:
+    """Wait for every task and return the decoded values in task order.
+
+    The first failure payload to arrive is raised immediately (its
+    pending siblings are cancelled best-effort — claimed ones finish
+    and their results are simply never read).  ``timeout`` bounds the
+    whole batch (``0``/``None``-resolved-to-0 waits forever); expiry
+    raises :class:`RemoteTaskError` after cancelling what it can.
+    """
+    timeout, poll = _timing(timeout, poll)
+    deadline = (time.monotonic() + timeout) if timeout > 0 else None
+    outstanding = [task_id for task_id in task_ids]
+    values: dict[str, object] = {}
+    while outstanding:
+        progressed = False
+        for task_id in list(outstanding):
+            payload = queue.result(task_id)
+            if payload is None:
+                continue
+            progressed = True
+            outstanding.remove(task_id)
+            try:
+                values[task_id] = decode_result(payload)
+            except BaseException:
+                for sibling in outstanding:
+                    queue.cancel(sibling)
+                raise
+        if not outstanding:
+            break
+        # Keep the batch alive past worker deaths: requeue expired
+        # leases ourselves instead of hoping a surviving worker does.
+        queue.reclaim_expired()
+        if deadline is not None and time.monotonic() > deadline:
+            for sibling in outstanding:
+                queue.cancel(sibling)
+            raise RemoteTaskError(
+                f"timed out after {timeout:g}s waiting for "
+                f"{len(outstanding)}/{len(task_ids)} remote task(s); "
+                "are any workers attached to this queue?")
+        if not progressed:
+            time.sleep(poll)
+    return [values[task_id] for task_id in task_ids]
+
+
+def remote_map(fn: Callable, items: Sequence, queue: WorkQueue,
+               timeout: float | None = None,
+               poll: float | None = None) -> list:
+    """Distributed ``map``: one self-contained call task per item.
+
+    ``fn`` must be picklable *by reference from the library or the
+    standard library* (a module-level function or ``functools.partial``
+    of one) — workers are separate processes that import it, they do not
+    share the dispatcher's in-memory state.  Results come back in item
+    order; the first worker exception re-raises here as-is (workers
+    attribute their own errors, exactly like the process-pool path).
+    """
+    items = list(items)
+    if not items:
+        return []
+    payloads = [pickle.dumps({"kind": "call", "fn": fn, "item": item},
+                             protocol=pickle.HIGHEST_PROTOCOL)
+                for item in items]
+    task_ids = submit_batch(queue, payloads)
+    return collect(queue, task_ids, timeout=timeout, poll=poll)

@@ -1,0 +1,706 @@
+"""Transport-agnostic work queues for distributed execution.
+
+A queue carries three kinds of objects, all opaque byte payloads to the
+transport:
+
+* **contexts** — large shared state published once per
+  ``(tester, table)`` pair (the pickled pair itself), referenced by
+  content-derived id from many tasks.  Memory-mapped tables pickle as
+  *paths*, so a context stays small and workers reopen the maps
+  read-only.
+* **tasks** — units of work (a CI-query shard referencing a context, or
+  a self-contained call).  Tasks are claimed by exactly one worker at a
+  time; a claim carries a *lease* that the worker heartbeats while
+  executing.
+* **results** — one payload per finished task id.
+
+Robustness contract (shared by every transport):
+
+* **Claim atomicity** — two workers can never both claim one task.  The
+  filesystem spool gets this from ``os.rename`` (the loser's source file
+  is gone); the in-memory/socket queue from a lock.
+* **Lease expiry / requeue** — a claimed task whose lease lapses (worker
+  died, was killed, lost the network) is *reclaimed*: requeued with its
+  attempt count bumped.  Reclaiming is cooperative — workers and waiting
+  dispatchers both call :meth:`WorkQueue.reclaim_expired` while polling,
+  so a dead worker never wedges a batch as long as anyone is alive.
+* **Retry budget** — a task that keeps expiring (``attempts`` exceeding
+  the queue's ``retries``) is failed *explicitly*: the queue posts a
+  :class:`~repro.exceptions.RemoteTaskError` failure result so the
+  dispatcher raises instead of waiting forever.
+* **Idempotent completion** — a reclaimed task may race its original
+  worker and complete twice.  That is safe by the determinism contract
+  (the same task payload always computes the same result; completion
+  atomically replaces the result file with identical bytes), which is
+  also why only ``process_safe`` testers are ever shipped.
+
+Payload conventions: :func:`encode_success` / :func:`encode_failure` /
+:func:`decode_result` wrap values and exceptions in a tagged pickle so
+failures travel as first-class results.  The socket transport carries
+pickles — use it only between mutually trusted hosts, exactly like
+``multiprocessing`` connections.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import socket
+import socketserver
+import struct
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, replace
+
+from repro import env
+from repro.exceptions import RemoteTaskError
+
+__all__ = [
+    "FileSpoolQueue",
+    "MemoryQueue",
+    "QueueServer",
+    "SocketQueue",
+    "Task",
+    "WorkQueue",
+    "decode_result",
+    "encode_failure",
+    "encode_success",
+    "queue_from_spec",
+]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of queued work.
+
+    ``context_id`` names a published context the payload references
+    (``""`` for self-contained tasks); ``attempts`` counts lease-expiry
+    requeues, not executions — the transport bumps it on reclaim.
+    """
+
+    task_id: str
+    context_id: str
+    payload: bytes
+    attempts: int = 0
+
+
+def encode_success(value) -> bytes:
+    """Wrap a computed value as a success result payload."""
+    return pickle.dumps((True, value), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def encode_failure(error: BaseException) -> bytes:
+    """Wrap an exception as a failure result payload.
+
+    Falls back to a :class:`RemoteTaskError` carrying ``repr(error)``
+    when the original exception does not survive pickling — a failure
+    must never be silently droppable.
+    """
+    try:
+        return pickle.dumps((False, error),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return pickle.dumps(
+            (False, RemoteTaskError(f"unpicklable worker error: {error!r}")),
+            protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_result(payload: bytes):
+    """Unwrap a result payload: return the value or raise the failure."""
+    ok, value = pickle.loads(payload)
+    if ok:
+        return value
+    raise value
+
+
+def _queue_defaults(lease: float | None, retries: int | None,
+                    ) -> tuple[float, int]:
+    if lease is None:
+        lease = env.CI_REMOTE_LEASE.read_float() or 30.0
+    if retries is None:
+        retries = env.CI_REMOTE_RETRIES.read_int(minimum=0)
+        retries = 2 if retries is None else retries
+    if lease <= 0:
+        raise RemoteTaskError(f"lease must be > 0 seconds, got {lease}")
+    return float(lease), int(retries)
+
+
+class WorkQueue:
+    """The transport interface dispatchers and workers share.
+
+    Implementations must make :meth:`claim` exclusive, :meth:`complete` /
+    :meth:`put_context` atomic (a reader never sees a partial payload),
+    and :meth:`reclaim_expired` enforce the lease/retry contract in the
+    module docstring.
+    """
+
+    def put_context(self, context_id: str, payload: bytes) -> None:
+        """Publish shared state under ``context_id`` (idempotent)."""
+        raise NotImplementedError
+
+    def get_context(self, context_id: str) -> bytes | None:
+        """The published payload, or ``None`` when never published."""
+        raise NotImplementedError
+
+    def submit(self, task: Task) -> None:
+        """Enqueue one task for any worker to claim."""
+        raise NotImplementedError
+
+    def claim(self, worker_id: str = "") -> Task | None:
+        """Exclusively claim one pending task (``None`` when idle).
+
+        The claim starts a lease; the worker must :meth:`extend` it while
+        executing or risk a requeue.
+        """
+        raise NotImplementedError
+
+    def extend(self, task_id: str) -> None:
+        """Heartbeat: re-arm the lease of a task this worker holds."""
+        raise NotImplementedError
+
+    def complete(self, task_id: str, payload: bytes) -> None:
+        """Post the result for ``task_id`` and retire its queue entries."""
+        raise NotImplementedError
+
+    def result(self, task_id: str) -> bytes | None:
+        """The posted result payload, or ``None`` while outstanding."""
+        raise NotImplementedError
+
+    def cancel(self, task_id: str) -> None:
+        """Best-effort removal of a still-pending task (no-op if claimed,
+        completed, or unknown)."""
+        raise NotImplementedError
+
+    def reclaim_expired(self) -> int:
+        """Requeue lease-expired claims (bumping ``attempts``); fail
+        tasks past their retry budget.  Returns how many were requeued."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (idempotent)."""
+
+    def __enter__(self) -> "WorkQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _budget_failure(task: Task, retries: int) -> bytes:
+    error = RemoteTaskError(
+        f"remote task {task.task_id} lost its worker "
+        f"{task.attempts + 1} time(s) and exhausted its retry budget "
+        f"({retries}); a worker kept dying on it or the lease is shorter "
+        "than the task")
+    return encode_failure(error)
+
+
+class FileSpoolQueue(WorkQueue):
+    """Filesystem spool: a queue any shared directory can host.
+
+    Layout under ``root`` (all writes are temp-file + ``os.replace``, the
+    store module's merge-on-save discipline minus the merge — payloads
+    are immutable)::
+
+        context/<context_id>.pkl
+        tasks/<task_id>@<attempts>.task     pending, claim = rename
+        claimed/<task_id>@<attempts>.task   leased; mtime = last heartbeat
+        results/<task_id>.result
+
+    A claim is one ``os.rename`` from ``tasks/`` to ``claimed/`` — atomic
+    on POSIX, and exclusive because the loser's source path is gone.  The
+    lease clock is the claimed file's mtime: :meth:`extend` touches it,
+    :meth:`reclaim_expired` renames stale files back to ``tasks/`` with
+    the attempt counter (encoded in the filename) bumped.
+    """
+
+    def __init__(self, root: str | os.PathLike, lease: float | None = None,
+                 retries: int | None = None) -> None:
+        self.root = os.fspath(root)
+        self.lease, self.retries = _queue_defaults(lease, retries)
+        for name in ("context", "tasks", "claimed", "results"):
+            os.makedirs(os.path.join(self.root, name), exist_ok=True)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _dir(self, kind: str) -> str:
+        return os.path.join(self.root, kind)
+
+    def _write_atomic(self, directory: str, name: str,
+                      payload: bytes) -> None:
+        descriptor, tmp_path = tempfile.mkstemp(dir=directory,
+                                                prefix=".spool-",
+                                                suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_path, os.path.join(directory, name))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _read(path: str) -> bytes | None:
+        try:
+            with open(path, "rb") as handle:
+                return handle.read()
+        except (FileNotFoundError, OSError):
+            return None
+
+    @staticmethod
+    def _parse_entry(name: str) -> tuple[str, int] | None:
+        if not name.endswith(".task") or "@" not in name:
+            return None
+        task_id, _, attempts = name[:-len(".task")].rpartition("@")
+        try:
+            return task_id, int(attempts)
+        except ValueError:
+            return None
+
+    @staticmethod
+    def _entry_name(task_id: str, attempts: int) -> str:
+        if "@" in task_id or "/" in task_id or os.sep in task_id:
+            raise RemoteTaskError(f"invalid task id {task_id!r}")
+        return f"{task_id}@{attempts}.task"
+
+    # -- contexts ------------------------------------------------------------
+
+    def put_context(self, context_id: str, payload: bytes) -> None:
+        self._write_atomic(self._dir("context"), f"{context_id}.pkl",
+                           payload)
+
+    def get_context(self, context_id: str) -> bytes | None:
+        return self._read(os.path.join(self._dir("context"),
+                                       f"{context_id}.pkl"))
+
+    # -- tasks ---------------------------------------------------------------
+
+    def submit(self, task: Task) -> None:
+        body = pickle.dumps(
+            {"task_id": task.task_id, "context_id": task.context_id,
+             "payload": task.payload}, protocol=pickle.HIGHEST_PROTOCOL)
+        self._write_atomic(self._dir("tasks"),
+                           self._entry_name(task.task_id, task.attempts),
+                           body)
+
+    def claim(self, worker_id: str = "") -> Task | None:
+        tasks_dir, claimed_dir = self._dir("tasks"), self._dir("claimed")
+        try:
+            names = sorted(os.listdir(tasks_dir))
+        except OSError:
+            return None
+        for name in names:
+            parsed = self._parse_entry(name)
+            if parsed is None:
+                continue
+            source = os.path.join(tasks_dir, name)
+            target = os.path.join(claimed_dir, name)
+            try:
+                os.rename(source, target)
+            except OSError:
+                continue  # another worker won this one
+            os.utime(target)  # lease starts now, not at submission
+            body = self._read(target)
+            if body is None:  # pragma: no cover - claim/complete race
+                continue
+            data = pickle.loads(body)
+            return Task(task_id=data["task_id"],
+                        context_id=data["context_id"],
+                        payload=data["payload"], attempts=parsed[1])
+        return None
+
+    def extend(self, task_id: str) -> None:
+        for name in self._entries_for(self._dir("claimed"), task_id):
+            try:
+                os.utime(os.path.join(self._dir("claimed"), name))
+            except OSError:
+                pass
+
+    def complete(self, task_id: str, payload: bytes) -> None:
+        self._write_atomic(self._dir("results"), f"{task_id}.result",
+                           payload)
+        # Retire every copy of the task (a reclaimed duplicate may still
+        # sit pending) so no worker re-runs already-answered work.
+        for kind in ("claimed", "tasks"):
+            for name in self._entries_for(self._dir(kind), task_id):
+                try:
+                    os.unlink(os.path.join(self._dir(kind), name))
+                except OSError:
+                    pass
+
+    def result(self, task_id: str) -> bytes | None:
+        return self._read(os.path.join(self._dir("results"),
+                                       f"{task_id}.result"))
+
+    def cancel(self, task_id: str) -> None:
+        for name in self._entries_for(self._dir("tasks"), task_id):
+            try:
+                os.unlink(os.path.join(self._dir("tasks"), name))
+            except OSError:
+                pass
+
+    def _entries_for(self, directory: str, task_id: str) -> list[str]:
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return []
+        return [name for name in names
+                if (parsed := self._parse_entry(name)) is not None
+                and parsed[0] == task_id]
+
+    def reclaim_expired(self) -> int:
+        claimed_dir, tasks_dir = self._dir("claimed"), self._dir("tasks")
+        requeued = 0
+        now = time.time()
+        try:
+            names = sorted(os.listdir(claimed_dir))
+        except OSError:
+            return 0
+        for name in names:
+            parsed = self._parse_entry(name)
+            if parsed is None:
+                continue
+            path = os.path.join(claimed_dir, name)
+            try:
+                age = now - os.stat(path).st_mtime
+            except OSError:
+                continue  # completed (or reclaimed) under us
+            if age <= self.lease:
+                continue
+            task_id, attempts = parsed
+            if attempts >= self.retries:
+                body = self._read(path)
+                if body is not None:
+                    data = pickle.loads(body)
+                    task = Task(task_id=data["task_id"],
+                                context_id=data["context_id"],
+                                payload=data["payload"], attempts=attempts)
+                    self.complete(task_id, _budget_failure(task,
+                                                           self.retries))
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                continue
+            target = os.path.join(tasks_dir,
+                                  self._entry_name(task_id, attempts + 1))
+            try:
+                os.rename(path, target)
+            except OSError:
+                continue
+            requeued += 1
+        return requeued
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FileSpoolQueue({self.root!r}, lease={self.lease}, "
+                f"retries={self.retries})")
+
+
+class MemoryQueue(WorkQueue):
+    """In-process queue (the socket server's backing store, and the
+    cheapest substrate for same-process worker threads)."""
+
+    def __init__(self, lease: float | None = None,
+                 retries: int | None = None) -> None:
+        self.lease, self.retries = _queue_defaults(lease, retries)
+        self._lock = threading.RLock()
+        self._contexts: dict[str, bytes] = {}
+        self._pending: list[Task] = []
+        self._claimed: dict[str, tuple[Task, float]] = {}
+        self._results: dict[str, bytes] = {}
+
+    def put_context(self, context_id: str, payload: bytes) -> None:
+        with self._lock:
+            self._contexts[context_id] = payload
+
+    def get_context(self, context_id: str) -> bytes | None:
+        with self._lock:
+            return self._contexts.get(context_id)
+
+    def submit(self, task: Task) -> None:
+        with self._lock:
+            self._pending.append(task)
+
+    def claim(self, worker_id: str = "") -> Task | None:
+        with self._lock:
+            if not self._pending:
+                return None
+            task = self._pending.pop(0)
+            self._claimed[task.task_id] = (task, time.monotonic())
+            return task
+
+    def extend(self, task_id: str) -> None:
+        with self._lock:
+            entry = self._claimed.get(task_id)
+            if entry is not None:
+                self._claimed[task_id] = (entry[0], time.monotonic())
+
+    def complete(self, task_id: str, payload: bytes) -> None:
+        with self._lock:
+            self._results[task_id] = payload
+            self._claimed.pop(task_id, None)
+            self._pending = [task for task in self._pending
+                             if task.task_id != task_id]
+
+    def result(self, task_id: str) -> bytes | None:
+        with self._lock:
+            return self._results.get(task_id)
+
+    def cancel(self, task_id: str) -> None:
+        with self._lock:
+            self._pending = [task for task in self._pending
+                             if task.task_id != task_id]
+
+    def reclaim_expired(self) -> int:
+        with self._lock:
+            now = time.monotonic()
+            requeued = 0
+            for task_id in list(self._claimed):
+                task, claimed_at = self._claimed[task_id]
+                if now - claimed_at <= self.lease:
+                    continue
+                del self._claimed[task_id]
+                if task.attempts >= self.retries:
+                    self._results[task_id] = _budget_failure(task,
+                                                             self.retries)
+                else:
+                    self._pending.append(
+                        replace(task, attempts=task.attempts + 1))
+                    requeued += 1
+            return requeued
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MemoryQueue(lease={self.lease}, retries={self.retries}, "
+                f"pending={len(self._pending)})")
+
+
+# -- socket transport --------------------------------------------------------
+#
+# A tiny framed-pickle RPC: request = (op, kwargs), response = (ok, value).
+# One persistent connection per client, one server thread per connection.
+
+_FRAME = struct.Struct(">I")
+_MAX_FRAME = 1 << 30
+
+
+def _send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(_FRAME.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    buffer = io.BytesIO()
+    while buffer.tell() < n:
+        chunk = sock.recv(n - buffer.tell())
+        if not chunk:
+            return None
+        buffer.write(chunk)
+    return buffer.getvalue()
+
+
+def _recv_frame(sock: socket.socket) -> bytes | None:
+    header = _recv_exact(sock, _FRAME.size)
+    if header is None:
+        return None
+    (length,) = _FRAME.unpack(header)
+    if length > _MAX_FRAME:
+        raise RemoteTaskError(f"oversized queue frame: {length} bytes")
+    return _recv_exact(sock, length)
+
+
+#: WorkQueue methods the socket transport proxies verbatim.
+_RPC_OPS = ("put_context", "get_context", "submit", "claim", "extend",
+            "complete", "result", "cancel", "reclaim_expired")
+
+
+class _QueueRequestHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:
+        while True:
+            try:
+                frame = _recv_frame(self.request)
+            except (OSError, RemoteTaskError):
+                return
+            if frame is None:
+                return
+            try:
+                op, kwargs = pickle.loads(frame)
+                if op not in _RPC_OPS:
+                    raise RemoteTaskError(f"unknown queue op {op!r}")
+                value = getattr(self.server.queue, op)(**kwargs)
+                response = (True, value)
+            except Exception as exc:  # ship the failure, keep serving
+                response = (False, exc)
+            try:
+                _send_frame(self.request, pickle.dumps(
+                    response, protocol=pickle.HIGHEST_PROTOCOL))
+            except OSError:
+                return
+
+
+class _QueueTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, queue: WorkQueue) -> None:
+        super().__init__(address, _QueueRequestHandler)
+        self.queue = queue
+
+
+class QueueServer:
+    """Serve a :class:`WorkQueue` over TCP (one box fronting a cluster).
+
+    Wraps any queue — a :class:`MemoryQueue` by default, or a
+    :class:`FileSpoolQueue` to make a spool reachable off-box.  Start it,
+    hand :attr:`address` (``tcp://host:port``) to dispatchers and
+    ``python -m repro worker --queue tcp://...`` processes, and every
+    :class:`SocketQueue` client speaks to the same state.
+    """
+
+    def __init__(self, queue: WorkQueue | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 lease: float | None = None,
+                 retries: int | None = None) -> None:
+        self.queue = queue if queue is not None else MemoryQueue(
+            lease=lease, retries=retries)
+        self._server = _QueueTCPServer((host, port), self.queue)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"tcp://{host}:{port}"
+
+    def start(self) -> "QueueServer":
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="repro-queue-server",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "QueueServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class SocketQueue(WorkQueue):
+    """Client half of the socket transport: a :class:`WorkQueue` whose
+    every method is one RPC to a :class:`QueueServer`.
+
+    The executor and worker never know which transport they ride — this
+    class and :class:`FileSpoolQueue` are interchangeable behind
+    :class:`WorkQueue`.  Lease policy lives server-side.
+    """
+
+    def __init__(self, address: str, timeout: float = 30.0) -> None:
+        self.address = address
+        host, _, port = address.removeprefix("tcp://").rpartition(":")
+        if not host or not port.isdigit():
+            raise RemoteTaskError(
+                f"malformed socket queue address {address!r}; expected "
+                "tcp://host:port")
+        self._endpoint = (host, int(port))
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(self._endpoint,
+                                                  timeout=self._timeout)
+        return self._sock
+
+    def _call(self, op: str, **kwargs):
+        request = pickle.dumps((op, kwargs),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            for retry in (True, False):
+                try:
+                    sock = self._connect()
+                    _send_frame(sock, request)
+                    frame = _recv_frame(sock)
+                    if frame is None:
+                        raise OSError("queue server closed the connection")
+                    break
+                except OSError:
+                    self._drop_connection()
+                    if not retry:
+                        raise RemoteTaskError(
+                            f"queue server at {self.address} is "
+                            "unreachable") from None
+        ok, value = pickle.loads(frame)
+        if not ok:
+            raise value
+        return value
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def put_context(self, context_id: str, payload: bytes) -> None:
+        self._call("put_context", context_id=context_id, payload=payload)
+
+    def get_context(self, context_id: str) -> bytes | None:
+        return self._call("get_context", context_id=context_id)
+
+    def submit(self, task: Task) -> None:
+        self._call("submit", task=task)
+
+    def claim(self, worker_id: str = "") -> Task | None:
+        return self._call("claim", worker_id=worker_id)
+
+    def extend(self, task_id: str) -> None:
+        self._call("extend", task_id=task_id)
+
+    def complete(self, task_id: str, payload: bytes) -> None:
+        self._call("complete", task_id=task_id, payload=payload)
+
+    def result(self, task_id: str) -> bytes | None:
+        return self._call("result", task_id=task_id)
+
+    def cancel(self, task_id: str) -> None:
+        self._call("cancel", task_id=task_id)
+
+    def reclaim_expired(self) -> int:
+        return self._call("reclaim_expired")
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_connection()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SocketQueue({self.address!r})"
+
+
+def queue_from_spec(spec: "str | os.PathLike | WorkQueue",
+                    lease: float | None = None,
+                    retries: int | None = None) -> WorkQueue:
+    """Resolve a queue spec: a :class:`WorkQueue` passes through,
+    ``tcp://host:port`` opens a :class:`SocketQueue`, anything else is a
+    :class:`FileSpoolQueue` spool directory."""
+    if isinstance(spec, WorkQueue):
+        return spec
+    spec = os.fspath(spec)
+    if not spec:
+        raise RemoteTaskError(
+            "empty work-queue spec; set REPRO_CI_REMOTE_QUEUE (or pass "
+            "--queue) to a spool directory or tcp://host:port")
+    if spec.startswith("tcp://"):
+        return SocketQueue(spec)
+    return FileSpoolQueue(spec, lease=lease, retries=retries)

@@ -1,0 +1,333 @@
+"""The remote worker: claim → execute → complete, with lease heartbeats.
+
+A worker process (``python -m repro worker --queue <spec>``) pulls tasks
+from a :class:`~repro.distributed.queue.WorkQueue` and executes them:
+
+* **shard tasks** (from :class:`~repro.ci.executor.RemoteExecutor`)
+  reference a published ``(tester, table)`` context — unpickled once per
+  context and cached; memory-mapped tables ship as paths and reopen
+  read-only here — and run through the same ``_run_shard`` helper the
+  in-process pools use, so the error contract (failures as
+  :class:`~repro.exceptions.CITestError` with ``error.query`` attached)
+  is byte-for-byte the pooled one.  With ``--store`` the worker
+  additionally syncs computed verdicts into that experiment store's
+  per-namespace :class:`~repro.ci.store.PersistentCICache`
+  (merge-on-save, so concurrent workers lose nothing): the shared tree
+  warm-starts later runs even when the dispatcher dies before saving.
+* **call tasks** (from :func:`~repro.distributed.dispatch.remote_map`)
+  are self-contained pickled ``fn(item)`` invocations — how whole
+  experiment legs distribute; legs open their own store on the shared
+  root and merge-save exactly as process-pool legs do.
+
+While executing, a heartbeat thread keeps extending the task's lease, so
+only a *dead* worker's tasks get reclaimed — a slow task is never
+spuriously duplicated.  Every task executes under the worker-mode guard
+(:func:`repro.ci.executor.worker_mode`): a leg that would itself consult
+``REPRO_CI_EXECUTOR=remote`` runs its CI batches serially instead of
+re-dispatching into the queue it is being served from (which could
+deadlock a finite worker pool).
+
+Results are deterministic by the executor/store contracts, which is what
+makes at-least-once delivery safe: a reclaimed task re-executed elsewhere
+completes with identical bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+import time
+import uuid
+from typing import Sequence
+
+from repro import env
+from repro.ci.executor import (RemoteExecutor, _run_shard,
+                               worker_mode_scope)
+from repro.distributed.queue import (FileSpoolQueue, Task, WorkQueue,
+                                     encode_failure, encode_success,
+                                     queue_from_spec)
+from repro.exceptions import RemoteTaskError
+
+__all__ = ["WorkerThread", "local_remote_executor", "run_worker",
+           "worker_loop"]
+
+#: Loaded (tester, table) contexts a worker keeps warm at once.  Shards
+#: of one selection run share one context; a small cache covers suites
+#: interleaving a few tables without pinning every table ever shipped.
+CONTEXT_CACHE_SIZE = 4
+
+
+def _load_context(queue: WorkQueue, context_id: str,
+                  cache: dict[str, tuple]) -> tuple:
+    """The unpickled ``(tester, table)`` pair for ``context_id``.
+
+    Mirrors ``_process_worker_init``: a tester shipped with its own
+    executor runs sub-batches serially here (never nest pools), and the
+    table re-warms the shipped column names so every shard of the
+    context shares warm process-local caches.
+    """
+    loaded = cache.get(context_id)
+    if loaded is not None:
+        return loaded
+    payload = queue.get_context(context_id)
+    if payload is None:
+        raise RemoteTaskError(
+            f"task references unpublished context {context_id!r}; the "
+            "dispatcher publishes contexts before submitting, so this "
+            "spool is stale or foreign")
+    data = pickle.loads(payload)
+    tester, table = data["tester"], data["table"]
+    if getattr(tester, "executor", None) is not None:
+        tester.executor = None
+    table.warm_cache([name for name in data.get("warm", ())
+                      if name in table])
+    while len(cache) >= CONTEXT_CACHE_SIZE:
+        cache.pop(next(iter(cache)))
+    cache[context_id] = (tester, table)
+    return tester, table
+
+
+def _sync_store(store_root: str | None, namespace: str | None,
+                tester, table, queries: Sequence, results: Sequence,
+                stores: dict) -> None:
+    """Merge computed verdicts into the shared store's namespace cache.
+
+    Best-effort by design: the results already travel back through the
+    queue, so a store hiccup must never fail the task — it only costs
+    warm-start coverage.
+    """
+    if store_root is None or namespace is None:
+        return
+    from repro.ci.store import ExperimentStore
+
+    try:
+        store = stores.get(store_root)
+        if store is None:
+            store = stores[store_root] = ExperimentStore(store_root)
+        cache = store.ci_cache(namespace)
+        token = tuple(tester.cache_token())
+        for query, result in zip(queries, results):
+            cache.put(table.fingerprint, query.key, tester.method,
+                      tester.alpha,
+                      {"independent": result.independent,
+                       "p_value": result.p_value,
+                       "statistic": result.statistic,
+                       "method": result.method},
+                      token=token)
+        cache.save()
+    except Exception:
+        pass
+
+
+def _execute(queue: WorkQueue, task: Task, store_root: str | None,
+             contexts: dict, stores: dict) -> bytes:
+    """Run one task to a result payload; failures become failure payloads."""
+    try:
+        with worker_mode_scope():
+            data = pickle.loads(task.payload)
+            kind = data.get("kind")
+            if kind == "call":
+                return encode_success(data["fn"](data["item"]))
+            if kind == "shard":
+                tester, table = _load_context(queue, task.context_id,
+                                              contexts)
+                queries = data["queries"]
+                results = _run_shard(tester, table, queries)
+                _sync_store(store_root, data.get("namespace"), tester,
+                            table, queries, results, stores)
+                return encode_success(results)
+            raise RemoteTaskError(f"unknown task kind {kind!r}")
+    except Exception as exc:
+        return encode_failure(exc)
+
+
+class _Heartbeat:
+    """Extends a claimed task's lease on a side thread while it runs."""
+
+    def __init__(self, queue: WorkQueue, task_id: str,
+                 interval: float) -> None:
+        self._queue = queue
+        self._task_id = task_id
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-heartbeat-{task_id}",
+            daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval()):
+            try:
+                self._queue.extend(self._task_id)
+            except Exception:
+                return  # a dead queue ends the lease with the worker
+
+    def _interval(self) -> float:
+        return self._heartbeat_interval(self._queue)
+
+    @staticmethod
+    def _heartbeat_interval(queue: WorkQueue) -> float:
+        lease = getattr(queue, "lease", None)
+        if lease is None:
+            lease = env.CI_REMOTE_LEASE.read_float() or 30.0
+        return max(float(lease) / 3.0, 0.05)
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5)
+
+
+def worker_loop(queue: WorkQueue, worker_id: str = "",
+                store_root: str | os.PathLike | None = None,
+                max_idle: float | None = None,
+                max_tasks: int | None = None,
+                poll: float | None = None,
+                stop: threading.Event | None = None) -> int:
+    """Serve tasks from ``queue`` until told (or idled) to stop.
+
+    ``max_idle`` bounds how long the worker waits without claiming
+    anything (``None`` = forever); ``max_tasks`` caps executions (worker
+    rotation, and deterministic tests); ``stop`` is an external kill
+    switch.  Returns the number of tasks executed.  The loop never dies
+    on a failing task — failures are posted as results — and it keeps
+    reclaiming expired sibling leases while idle, so one surviving
+    worker heals a peer's death.
+    """
+    worker_id = worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+    if poll is None:
+        poll = env.CI_REMOTE_POLL.read_float() or 0.05
+    store_root = os.fspath(store_root) if store_root is not None else None
+    contexts: dict[str, tuple] = {}
+    stores: dict[str, object] = {}
+    executed = 0
+    idle_deadline = (time.monotonic() + max_idle
+                     if max_idle is not None else None)
+    while stop is None or not stop.is_set():
+        task = queue.claim(worker_id)
+        if task is None:
+            if queue.reclaim_expired():
+                continue  # something just became claimable
+            if (idle_deadline is not None
+                    and time.monotonic() > idle_deadline):
+                break
+            if stop is not None:
+                stop.wait(poll)
+            else:
+                time.sleep(poll)
+            continue
+        heartbeat = _Heartbeat(queue, task.task_id,
+                               _Heartbeat._heartbeat_interval(queue))
+        try:
+            payload = _execute(queue, task, store_root, contexts, stores)
+        finally:
+            heartbeat.stop()
+        queue.complete(task.task_id, payload)
+        executed += 1
+        if max_idle is not None:
+            idle_deadline = time.monotonic() + max_idle
+        if max_tasks is not None and executed >= max_tasks:
+            break
+    return executed
+
+
+def run_worker(queue_spec: str, store: str | None = None,
+               worker_id: str = "", max_idle: float | None = None,
+               max_tasks: int | None = None,
+               poll: float | None = None,
+               lease: float | None = None) -> int:
+    """CLI entry point body for ``python -m repro worker``."""
+    queue = queue_from_spec(queue_spec, lease=lease)
+    try:
+        worker_loop(queue, worker_id=worker_id, store_root=store,
+                    max_idle=max_idle, max_tasks=max_tasks, poll=poll)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        queue.close()
+    return 0
+
+
+class WorkerThread:
+    """A worker loop on a daemon thread (single-box distributed mode).
+
+    Serves the same queues as worker *processes* — tasks still make the
+    full pickle round-trip through the transport — without process
+    start-up cost.  Used by :func:`local_remote_executor`, benchmarks,
+    and anywhere a dispatcher wants to guarantee at least one worker.
+    """
+
+    def __init__(self, queue: WorkQueue,
+                 store_root: str | os.PathLike | None = None,
+                 poll: float = 0.01, worker_id: str = "") -> None:
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=worker_loop, name="repro-worker",
+            kwargs=dict(queue=queue, worker_id=worker_id,
+                        store_root=store_root, poll=poll,
+                        stop=self._stop),
+            daemon=True)
+
+    def start(self) -> "WorkerThread":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=10)
+
+    def __enter__(self) -> "WorkerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class _LocalRemoteExecutor(RemoteExecutor):
+    """A RemoteExecutor owning its spool and worker threads."""
+
+    def __init__(self, workers: list[WorkerThread],
+                 owned_root: str | None, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._workers = workers
+        self._owned_root = owned_root
+
+    def close(self) -> None:
+        super().close()
+        for worker in self._workers:
+            worker.stop()
+        self._workers = []
+        if self._owned_root is not None:
+            import shutil
+
+            shutil.rmtree(self._owned_root, ignore_errors=True)
+            self._owned_root = None
+
+
+def local_remote_executor(n_workers: int = 1,
+                          root: str | os.PathLike | None = None,
+                          min_batch: int = 16,
+                          lease: float | None = None,
+                          retries: int | None = None,
+                          timeout: float | None = None,
+                          allow_foreign: bool = True,
+                          store_root: str | os.PathLike | None = None,
+                          ) -> RemoteExecutor:
+    """A ready-to-run remote executor over a local spool + worker threads.
+
+    The single-box "distributed" configuration: a fresh filesystem spool
+    (a temp directory when ``root`` is ``None`` — removed again on
+    ``close()``), ``n_workers`` worker threads serving it, and a
+    :class:`~repro.ci.executor.RemoteExecutor` dispatching to them.
+    ``allow_foreign`` defaults to ``True`` because same-process workers
+    can unpickle anything the dispatcher can.
+    """
+    owned_root = None
+    if root is None:
+        root = owned_root = tempfile.mkdtemp(prefix="repro-spool-")
+    queue = FileSpoolQueue(root, lease=lease, retries=retries)
+    workers = [WorkerThread(queue, store_root=store_root).start()
+               for _ in range(max(1, n_workers))]
+    return _LocalRemoteExecutor(
+        workers, owned_root, queue=queue, n_workers=max(1, n_workers),
+        min_batch=min_batch, timeout=timeout, allow_foreign=allow_foreign)

@@ -37,6 +37,11 @@ __all__ = [
     "CI_MP_CONTEXT",
     "CI_CALIBRATION",
     "CI_CHUNK_ROWS",
+    "CI_REMOTE_LEASE",
+    "CI_REMOTE_POLL",
+    "CI_REMOTE_QUEUE",
+    "CI_REMOTE_RETRIES",
+    "CI_REMOTE_TIMEOUT",
     "CI_WAVE_CELLS",
     "TABLE_BACKEND",
     "TABLE_RAM_CAP_MB",
@@ -137,7 +142,8 @@ CI_TESTER = _register(
 CI_EXECUTOR = _register(
     "REPRO_CI_EXECUTOR", "",
     "batch executor for cache-miss CI batches (`serial`/`threads`/"
-    "`process`); unset consults measured calibration, else serial")
+    "`process`/`remote`); unset consults measured calibration, else "
+    "serial")
 
 CI_JOBS = _register(
     "REPRO_CI_JOBS", "",
@@ -153,6 +159,33 @@ CI_CALIBRATION = _register(
     "REPRO_CI_CALIBRATION", "",
     "path to a calibration file for executor auto-tuning; consulted by "
     "`default_executor` when `REPRO_CI_EXECUTOR` is unset")
+
+CI_REMOTE_QUEUE = _register(
+    "REPRO_CI_REMOTE_QUEUE", "",
+    "work-queue spec the remote executor and `repro worker` ride: a "
+    "filesystem spool directory or `tcp://host:port`; unset disables "
+    "remote execution (`REPRO_CI_EXECUTOR=remote` then falls back to "
+    "serial only when chosen by calibration, and errors when explicit)")
+
+CI_REMOTE_LEASE = _register(
+    "REPRO_CI_REMOTE_LEASE", "30",
+    "seconds a claimed remote task may go without a worker heartbeat "
+    "before it is reclaimed and requeued")
+
+CI_REMOTE_RETRIES = _register(
+    "REPRO_CI_REMOTE_RETRIES", "2",
+    "requeue budget per remote task; a task whose lease expires this "
+    "many times beyond its first attempt fails the batch")
+
+CI_REMOTE_TIMEOUT = _register(
+    "REPRO_CI_REMOTE_TIMEOUT", "600",
+    "seconds a remote dispatcher waits for its batch before raising "
+    "(`0` waits forever)")
+
+CI_REMOTE_POLL = _register(
+    "REPRO_CI_REMOTE_POLL", "0.05",
+    "poll interval (seconds) remote queue clients sleep between "
+    "result/claim probes")
 
 CI_CHUNK_ROWS = _register(
     "REPRO_CI_CHUNK_ROWS", "",

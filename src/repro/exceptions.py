@@ -51,3 +51,12 @@ class SelectionError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class RemoteTaskError(ReproError):
+    """A remote work-queue task could not be completed.
+
+    Raised (or shipped back as a failure payload) when a task exhausts
+    its requeue budget, when a dispatcher times out waiting for results,
+    or when a queue transport is misconfigured.
+    """

@@ -134,10 +134,26 @@ class SuiteResult:
         return [outcome.row() for outcome in self.outcomes]
 
     def by_label(self, label: str) -> LegOutcome:
-        for outcome in self.outcomes:
-            if outcome.leg.label == label:
-                return outcome
-        raise KeyError(f"no outcome for leg {label!r}")
+        """The unique outcome whose ``leg.label`` matches ``label``.
+
+        A label collapses only ``dataset/algorithm/classifier`` — legs
+        differing in seed, tester, alpha, or sample counts share one
+        label (a seed sweep is routine), and silently returning "the
+        first" would hand back an arbitrary spec.  Ambiguity raises
+        ``KeyError`` instead; disambiguate by filtering ``outcomes`` on
+        the full ``leg`` spec.
+        """
+        matches = [outcome for outcome in self.outcomes
+                   if outcome.leg.label == label]
+        if not matches:
+            raise KeyError(f"no outcome for leg {label!r}")
+        if len(matches) > 1:
+            raise KeyError(
+                f"{len(matches)} outcomes share label {label!r} (legs "
+                "differing only in seed/tester/alpha/n_train collapse to "
+                "one label); filter .outcomes on the full leg spec "
+                "instead")
+        return matches[0]
 
 
 def expand_legs(datasets: Sequence[str], algorithms: Sequence[str] = ("grpsel",),
@@ -180,7 +196,7 @@ def _execute_leg(leg: ExperimentLeg,
 
 
 def map_parallel(fn: Callable, items: Sequence, jobs: int,
-                 mp_context: str = "spawn") -> list:
+                 mp_context: str = "spawn", queue=None) -> list:
     """Map ``fn`` over ``items``, ``jobs`` worker processes at a time.
 
     The driver's pool primitive, reused by
@@ -188,12 +204,28 @@ def map_parallel(fn: Callable, items: Sequence, jobs: int,
     picklable (a module-level function or a ``functools.partial`` of
     one).  ``jobs=1`` (or a single item) runs inline — no pool, the
     caller's process sees original exceptions directly.  Results come
-    back in item order; the first worker failure propagates as-is
-    (workers attribute their own errors, see :func:`_execute_leg`).
+    back in item order.
+
+    On the first worker failure the remaining *queued* items are
+    cancelled — the error propagates as-is (workers attribute their own
+    errors, see :func:`_execute_leg`) without first grinding through
+    every later item; only legs already in flight run to completion.
+
+    ``queue`` switches the pool out for a
+    :class:`~repro.distributed.queue.WorkQueue`: items dispatch as
+    self-contained call tasks (:func:`repro.distributed.dispatch
+    .remote_map`) executed by whatever workers serve that queue, and
+    ``jobs``/``mp_context`` are ignored — worker count is the queue's
+    business.  ``fn`` must then be importable by those workers (library
+    or stdlib), not merely picklable.
     """
     items = list(items)
     if jobs < 1:
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    if queue is not None and items:
+        from repro.distributed.dispatch import remote_map
+
+        return remote_map(fn, items, queue)
     if jobs == 1 or len(items) <= 1:
         return [fn(item) for item in items]
     import multiprocessing
@@ -202,13 +234,21 @@ def map_parallel(fn: Callable, items: Sequence, jobs: int,
             max_workers=min(jobs, len(items)),
             mp_context=multiprocessing.get_context(mp_context)) as pool:
         futures = [pool.submit(fn, item) for item in items]
-        return [future.result() for future in futures]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            # A failed leg must not execute every later leg first: drop
+            # the queued backlog now, let in-flight workers finish, and
+            # re-raise the original (already-attributed) error.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
 
 
 def run_suite(legs: Sequence[ExperimentLeg],
               store: ExperimentStore | str | os.PathLike | None = None,
               jobs: int | None = None,
-              mp_context: str = "spawn") -> SuiteResult:
+              mp_context: str = "spawn",
+              queue=None) -> SuiteResult:
     """Run every leg, ``jobs`` at a time in worker processes.
 
     ``store`` (an :class:`~repro.ci.store.ExperimentStore` or root path)
@@ -217,6 +257,14 @@ def run_suite(legs: Sequence[ExperimentLeg],
     selections without executing a single CI test.  ``jobs`` defaults to
     one worker per leg, capped at the CPU count; ``jobs=1`` runs inline
     (no pool), which is also the fallback for a single leg.
+
+    ``queue`` (a :class:`~repro.distributed.queue.WorkQueue` or a spec
+    string — spool directory or ``tcp://host:port``) runs the suite
+    *distributed* instead: legs travel as work-queue tasks to whatever
+    ``python -m repro worker`` processes serve that queue, each worker
+    opening its own store on the shared root exactly like a pool worker
+    would.  Results — verdicts, counts, reports — are identical to the
+    pooled and inline paths by the executor/store contracts.
 
     Legs are validated up front so misspelled names fail in the parent
     before any worker spawns.  Results come back in leg order.
@@ -249,9 +297,21 @@ def run_suite(legs: Sequence[ExperimentLeg],
     if jobs < 1:
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
 
+    work_queue = None
+    owns_queue = False
+    if queue is not None:
+        from repro.distributed.queue import queue_from_spec
+
+        work_queue = queue_from_spec(queue)
+        owns_queue = work_queue is not queue
     start = time.perf_counter()
     runner = functools.partial(_execute_leg, store_root=store_root)
-    outcomes = map_parallel(runner, legs, jobs, mp_context=mp_context)
+    try:
+        outcomes = map_parallel(runner, legs, jobs, mp_context=mp_context,
+                                queue=work_queue)
+    finally:
+        if owns_queue:
+            work_queue.close()
     return SuiteResult(outcomes=outcomes,
                        seconds=time.perf_counter() - start,
                        jobs=jobs)

@@ -13,9 +13,9 @@ import json
 import pytest
 
 from repro.ci.autotune import (CALIBRATION_TAG, CALIBRATION_VERSION,
-                               Calibration, _choose_from,
-                               active_calibration, run_probe,
-                               set_active_calibration)
+                               PROBE_EXECUTORS, Calibration, _choose_from,
+                               active_calibration, probe_executors,
+                               run_probe, set_active_calibration)
 from repro.ci.executor import (ENV_EXECUTOR, ProcessExecutor, SerialExecutor,
                                ThreadedExecutor, default_executor)
 from repro.ci.gtest import GTestCI
@@ -179,3 +179,14 @@ class TestProbe:
                     < row["seconds"]["serial"])
         # Saved on return, reloadable.
         assert Calibration.load(path).rows() == rows
+
+    def test_remote_joins_the_probe_only_when_a_queue_is_up(
+            self, tmp_path, monkeypatch):
+        """``remote`` is a measured candidate exactly when
+        ``REPRO_CI_REMOTE_QUEUE`` names a live queue — probing a
+        transport nobody serves would just measure a timeout."""
+        monkeypatch.delenv("REPRO_CI_REMOTE_QUEUE", raising=False)
+        assert probe_executors() == PROBE_EXECUTORS
+        assert "remote" not in PROBE_EXECUTORS
+        monkeypatch.setenv("REPRO_CI_REMOTE_QUEUE", str(tmp_path / "spool"))
+        assert probe_executors() == PROBE_EXECUTORS + ("remote",)

@@ -71,6 +71,11 @@ def make_problem(n=500, seed=0, n_features=N_FEATURES):
 
 
 def executor_factories():
+    # ``remote`` dispatches shards over a real filesystem spool served by
+    # same-process worker threads — the full transport round-trip, so the
+    # distributed path is count-locked exactly like the pools.
+    from repro.distributed.worker import local_remote_executor
+
     return [
         pytest.param(lambda: None, id="serial"),
         pytest.param(lambda: ThreadedExecutor(n_workers=3, min_batch=2),
@@ -78,6 +83,8 @@ def executor_factories():
         pytest.param(lambda: ProcessExecutor(n_workers=2, min_batch=2,
                                              mp_context="fork"),
                      id="process"),
+        pytest.param(lambda: local_remote_executor(n_workers=2, min_batch=2),
+                     id="remote"),
     ]
 
 

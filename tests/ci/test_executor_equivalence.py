@@ -20,11 +20,12 @@ hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.ci.base import CIQuery, CITestLedger
+from repro.ci.base import CIQuery, CIResult, CITestLedger, CITester
 from repro.ci.executor import (ProcessExecutor, SerialExecutor,
                                ThreadedExecutor)
 from repro.ci.gtest import GTestCI
 from repro.data.table import Table
+from repro.exceptions import CITestError
 
 Z_CHOICES = [(), ("a",), ("s",), ("a", "s")]
 
@@ -62,9 +63,12 @@ def workloads(draw):
 def pooled_executors():
     """Fresh pooled executors, small-batch thresholds forced down so the
     pooled code path actually runs on hypothesis-sized batches."""
+    from repro.distributed.worker import local_remote_executor
+
     return [
         ThreadedExecutor(n_workers=3, min_batch=2),
         ProcessExecutor(n_workers=2, min_batch=2, mp_context="fork"),
+        local_remote_executor(n_workers=2, min_batch=2),
     ]
 
 
@@ -217,3 +221,100 @@ class TestPoolKeyStability:
             # A differently-configured tester does not.
             executor.run(GTestCI(alpha=0.05), table, queries)
             assert executor._pool is not pool
+
+
+class ExplodingTester(CITester):
+    """Raises on one specific X column; fine everywhere else.
+
+    Module-level so (fork) worker processes unpickle it by reference.
+    """
+
+    method = "exploding"
+
+    def __init__(self, poison: str = "f3", alpha: float = 0.01) -> None:
+        super().__init__(alpha=alpha)
+        self.poison = poison
+
+    def test(self, table, x, y, z=()):
+        query = CIQuery.make(x, y, z)
+        if self.poison in query.x:
+            raise ValueError(f"exploding on {self.poison}")
+        return CIResult(independent=True, p_value=1.0, statistic=0.0,
+                        query=query, method=self.method)
+
+    def test_batch(self, table, queries):
+        return [self.test(table, q.x, q.y, q.z) for q in queries]
+
+
+class BatchOnlyFailingTester(CITester):
+    """Fails whole batches but never a single replayed query — the shape
+    of a batch-level resource error, which attribution cannot pin."""
+
+    method = "batch-only-failure"
+
+    def test(self, table, x, y, z=()):
+        return CIResult(independent=True, p_value=1.0, statistic=0.0,
+                        query=CIQuery.make(x, y, z), method=self.method)
+
+    def test_batch(self, table, queries):
+        queries = list(queries)
+        if len(queries) > 1:
+            raise RuntimeError("batch-only resource failure")
+        return [self.test(table, q.x, q.y, q.z) for q in queries]
+
+
+class TestProcessBoundaryErrorReplay:
+    """The error-replay contract *across the process boundary*: the
+    ``error.query`` attribution computed by ``_find_offending_query``
+    inside a worker must survive the pickle trip back to the parent, and
+    a batch-only failure (no single query reproduces it) must cross back
+    as ``CITestError`` with ``query=None`` — never as a bare worker
+    exception."""
+
+    def _workload(self):
+        table = build_table(seed=11, n_rows=120, n_features=6)
+        queries = [CIQuery.make(f"f{i}", "y", ("a",)) for i in range(6)]
+        return table, queries
+
+    def test_attribution_survives_process_pickle_trip(self):
+        table, queries = self._workload()
+        with ProcessExecutor(n_workers=2, min_batch=2,
+                             mp_context="fork") as executor:
+            with pytest.raises(CITestError) as excinfo:
+                executor.run(ExplodingTester(poison="f3"), table, queries)
+        assert excinfo.value.query == CIQuery.make("f3", "y", ("a",))
+        assert "exploding" in str(excinfo.value.__cause__ or excinfo.value)
+
+    def test_batch_only_failure_crosses_back_with_query_none(self):
+        table, queries = self._workload()
+        with ProcessExecutor(n_workers=2, min_batch=2,
+                             mp_context="fork") as executor:
+            with pytest.raises(CITestError) as excinfo:
+                executor.run(BatchOnlyFailingTester(), table, queries)
+        assert excinfo.value.query is None
+
+    def test_attribution_survives_remote_transport(self):
+        """Same contract over the work-queue transport: the attributed
+        error ships back as a failure payload, not a transport error."""
+        from repro.distributed.worker import local_remote_executor
+
+        table, queries = self._workload()
+        with local_remote_executor(n_workers=2, min_batch=2) as executor:
+            with pytest.raises(CITestError) as excinfo:
+                executor.run(ExplodingTester(poison="f3"), table, queries)
+        assert excinfo.value.query == CIQuery.make("f3", "y", ("a",))
+
+    def test_non_replay_safe_tester_reports_query_none(self):
+        """A shipped-to-nobody stateful tester (serial fallback) still
+        follows the contract: failure attributed as query=None because
+        replaying through a state-collecting ledger is forbidden."""
+        table, queries = self._workload()
+        inner = CITestLedger(ExplodingTester(poison="f3"),
+                             executor=SerialExecutor())
+        with ProcessExecutor(n_workers=2, min_batch=2,
+                             mp_context="fork") as executor:
+            with pytest.raises(CITestError) as excinfo:
+                executor.run(inner, table, queries)
+        assert excinfo.value.query is None
+        executed = [e.query for e in inner.entries]
+        assert len(executed) == len(set(executed))  # replay never ran

@@ -40,6 +40,27 @@ class TestStoreRoundtrip:
         assert record == {"independent": True, "p_value": 0.5,
                           "statistic": 1.25, "method": "g-test"}
 
+    def test_get_returns_a_copy_not_the_live_record(self, tmp_path):
+        """Mutating what ``get`` hands back must never rewrite the
+        committed entry — harness code decorates returned records (run
+        tags, labels), and an aliased dict would persist the decoration
+        on the next merge-on-save."""
+        path = tmp_path / "cache.json"
+        original = {"independent": True, "p_value": 0.5,
+                    "statistic": 1.25, "method": "g-test"}
+        store = PersistentCICache(path)
+        store.put("fp", (("x",), ("y",), ()), "g-test", 0.01, original)
+        store.save()
+        record = store.get("fp", (("x",), ("y",), ()), "g-test", 0.01)
+        record["p_value"] = 999.0       # caller scribbles on its copy
+        record["run_tag"] = "decorated"
+        fresh = store.get("fp", (("x",), ("y",), ()), "g-test", 0.01)
+        assert fresh == original
+        store.save()  # even a later save persists the committed record
+        reloaded = PersistentCICache(path)
+        assert reloaded.get("fp", (("x",), ("y",), ()), "g-test",
+                            0.01) == original
+
     def test_nan_statistic_roundtrips(self, tmp_path):
         path = tmp_path / "cache.json"
         with PersistentCICache(path) as store:

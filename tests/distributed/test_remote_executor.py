@@ -1,0 +1,171 @@
+"""RemoteExecutor contract: inline fallbacks, transport failures, and
+environment wiring.
+
+The bitwise-equivalence and ledger-count invariants are machine-checked
+on random workloads in ``tests/ci/test_executor_equivalence.py`` and
+``tests/ci/test_count_invariants.py`` (both matrices include the remote
+leg); this file pins the deterministic corners those sweeps route
+around — when the executor must *not* dispatch, what a transport-level
+failure looks like, and how ``default_executor`` resolves ``remote``.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.ci.base import CIQuery, CITestLedger, CITester
+from repro.ci.executor import (RemoteExecutor, SerialExecutor,
+                               default_executor, worker_mode_scope)
+from repro.ci.gtest import GTestCI
+from repro.data.table import Table
+from repro.distributed.queue import MemoryQueue
+from repro.distributed.worker import local_remote_executor
+from repro.exceptions import CITestError
+
+
+def build_table(seed=3, n_rows=90):
+    rng = np.random.default_rng(seed)
+    return Table({"y": rng.integers(0, 2, n_rows),
+                  "a": rng.integers(0, 3, n_rows),
+                  "f0": rng.integers(0, 2, n_rows),
+                  "f1": rng.integers(0, 3, n_rows),
+                  "f2": rng.integers(0, 2, n_rows)})
+
+
+QUERIES = [CIQuery.make("f0", "y", ()),
+           CIQuery.make("f1", "y", ("a",)),
+           CIQuery.make("f2", "y", ("a",)),
+           CIQuery.make("f0", "y", ("a",))]
+
+
+def result_tuple(result):
+    return (result.independent, result.p_value, result.statistic,
+            result.query, result.method)
+
+
+class ForeignTester(CITester):
+    """Defined in the test module → workers cannot import it."""
+
+    method = "foreign"
+
+    def _test(self, x, y, z=None):
+        return 0.5, 0.0
+
+
+class TestInlineFallbacks:
+    """Every fallback runs with NO workers attached — a wrong dispatch
+    decision shows up as a hang (timeout), not a subtle miscount."""
+
+    def test_small_batch_runs_inline(self):
+        executor = RemoteExecutor(queue=MemoryQueue(lease=5), min_batch=16,
+                                  timeout=0.5)
+        table = build_table()
+        got = [result_tuple(r)
+               for r in executor.run(GTestCI(), table, QUERIES)]
+        baseline = [result_tuple(r)
+                    for r in SerialExecutor().run(GTestCI(), table, QUERIES)]
+        assert got == baseline
+
+    def test_foreign_tester_runs_inline_unless_allowed(self):
+        table = build_table()
+        executor = RemoteExecutor(queue=MemoryQueue(lease=5), min_batch=2,
+                                  timeout=0.5)  # allow_foreign=False
+        results = executor.run(ForeignTester(), table, QUERIES)
+        assert [r.query for r in results] == QUERIES
+        assert all(r.method == "foreign" for r in results)
+
+    def test_worker_mode_runs_inline(self):
+        """A thread already serving remote tasks never re-dispatches."""
+        executor = RemoteExecutor(queue=MemoryQueue(lease=5), min_batch=2,
+                                  timeout=0.5)
+        table = build_table()
+        with worker_mode_scope():
+            got = [result_tuple(r)
+                   for r in executor.run(GTestCI(), table, QUERIES)]
+        baseline = [result_tuple(r)
+                    for r in SerialExecutor().run(GTestCI(), table, QUERIES)]
+        assert got == baseline
+
+
+class TestTransportFailures:
+    def test_timeout_surfaces_as_citesterror_with_query_none(self):
+        """No workers → the batch times out; the failure is on the
+        executor error contract (CITestError, query=None), matching a
+        broken process pool."""
+        executor = RemoteExecutor(queue=MemoryQueue(lease=5), min_batch=2,
+                                  timeout=0.4, poll=0.02)
+        with pytest.raises(CITestError, match="transport") as excinfo:
+            executor.run(GTestCI(), build_table(), QUERIES)
+        assert excinfo.value.query is None
+
+
+class TestExecutorPickling:
+    def test_roundtrip_drops_live_transport_state(self, tmp_path):
+        executor = RemoteExecutor(queue=str(tmp_path / "spool"),
+                                  n_workers=3, min_batch=7)
+        clone = pickle.loads(pickle.dumps(executor))
+        assert clone.n_workers == 3 and clone.min_batch == 7
+        # The clone is immediately usable — inline path needs no queue.
+        results = clone.run(GTestCI(), build_table(), QUERIES[:1])
+        assert len(results) == 1
+
+    def test_ledger_with_remote_executor_still_pickles(self):
+        """Testers carry their executor; shipping one to a worker must
+        not drag a socket or spool handle along."""
+        ledger = CITestLedger(
+            GTestCI(), executor=RemoteExecutor(queue=MemoryQueue(lease=5)))
+        assert pickle.loads(pickle.dumps(ledger)) is not None
+
+
+class TestLedgerEquivalence:
+    def test_counts_and_results_match_serial(self):
+        table = build_table(seed=9)
+        serial = CITestLedger(GTestCI(), cache=True)
+        baseline = [result_tuple(r)
+                    for r in serial.test_batch(table, QUERIES)]
+        executor = local_remote_executor(n_workers=2, min_batch=2)
+        try:
+            ledger = CITestLedger(GTestCI(), cache=True, executor=executor)
+            got = [result_tuple(r) for r in ledger.test_batch(table, QUERIES)]
+        finally:
+            executor.close()
+        assert got == baseline
+        assert ledger.n_tests == serial.n_tests
+        assert ledger.cache_hits == serial.cache_hits
+
+
+class TestDefaultExecutorEnv:
+    def test_explicit_remote_without_queue_is_an_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CI_EXECUTOR", "remote")
+        monkeypatch.delenv("REPRO_CI_REMOTE_QUEUE", raising=False)
+        with pytest.raises(ValueError, match="REPRO_CI_REMOTE_QUEUE"):
+            default_executor()
+
+    def test_explicit_remote_with_queue_resolves(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_CI_EXECUTOR", "remote")
+        monkeypatch.setenv("REPRO_CI_REMOTE_QUEUE",
+                           str(tmp_path / "spool-a"))
+        executor = default_executor()
+        assert isinstance(executor, RemoteExecutor)
+        assert default_executor() is executor  # memoised per spec
+
+    def test_repointing_the_queue_yields_a_fresh_executor(self, tmp_path,
+                                                          monkeypatch):
+        monkeypatch.setenv("REPRO_CI_EXECUTOR", "remote")
+        monkeypatch.setenv("REPRO_CI_REMOTE_QUEUE",
+                           str(tmp_path / "spool-b"))
+        first = default_executor()
+        monkeypatch.setenv("REPRO_CI_REMOTE_QUEUE",
+                           str(tmp_path / "spool-c"))
+        second = default_executor()
+        assert first is not second
+
+    def test_worker_mode_overrides_remote_to_serial(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setenv("REPRO_CI_EXECUTOR", "remote")
+        monkeypatch.setenv("REPRO_CI_REMOTE_QUEUE", str(tmp_path / "spool"))
+        with worker_mode_scope():
+            assert isinstance(default_executor(), SerialExecutor)
+        assert isinstance(default_executor(), RemoteExecutor)

@@ -6,6 +6,10 @@ cold-run counts; failures surface as attributed ``ExperimentError``s;
 malformed suites fail in the parent before any worker spawns.
 """
 
+import functools
+import pathlib
+import time
+
 import pytest
 
 from repro.exceptions import ExperimentError
@@ -107,6 +111,15 @@ class TestRunSuite:
                       jobs=2, mp_context="fork")
 
 
+def _mark_and_maybe_fail(item, marker_dir):
+    """Worker-side probe: record execution, blow up on item 0."""
+    (pathlib.Path(marker_dir) / f"{item}.ran").write_text("")
+    if item == 0:
+        raise RuntimeError("item zero exploded")
+    time.sleep(0.4)
+    return item
+
+
 class TestMapParallel:
     def test_rejects_bad_jobs(self):
         with pytest.raises(ExperimentError, match="jobs must be >= 1"):
@@ -114,6 +127,37 @@ class TestMapParallel:
 
     def test_inline_for_single_item(self):
         assert map_parallel(str, [7], jobs=4) == ["7"]
+
+    def test_first_failure_cancels_queued_items(self, tmp_path):
+        """The first worker failure must not grind through every later
+        item: still-queued futures are cancelled, only in-flight ones
+        finish.  Item 0 fails immediately, so of 8 items at most the
+        few already dispatched to the 2 workers ever execute."""
+        fn = functools.partial(_mark_and_maybe_fail,
+                               marker_dir=str(tmp_path))
+        with pytest.raises(RuntimeError, match="item zero exploded"):
+            map_parallel(fn, list(range(8)), jobs=2, mp_context="fork")
+        ran = {int(p.stem) for p in tmp_path.glob("*.ran")}
+        assert 0 in ran
+        assert len(ran) <= 4, f"queued items ran after the failure: {ran}"
+
+
+class TestSuiteByLabel:
+    def test_unique_label_resolves_and_missing_raises(self):
+        result = run_suite(small_legs()[:2], jobs=1)
+        assert result.by_label("german/seqsel/logistic").leg.algorithm \
+               == "seqsel"
+        with pytest.raises(KeyError, match="no outcome"):
+            result.by_label("adult/grpsel/logistic")
+
+    def test_ambiguous_label_raises_instead_of_first_match(self):
+        """Legs differing only in seed share one label; silently
+        handing back "the first" would pick an arbitrary spec."""
+        legs = [ExperimentLeg(dataset="german", seed=seed, **SMALL)
+                for seed in (0, 1)]
+        result = run_suite(legs, jobs=1)
+        with pytest.raises(KeyError, match="2 outcomes share"):
+            result.by_label(legs[0].label)
 
 
 class TestRunTable2Parallel:
