@@ -63,6 +63,7 @@ import hashlib
 import os
 import pickle
 import threading
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
 from contextlib import contextmanager
@@ -469,9 +470,17 @@ class RemoteExecutor(BatchExecutor):
 
     Error contract: a failing query's :class:`CITestError` — with
     ``error.query`` attached by the worker-side replay — ships back
-    verbatim in a failure payload and re-raises here; transport-level
-    failures (retry budget exhausted after worker deaths, batch timeout)
-    surface as :class:`CITestError` with ``query=None``, exactly like a
+    verbatim in a failure payload and re-raises here.  Transport-level
+    failures (retry budget exhausted after worker deaths, batch timeout,
+    an unreachable queue) walk a graceful-degradation ladder by default
+    (``degrade=True``): the batch re-runs on a local
+    :class:`ProcessExecutor`, and if that too breaks, serially in this
+    process.  Degradation is sticky for the executor's lifetime (until
+    :meth:`close`), emits a :class:`RuntimeWarning` naming the cause,
+    and is invisible to results and counts — the executor contract
+    guarantees the fallback computes the identical answer.  With
+    ``degrade=False`` a transport failure surfaces as
+    :class:`CITestError` with ``query=None``, exactly like a
     :class:`ProcessExecutor` pool break.
     """
 
@@ -480,7 +489,8 @@ class RemoteExecutor(BatchExecutor):
     def __init__(self, queue: "WorkQueue | str | None" = None,
                  n_workers: int | None = None, min_batch: int = 16,
                  timeout: float | None = None, poll: float | None = None,
-                 allow_foreign: bool = False) -> None:
+                 allow_foreign: bool = False,
+                 degrade: bool = True) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers or min(8, os.cpu_count() or 1)
@@ -488,10 +498,13 @@ class RemoteExecutor(BatchExecutor):
         self.timeout = timeout
         self.poll = poll
         self.allow_foreign = allow_foreign
+        self.degrade = degrade
         self._spec = queue if isinstance(queue, str) else ""
         self._queue = queue if not isinstance(queue, str) else None
         self._owns_queue = False
         self._published: set[str] = set()
+        self._degraded = False
+        self._fallback: ProcessExecutor | None = None
         self._lock = threading.RLock()
 
     # -- queue lifecycle -----------------------------------------------------
@@ -506,7 +519,8 @@ class RemoteExecutor(BatchExecutor):
         return self._queue
 
     def close(self) -> None:
-        """Drop the queue handle (closing it if this executor opened it)."""
+        """Drop the queue handle (closing it if this executor opened it)
+        and reset any sticky degradation back to remote dispatch."""
         with self._lock:
             if self._queue is not None and self._owns_queue:
                 try:
@@ -516,6 +530,10 @@ class RemoteExecutor(BatchExecutor):
             self._queue = None
             self._owns_queue = False
             self._published = set()
+            self._degraded = False
+            if self._fallback is not None:
+                self._fallback.close()
+                self._fallback = None
 
     def __enter__(self) -> "RemoteExecutor":
         return self
@@ -530,6 +548,8 @@ class RemoteExecutor(BatchExecutor):
         state["_queue"] = None
         state["_owns_queue"] = False
         state["_published"] = set()
+        state["_degraded"] = False
+        state["_fallback"] = None
         del state["_lock"]
         return state
 
@@ -551,6 +571,31 @@ class RemoteExecutor(BatchExecutor):
                        for ch in method)
         return f"remote-{safe}"
 
+    def _degraded_run(self, tester: "CITester", table: "Table",
+                      queries: Sequence["CIQuery"]) -> list["CIResult"]:
+        """The lower rungs of the ladder: local processes, then serial.
+
+        Both rungs compute the identical answer (executor contract), so
+        degradation never shows up in results or counts — only in the
+        warning emitted when the remote rung was abandoned.
+        """
+        with self._lock:
+            fallback = self._fallback
+            if fallback is None:
+                fallback = self._fallback = ProcessExecutor(
+                    n_workers=self.n_workers, min_batch=self.min_batch)
+        try:
+            return fallback.run(tester, table, queries)
+        except CITestError as exc:
+            if getattr(exc, "query", None) is not None:
+                raise  # a real failing query fails on every rung
+            # The local pool broke too (query=None): last rung, serial.
+            warnings.warn(
+                "degraded remote CI executor's process pool also failed "
+                f"({exc}); finishing the batch serially", RuntimeWarning,
+                stacklevel=2)
+            return _run_shard(tester, table, queries)
+
     def run(self, tester: "CITester", table: "Table",
             queries: Sequence["CIQuery"]) -> list["CIResult"]:
         queries = list(queries)
@@ -560,35 +605,54 @@ class RemoteExecutor(BatchExecutor):
                 or not (self.allow_foreign or _transportable(tester))
                 or worker_mode()):
             return _run_shard(tester, table, queries)
+        if self._degraded:
+            return self._degraded_run(tester, table, queries)
         from repro.distributed.dispatch import collect, submit_batch
 
         with self._lock:
-            queue = self._queue_for_run()
-            context_id = self._context_id(tester, table)
-            if context_id not in self._published:
-                warm_names = sorted({name for query in queries
-                                     for name in query.x + query.y + query.z})
-                queue.put_context(context_id, pickle.dumps(
-                    {"tester": tester, "table": table, "warm": warm_names},
-                    protocol=pickle.HIGHEST_PROTOCOL))
-                self._published.add(context_id)
-            shards = _contiguous_shards(
-                queries, min(self.n_workers, len(queries)))
-            payloads = [pickle.dumps(
-                {"kind": "shard", "queries": shard,
-                 "namespace": self._namespace_for(tester)},
-                protocol=pickle.HIGHEST_PROTOCOL) for shard in shards]
-            task_ids = submit_batch(queue, payloads, context_id=context_id)
             try:
+                queue = self._queue_for_run()
+                context_id = self._context_id(tester, table)
+                if context_id not in self._published:
+                    warm_names = sorted(
+                        {name for query in queries
+                         for name in query.x + query.y + query.z})
+                    queue.put_context(context_id, pickle.dumps(
+                        {"tester": tester, "table": table,
+                         "warm": warm_names},
+                        protocol=pickle.HIGHEST_PROTOCOL))
+                    self._published.add(context_id)
+                shards = _contiguous_shards(
+                    queries, min(self.n_workers, len(queries)))
+                payloads = [pickle.dumps(
+                    {"kind": "shard", "queries": shard,
+                     "namespace": self._namespace_for(tester)},
+                    protocol=pickle.HIGHEST_PROTOCOL) for shard in shards]
+                task_ids = submit_batch(queue, payloads,
+                                        context_id=context_id,
+                                        timeout=self.timeout)
                 shard_results = collect(queue, task_ids,
                                         timeout=self.timeout, poll=self.poll)
             except CITestError:
                 raise  # worker-attributed failure, already on contract
             except Exception as exc:
-                error = CITestError(
-                    f"remote CI batch failed in transport: {exc}")
-                error.query = None
-                raise error from exc
+                if not self.degrade:
+                    error = CITestError(
+                        f"remote CI batch failed in transport: {exc}")
+                    error.query = None
+                    raise error from exc
+                # Graceful degradation: abandon the remote rung for this
+                # executor's lifetime and recompute the batch locally —
+                # same results by the executor contract, so the only
+                # visible trace is this warning.
+                warnings.warn(
+                    "remote CI executor degrading to local execution "
+                    f"after a transport failure: {exc}", RuntimeWarning,
+                    stacklevel=2)
+                self.close()
+                self._degraded = True
+        if self._degraded:
+            return self._degraded_run(tester, table, queries)
         return [result for shard in shard_results for result in shard]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -45,8 +45,10 @@ import json
 import os
 import tempfile
 import threading
+import warnings
 from typing import TYPE_CHECKING, Mapping
 
+from repro import faults
 from repro.rng import ONE_TIME_TOKEN
 
 
@@ -82,12 +84,50 @@ SELECTIONS_VERSION = 1
 _SAVE_LOCK = threading.RLock()
 
 
-def _read_document(path: str, tag: str, version: int) -> dict[str, dict]:
-    """Load one versioned store document; anything unusable reads as empty."""
+def _quarantine(path: str) -> None:
+    """Move a corrupt store file aside as ``<path>.quarantine``.
+
+    The original bytes are preserved for post-mortem (never deleted);
+    the live path becomes free for the next save to rebuild.  A second
+    corruption overwrites the first quarantine — one forensic copy is
+    enough, an unbounded pile-up is not.  Best-effort: failing to move
+    the corpse must not escalate a recoverable corruption into a crash.
+    """
     try:
+        faults.inject("store.quarantine")
+        os.replace(path, path + ".quarantine")
+    except OSError:
+        return
+    warnings.warn(
+        f"store file {path!r} was corrupt and has been quarantined to "
+        f"{path + '.quarantine'!r}; the cache rebuilds from live entries",
+        RuntimeWarning, stacklevel=3)
+
+
+def _read_document(path: str, tag: str, version: int) -> dict[str, dict]:
+    """Load one versioned store document; anything unusable reads as empty.
+
+    Crash-consistent recovery: a file that is not even parseable JSON, or
+    parses to a mapping with no ``format`` tag at all, is a torn/corrupt
+    write — it is quarantined (moved to ``<path>.quarantine``) so the next
+    merge-on-save rebuilds a clean document instead of merging against a
+    corpse forever.  Well-formed *foreign* documents (another tool's tag,
+    a future version) merely read as empty and stay untouched: they are
+    somebody's valid data, not corruption.
+    """
+    try:
+        faults.inject("store.load")
         with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
-    except (FileNotFoundError, json.JSONDecodeError, OSError, ValueError):
+            text = handle.read()
+    except (FileNotFoundError, OSError):
+        return {}
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        _quarantine(path)
+        return {}
+    if isinstance(payload, dict) and "format" not in payload:
+        _quarantine(path)
         return {}
     if (not isinstance(payload, dict)
             or payload.get("format") != tag
@@ -101,13 +141,18 @@ def _write_document(path: str, tag: str, version: int,
                     entries: Mapping[str, dict]) -> None:
     """Atomically write one versioned store document (temp file + rename)."""
     payload = {"format": tag, "version": version, "entries": dict(entries)}
+    encoded = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    # The fault site sees (and may truncate) the exact bytes that land on
+    # disk — a truncated write is precisely the torn-save crash the
+    # quarantine recovery above exists for.
+    encoded = faults.inject_bytes("store.save", encoded)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     descriptor, tmp_path = tempfile.mkstemp(
         dir=directory, prefix=".ci-cache-", suffix=".tmp")
     try:
-        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, separators=(",", ":"))
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(encoded)
         os.replace(tmp_path, path)
     except BaseException:
         try:
@@ -176,7 +221,18 @@ class PersistentCICache:
             merged = self._load()
             merged.update(self._entries)
             self._entries = merged
-            _write_document(self.path, FORMAT_TAG, FORMAT_VERSION, merged)
+            try:
+                _write_document(self.path, FORMAT_TAG, FORMAT_VERSION,
+                                merged)
+            except OSError as exc:
+                # Keep the dirty count: entries stay in memory and the
+                # next save retries — a flaky disk costs durability
+                # timing, never data.
+                warnings.warn(
+                    f"CI cache save to {self.path!r} failed ({exc}); "
+                    "entries retained in memory for the next save",
+                    RuntimeWarning, stacklevel=2)
+                return
             self._dirty = 0
 
     # -- record access ------------------------------------------------------
@@ -477,8 +533,15 @@ class ExperimentStore:
                                     SELECTIONS_VERSION)
             merged.update(self._selections)
             self._selections = merged
-            _write_document(self.selections_path, SELECTIONS_TAG,
-                            SELECTIONS_VERSION, merged)
+            try:
+                _write_document(self.selections_path, SELECTIONS_TAG,
+                                SELECTIONS_VERSION, merged)
+            except OSError as exc:
+                warnings.warn(
+                    f"selection store save to {self.selections_path!r} "
+                    f"failed ({exc}); entries retained in memory for the "
+                    "next save", RuntimeWarning, stacklevel=2)
+                return
             self._dirty = 0
 
     def save(self) -> None:

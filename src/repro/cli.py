@@ -21,6 +21,9 @@ Commands:
 * ``python -m repro lint [paths]``
   run the contract linter (:mod:`repro.lint`) over the source tree and
   exit non-zero on findings,
+* ``python -m repro faults --plan "..."`` / ``--sites``
+  validate a fault-injection plan (printing its canonical replay string)
+  or list the registered injection sites,
 * ``python -m repro datasets``
   list bundled datasets and their role assignments.
 
@@ -264,6 +267,18 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the current findings as a baseline file "
                            "and exit 0")
 
+    faults_cmd = sub.add_parser(
+        "faults",
+        help="validate a deterministic fault-injection plan or list the "
+             "registered injection sites")
+    faults_cmd.add_argument(
+        "--plan", default=None, metavar="SPEC",
+        help="plan spec to parse and echo canonically (default: the "
+             "active REPRO_FAULTS plan)")
+    faults_cmd.add_argument(
+        "--sites", action="store_true",
+        help="list every registered injection site and exit")
+
     sub.add_parser("datasets", help="list bundled datasets")
     return parser
 
@@ -394,6 +409,33 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if run.ok else 1
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro import faults
+
+    if args.sites:
+        print(render_table(
+            [{"site": site, "boundary": boundary}
+             for site, boundary in sorted(faults.SITES.items())],
+            title="Registered fault-injection sites"))
+        return 0
+    if args.plan is not None:
+        plan = faults.FaultPlan(args.plan)
+    else:
+        plan = faults.active_plan()
+        if plan is None:
+            print("no active fault plan (REPRO_FAULTS is unset); pass "
+                  "--plan SPEC to validate one, or --sites to list sites")
+            return 0
+    rows = [{"term": spec.render(),
+             "site": spec.site, "kind": spec.kind,
+             "value": f"{spec.value:g}", "rate": f"{spec.rate:g}",
+             "cap": spec.times if spec.times is not None else "-"}
+            for spec in plan.specs]
+    print(render_table(rows, title=f"Fault plan (seed={plan.seed})"))
+    print(f"replay with: REPRO_FAULTS=\"{plan.describe()}\"")
+    return 0
+
+
 def cmd_datasets(args: argparse.Namespace) -> int:
     rows = []
     for name, loader in sorted(LOADERS.items()):
@@ -415,7 +457,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {"select": cmd_select, "evaluate": cmd_evaluate,
                 "suite": cmd_suite, "calibrate": cmd_calibrate,
                 "worker": cmd_worker, "lint": cmd_lint,
-                "datasets": cmd_datasets}
+                "faults": cmd_faults, "datasets": cmd_datasets}
     return handlers[args.command](args)
 
 

@@ -6,8 +6,14 @@
 half of the distribution contract: while waiting it keeps reclaiming
 expired leases (so a dead worker's tasks requeue even when no other
 worker is scanning), raises the *first* failure as soon as its payload
-lands (cancelling still-pending siblings), and times out explicitly
-rather than wedging.
+lands (cancelling still-pending siblings), tolerates a bounded run of
+*transient* transport failures (a restarting queue server, an injected
+fault) with exponential backoff and derived-seed jitter, and times out
+explicitly rather than wedging.
+
+:func:`submit_batch` propagates the batch timeout down to workers as an
+absolute per-task deadline, so a worker never burns its slot computing a
+result whose dispatcher has already given up.
 """
 
 from __future__ import annotations
@@ -17,11 +23,25 @@ import time
 import uuid
 from typing import Callable, Sequence
 
-from repro import env
+from repro import env, faults, rng
 from repro.distributed.queue import Task, WorkQueue, decode_result
-from repro.exceptions import RemoteTaskError
+from repro.exceptions import RemoteTaskError, TransportError
 
 __all__ = ["collect", "remote_map", "submit_batch"]
+
+#: Consecutive transport failures :func:`collect` rides out before
+#: declaring the queue gone.  With backoff capped at ``_BACKOFF_CAP``
+#: this bounds the tolerated outage to a few seconds, well under any
+#: realistic batch timeout.
+_TRANSIENT_LIMIT = 20
+
+_BACKOFF_CAP = 0.5
+
+#: Per-task submit retries beyond the first attempt.  Resubmitting is
+#: safe: a spool submit is an idempotent overwrite, and a duplicate that
+#: does slip through a memory queue is covered by the determinism
+#: contract (same payload, same result, idempotent completion).
+_SUBMIT_RETRIES = 3
 
 
 def _timing(timeout: float | None, poll: float | None) -> tuple[float, float]:
@@ -38,14 +58,46 @@ def batch_id() -> str:
 
 
 def submit_batch(queue: WorkQueue, payloads: Sequence[bytes],
-                 context_id: str = "") -> list[str]:
-    """Enqueue one task per payload; returns the task ids in order."""
+                 context_id: str = "",
+                 timeout: float | None = None) -> list[str]:
+    """Enqueue one task per payload; returns the task ids in order.
+
+    ``timeout`` (defaulting to ``REPRO_CI_REMOTE_TIMEOUT``, matching
+    :func:`collect`) becomes an absolute wall-clock deadline stamped on
+    every task: a worker that claims one past it fails it immediately
+    instead of computing for a dispatcher that already timed out.
+    ``0`` means no deadline.
+    """
+    if timeout is None:
+        timeout = env.CI_REMOTE_TIMEOUT.read_float() or 0.0
+    deadline = (time.time() + float(timeout)) if timeout > 0 else 0.0
     batch = batch_id()
     task_ids = [f"{batch}-{index:05d}" for index in range(len(payloads))]
+    jitter = rng.derive(0, "submit-backoff", batch)
     for task_id, payload in zip(task_ids, payloads):
-        queue.submit(Task(task_id=task_id, context_id=context_id,
-                          payload=payload))
+        task = Task(task_id=task_id, context_id=context_id,
+                    payload=payload, deadline=deadline)
+        delay = 0.05
+        for attempt in range(_SUBMIT_RETRIES + 1):
+            try:
+                queue.submit(task)
+                break
+            except (TransportError, OSError) as exc:
+                if attempt >= _SUBMIT_RETRIES:
+                    raise RemoteTaskError(
+                        f"could not submit remote task {task_id} after "
+                        f"{attempt + 1} attempt(s): {exc}") from exc
+                time.sleep(delay * (0.5 + float(jitter.random())))
+                delay = min(delay * 2.0, _BACKOFF_CAP)
     return task_ids
+
+
+def _cancel_all(queue: WorkQueue, task_ids: Sequence[str]) -> None:
+    for task_id in task_ids:
+        try:
+            queue.cancel(task_id)
+        except (TransportError, OSError, RemoteTaskError):
+            pass  # best-effort: the transport may be the casualty
 
 
 def collect(queue: WorkQueue, task_ids: Sequence[str],
@@ -58,39 +110,71 @@ def collect(queue: WorkQueue, task_ids: Sequence[str],
     and their results are simply never read).  ``timeout`` bounds the
     whole batch (``0``/``None``-resolved-to-0 waits forever); expiry
     raises :class:`RemoteTaskError` after cancelling what it can.
+
+    Transport errors while polling are *transient* up to a bounded run
+    (``_TRANSIENT_LIMIT`` consecutive failures): the loop backs off
+    exponentially — with jitter derived from the task ids, so concurrent
+    dispatchers desynchronise deterministically — and retries, because a
+    queue hiccup must not abort a batch whose workers are still alive.
     """
     timeout, poll = _timing(timeout, poll)
     deadline = (time.monotonic() + timeout) if timeout > 0 else None
     outstanding = [task_id for task_id in task_ids]
     values: dict[str, object] = {}
+    jitter = rng.derive(0, "collect-backoff", tuple(task_ids))
+    delay = poll
+    failures = 0
     while outstanding:
         progressed = False
-        for task_id in list(outstanding):
-            payload = queue.result(task_id)
-            if payload is None:
-                continue
+        faulted: Exception | None = None
+        arrived: list[tuple[str, bytes]] = []
+        try:
+            faults.inject("dispatch.poll")
+            for task_id in list(outstanding):
+                payload = queue.result(task_id)
+                if payload is not None:
+                    arrived.append((task_id, payload))
+            if len(arrived) < len(outstanding):
+                # Keep the batch alive past worker deaths: requeue
+                # expired leases ourselves instead of hoping a surviving
+                # worker does.
+                queue.reclaim_expired()
+        except (TransportError, OSError) as exc:
+            faulted = exc
+        # Decode outside the transient guard: a failure *payload* (or a
+        # corrupt one) is the batch's answer, not a queue hiccup — it
+        # must raise, not be retried into a wedge.
+        for task_id, payload in arrived:
             progressed = True
             outstanding.remove(task_id)
             try:
                 values[task_id] = decode_result(payload)
             except BaseException:
-                for sibling in outstanding:
-                    queue.cancel(sibling)
+                _cancel_all(queue, outstanding)
                 raise
         if not outstanding:
             break
-        # Keep the batch alive past worker deaths: requeue expired
-        # leases ourselves instead of hoping a surviving worker does.
-        queue.reclaim_expired()
+        if faulted is None:
+            failures = 0
+        else:
+            failures += 1
+            if failures > _TRANSIENT_LIMIT:
+                _cancel_all(queue, outstanding)
+                raise RemoteTaskError(
+                    f"queue transport failed {failures} times in a row "
+                    f"while collecting {len(outstanding)}/{len(task_ids)} "
+                    f"remote task(s): {faulted}") from faulted
         if deadline is not None and time.monotonic() > deadline:
-            for sibling in outstanding:
-                queue.cancel(sibling)
+            _cancel_all(queue, outstanding)
             raise RemoteTaskError(
                 f"timed out after {timeout:g}s waiting for "
                 f"{len(outstanding)}/{len(task_ids)} remote task(s); "
                 "are any workers attached to this queue?")
-        if not progressed:
-            time.sleep(poll)
+        if progressed:
+            delay = poll
+        else:
+            time.sleep(delay * (0.5 + float(jitter.random())))
+            delay = min(delay * 2.0, max(poll, _BACKOFF_CAP))
     return [values[task_id] for task_id in task_ids]
 
 
@@ -112,5 +196,5 @@ def remote_map(fn: Callable, items: Sequence, queue: WorkQueue,
     payloads = [pickle.dumps({"kind": "call", "fn": fn, "item": item},
                              protocol=pickle.HIGHEST_PROTOCOL)
                 for item in items]
-    task_ids = submit_batch(queue, payloads)
+    task_ids = submit_batch(queue, payloads, timeout=timeout)
     return collect(queue, task_ids, timeout=timeout, poll=poll)

@@ -24,15 +24,27 @@ Robustness contract (shared by every transport):
   attempt count bumped.  Reclaiming is cooperative — workers and waiting
   dispatchers both call :meth:`WorkQueue.reclaim_expired` while polling,
   so a dead worker never wedges a batch as long as anyone is alive.
-* **Retry budget** — a task that keeps expiring (``attempts`` exceeding
-  the queue's ``retries``) is failed *explicitly*: the queue posts a
+* **Retry budget / poison quarantine** — a task that keeps expiring
+  (``attempts`` exceeding the queue's ``retries``) is failed
+  *explicitly*: the queue posts a
   :class:`~repro.exceptions.RemoteTaskError` failure result so the
-  dispatcher raises instead of waiting forever.
+  dispatcher raises instead of waiting forever, and the spool preserves
+  the poison task's record under ``quarantine/`` for forensics instead
+  of burning further workers on it.
 * **Idempotent completion** — a reclaimed task may race its original
   worker and complete twice.  That is safe by the determinism contract
   (the same task payload always computes the same result; completion
   atomically replaces the result file with identical bytes), which is
   also why only ``process_safe`` testers are ever shipped.
+
+Every I/O boundary here routes through a named fault-injection site
+(:mod:`repro.faults`) — ``queue.claim``, ``queue.complete``,
+``transport.send``, ``spool.write``, ... — so the chaos suite can
+deterministically exercise the failure paths this contract promises to
+survive.  Byte-level failures surface as
+:class:`~repro.exceptions.TransportError` (never a bare ``EOFError`` or
+``UnpicklingError``), so dispatchers can tell a transport hiccup from a
+failing task.
 
 Payload conventions: :func:`encode_success` / :func:`encode_failure` /
 :func:`decode_result` wrap values and exceptions in a tagged pickle so
@@ -54,8 +66,8 @@ import threading
 import time
 from dataclasses import dataclass, replace
 
-from repro import env
-from repro.exceptions import RemoteTaskError
+from repro import env, faults, rng
+from repro.exceptions import RemoteTaskError, TransportError
 
 __all__ = [
     "FileSpoolQueue",
@@ -78,12 +90,17 @@ class Task:
     ``context_id`` names a published context the payload references
     (``""`` for self-contained tasks); ``attempts`` counts lease-expiry
     requeues, not executions — the transport bumps it on reclaim.
+    ``deadline`` is an absolute wall-clock time (``0.0`` = none) the
+    dispatcher propagated from its batch timeout: a worker claiming the
+    task after it has passed fails it immediately instead of computing a
+    result nobody is waiting for.
     """
 
     task_id: str
     context_id: str
     payload: bytes
     attempts: int = 0
+    deadline: float = 0.0
 
 
 def encode_success(value) -> bytes:
@@ -108,8 +125,18 @@ def encode_failure(error: BaseException) -> bytes:
 
 
 def decode_result(payload: bytes):
-    """Unwrap a result payload: return the value or raise the failure."""
-    ok, value = pickle.loads(payload)
+    """Unwrap a result payload: return the value or raise the failure.
+
+    An undecodable payload (torn write, truncated frame) raises
+    :class:`TransportError` — typed, so dispatchers can treat it as a
+    transport casualty rather than a task verdict.
+    """
+    try:
+        ok, value = pickle.loads(payload)
+    except Exception as exc:
+        raise TransportError(
+            f"undecodable result payload ({len(payload)} bytes): "
+            f"{exc!r}") from exc
     if ok:
         return value
     raise value
@@ -205,22 +232,31 @@ class FileSpoolQueue(WorkQueue):
     are immutable)::
 
         context/<context_id>.pkl
-        tasks/<task_id>@<attempts>.task     pending, claim = rename
-        claimed/<task_id>@<attempts>.task   leased; mtime = last heartbeat
+        tasks/<task_id>@<attempts>.task                pending
+        claimed/<task_id>@<attempts>@<deadline_ms>.task  leased
         results/<task_id>.result
+        quarantine/<entry>.task                        poison tasks
 
     A claim is one ``os.rename`` from ``tasks/`` to ``claimed/`` — atomic
     on POSIX, and exclusive because the loser's source path is gone.  The
-    lease clock is the claimed file's mtime: :meth:`extend` touches it,
-    :meth:`reclaim_expired` renames stale files back to ``tasks/`` with
-    the attempt counter (encoded in the filename) bumped.
+    lease deadline is *encoded in the claimed filename* (absolute wall
+    clock, milliseconds), never in the file's mtime: mtime is stamped by
+    the host that happens to write the file, so on a spool shared across
+    machines (NFS) a skewed clock would make mtime-based reclaim either
+    premature (duplicating live work) or never (wedging the batch).  With
+    the deadline in the name, :meth:`extend` is a rename to a fresh
+    deadline and :meth:`reclaim_expired` a name comparison — the task
+    record itself is immutable from submit to completion, so there is no
+    torn-rewrite window.  (Legacy deadline-less claimed entries fall back
+    to the old mtime rule.)
     """
 
     def __init__(self, root: str | os.PathLike, lease: float | None = None,
                  retries: int | None = None) -> None:
         self.root = os.fspath(root)
         self.lease, self.retries = _queue_defaults(lease, retries)
-        for name in ("context", "tasks", "claimed", "results"):
+        for name in ("context", "tasks", "claimed", "results",
+                     "quarantine"):
             os.makedirs(os.path.join(self.root, name), exist_ok=True)
 
     # -- helpers -------------------------------------------------------------
@@ -230,6 +266,7 @@ class FileSpoolQueue(WorkQueue):
 
     def _write_atomic(self, directory: str, name: str,
                       payload: bytes) -> None:
+        payload = faults.inject_bytes("spool.write", payload)
         descriptor, tmp_path = tempfile.mkstemp(dir=directory,
                                                 prefix=".spool-",
                                                 suffix=".tmp")
@@ -253,12 +290,25 @@ class FileSpoolQueue(WorkQueue):
             return None
 
     @staticmethod
-    def _parse_entry(name: str) -> tuple[str, int] | None:
+    def _parse_entry(name: str) -> tuple[str, int, int | None] | None:
+        """``(task_id, attempts, deadline_ms | None)`` for a spool entry.
+
+        Pending entries are ``<id>@<attempts>.task``; claimed entries
+        carry the lease deadline as a third ``@``-field.  Task ids never
+        contain ``@`` (enforced by :meth:`_entry_name`).
+        """
         if not name.endswith(".task") or "@" not in name:
             return None
-        task_id, _, attempts = name[:-len(".task")].rpartition("@")
+        stem = name[:-len(".task")]
+        head, _, last = stem.rpartition("@")
+        if "@" in head:
+            task_id, _, attempts = head.rpartition("@")
+            try:
+                return task_id, int(attempts), int(last)
+            except ValueError:
+                return None
         try:
-            return task_id, int(attempts)
+            return head, int(last), None
         except ValueError:
             return None
 
@@ -267,6 +317,12 @@ class FileSpoolQueue(WorkQueue):
         if "@" in task_id or "/" in task_id or os.sep in task_id:
             raise RemoteTaskError(f"invalid task id {task_id!r}")
         return f"{task_id}@{attempts}.task"
+
+    @classmethod
+    def _claimed_name(cls, task_id: str, attempts: int,
+                      deadline: float) -> str:
+        return (f"{cls._entry_name(task_id, attempts)[:-len('.task')]}"
+                f"@{int(deadline * 1000)}.task")
 
     # -- contexts ------------------------------------------------------------
 
@@ -281,14 +337,17 @@ class FileSpoolQueue(WorkQueue):
     # -- tasks ---------------------------------------------------------------
 
     def submit(self, task: Task) -> None:
+        faults.inject("queue.submit")
         body = pickle.dumps(
             {"task_id": task.task_id, "context_id": task.context_id,
-             "payload": task.payload}, protocol=pickle.HIGHEST_PROTOCOL)
+             "payload": task.payload, "deadline": task.deadline},
+            protocol=pickle.HIGHEST_PROTOCOL)
         self._write_atomic(self._dir("tasks"),
                            self._entry_name(task.task_id, task.attempts),
                            body)
 
     def claim(self, worker_id: str = "") -> Task | None:
+        faults.inject("queue.claim")
         tasks_dir, claimed_dir = self._dir("tasks"), self._dir("claimed")
         try:
             names = sorted(os.listdir(tasks_dir))
@@ -298,30 +357,53 @@ class FileSpoolQueue(WorkQueue):
             parsed = self._parse_entry(name)
             if parsed is None:
                 continue
+            task_id, attempts, _ = parsed
             source = os.path.join(tasks_dir, name)
-            target = os.path.join(claimed_dir, name)
+            # One rename is both the exclusive claim and the lease grant:
+            # the target name carries the deadline, so no follow-up
+            # utime/rewrite can tear or land on the wrong host's clock.
+            deadline = faults.clock("queue.clock.claim") + self.lease
+            target = os.path.join(
+                claimed_dir, self._claimed_name(task_id, attempts, deadline))
             try:
                 os.rename(source, target)
             except OSError:
                 continue  # another worker won this one
-            os.utime(target)  # lease starts now, not at submission
             body = self._read(target)
             if body is None:  # pragma: no cover - claim/complete race
                 continue
             data = pickle.loads(body)
             return Task(task_id=data["task_id"],
                         context_id=data["context_id"],
-                        payload=data["payload"], attempts=parsed[1])
+                        payload=data["payload"], attempts=attempts,
+                        deadline=data.get("deadline", 0.0))
         return None
 
     def extend(self, task_id: str) -> None:
-        for name in self._entries_for(self._dir("claimed"), task_id):
+        faults.inject("queue.extend")
+        claimed_dir = self._dir("claimed")
+        for name in self._entries_for(claimed_dir, task_id):
+            parsed = self._parse_entry(name)
+            if parsed is None:
+                continue
+            path = os.path.join(claimed_dir, name)
+            if parsed[2] is None:  # legacy mtime-leased entry
+                try:
+                    os.utime(path)
+                except OSError:
+                    pass
+                continue
+            deadline = faults.clock("queue.clock.claim") + self.lease
+            target = os.path.join(
+                claimed_dir,
+                self._claimed_name(task_id, parsed[1], deadline))
             try:
-                os.utime(os.path.join(self._dir("claimed"), name))
+                os.rename(path, target)
             except OSError:
-                pass
+                pass  # completed (or reclaimed) under us
 
     def complete(self, task_id: str, payload: bytes) -> None:
+        faults.inject("queue.complete")
         self._write_atomic(self._dir("results"), f"{task_id}.result",
                            payload)
         # Retire every copy of the task (a reclaimed duplicate may still
@@ -353,10 +435,21 @@ class FileSpoolQueue(WorkQueue):
                 if (parsed := self._parse_entry(name)) is not None
                 and parsed[0] == task_id]
 
+    def _quarantine_entry(self, path: str, name: str) -> None:
+        """Preserve a poison task's record instead of deleting it."""
+        try:
+            faults.inject("queue.quarantine")
+            os.replace(path, os.path.join(self._dir("quarantine"), name))
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
     def reclaim_expired(self) -> int:
         claimed_dir, tasks_dir = self._dir("claimed"), self._dir("tasks")
         requeued = 0
-        now = time.time()
+        now = faults.clock("queue.clock.reclaim")
         try:
             names = sorted(os.listdir(claimed_dir))
         except OSError:
@@ -365,16 +458,33 @@ class FileSpoolQueue(WorkQueue):
             parsed = self._parse_entry(name)
             if parsed is None:
                 continue
+            task_id, attempts, deadline_ms = parsed
             path = os.path.join(claimed_dir, name)
-            try:
-                age = now - os.stat(path).st_mtime
-            except OSError:
-                continue  # completed (or reclaimed) under us
-            if age <= self.lease:
+            if os.path.exists(os.path.join(self._dir("results"),
+                                           f"{task_id}.result")):
+                # Already answered (a heartbeat rename racing complete
+                # can orphan a claimed entry): retire, never requeue.
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
                 continue
-            task_id, attempts = parsed
+            if deadline_ms is not None:
+                if now * 1000.0 <= deadline_ms:
+                    continue
+            else:  # legacy entry: fall back to the mtime rule
+                try:
+                    age = now - os.stat(path).st_mtime
+                except OSError:
+                    continue  # completed (or reclaimed) under us
+                if age <= self.lease:
+                    continue
             if attempts >= self.retries:
+                # Quarantine before posting the failure: complete()
+                # retires every live entry for the task, so the rename
+                # must win first or there is nothing left to preserve.
                 body = self._read(path)
+                self._quarantine_entry(path, name)
                 if body is not None:
                     data = pickle.loads(body)
                     task = Task(task_id=data["task_id"],
@@ -382,10 +492,6 @@ class FileSpoolQueue(WorkQueue):
                                 payload=data["payload"], attempts=attempts)
                     self.complete(task_id, _budget_failure(task,
                                                            self.retries))
-                try:
-                    os.unlink(path)
-                except OSError:
-                    pass
                 continue
             target = os.path.join(tasks_dir,
                                   self._entry_name(task_id, attempts + 1))
@@ -423,10 +529,12 @@ class MemoryQueue(WorkQueue):
             return self._contexts.get(context_id)
 
     def submit(self, task: Task) -> None:
+        faults.inject("queue.submit")
         with self._lock:
             self._pending.append(task)
 
     def claim(self, worker_id: str = "") -> Task | None:
+        faults.inject("queue.claim")
         with self._lock:
             if not self._pending:
                 return None
@@ -441,6 +549,7 @@ class MemoryQueue(WorkQueue):
                 self._claimed[task_id] = (entry[0], time.monotonic())
 
     def complete(self, task_id: str, payload: bytes) -> None:
+        faults.inject("queue.complete")
         with self._lock:
             self._results[task_id] = payload
             self._claimed.pop(task_id, None)
@@ -489,7 +598,15 @@ _MAX_FRAME = 1 << 30
 
 
 def _send_frame(sock: socket.socket, payload: bytes) -> None:
-    sock.sendall(_FRAME.pack(len(payload)) + payload)
+    frame = _FRAME.pack(len(payload)) + payload
+    mangled = faults.inject_bytes("transport.send", frame)
+    sock.sendall(mangled)
+    if len(mangled) != len(frame):
+        # The peer now holds a torn frame; abandon the conversation the
+        # way a real mid-send failure would, so reconnect logic engages.
+        raise TransportError(
+            f"frame truncated in transit ({len(mangled)}/{len(frame)} "
+            "bytes sent)")
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
@@ -503,12 +620,13 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
 
 
 def _recv_frame(sock: socket.socket) -> bytes | None:
+    faults.inject("transport.recv")
     header = _recv_exact(sock, _FRAME.size)
     if header is None:
         return None
     (length,) = _FRAME.unpack(header)
     if length > _MAX_FRAME:
-        raise RemoteTaskError(f"oversized queue frame: {length} bytes")
+        raise TransportError(f"oversized queue frame: {length} bytes")
     return _recv_exact(sock, length)
 
 
@@ -523,7 +641,8 @@ class _QueueRequestHandler(socketserver.BaseRequestHandler):
             try:
                 frame = _recv_frame(self.request)
             except (OSError, RemoteTaskError):
-                return
+                return  # torn/oversized frame or dead peer: drop the
+                # connection, keep the server (clients reconnect)
             if frame is None:
                 return
             try:
@@ -537,7 +656,7 @@ class _QueueRequestHandler(socketserver.BaseRequestHandler):
             try:
                 _send_frame(self.request, pickle.dumps(
                     response, protocol=pickle.HIGHEST_PROTOCOL))
-            except OSError:
+            except (OSError, RemoteTaskError):
                 return
 
 
@@ -595,6 +714,13 @@ class QueueServer:
         self.stop()
 
 
+#: SocketQueue reconnect policy: attempts beyond the first, and the
+#: backoff bounds (seconds) between them.
+_RECONNECT_RETRIES = 3
+_BACKOFF_BASE = 0.05
+_BACKOFF_CAP = 1.0
+
+
 class SocketQueue(WorkQueue):
     """Client half of the socket transport: a :class:`WorkQueue` whose
     every method is one RPC to a :class:`QueueServer`.
@@ -602,6 +728,12 @@ class SocketQueue(WorkQueue):
     The executor and worker never know which transport they ride — this
     class and :class:`FileSpoolQueue` are interchangeable behind
     :class:`WorkQueue`.  Lease policy lives server-side.
+
+    Byte-level failures — a torn frame, a connection the server dropped
+    mid-reply, an undecodable response — raise :class:`TransportError`
+    after a bounded reconnect loop (exponential backoff with
+    derived-seed jitter, so a thundering herd of clients desynchronises
+    deterministically rather than by luck).
     """
 
     def __init__(self, address: str, timeout: float = 30.0) -> None:
@@ -615,9 +747,11 @@ class SocketQueue(WorkQueue):
         self._timeout = timeout
         self._lock = threading.Lock()
         self._sock: socket.socket | None = None
+        self._jitter = rng.derive(0, "transport-backoff", address)
 
     def _connect(self) -> socket.socket:
         if self._sock is None:
+            faults.inject("transport.connect")
             self._sock = socket.create_connection(self._endpoint,
                                                   timeout=self._timeout)
         return self._sock
@@ -626,21 +760,31 @@ class SocketQueue(WorkQueue):
         request = pickle.dumps((op, kwargs),
                                protocol=pickle.HIGHEST_PROTOCOL)
         with self._lock:
-            for retry in (True, False):
+            delay = _BACKOFF_BASE
+            for attempt in range(_RECONNECT_RETRIES + 1):
                 try:
                     sock = self._connect()
                     _send_frame(sock, request)
                     frame = _recv_frame(sock)
                     if frame is None:
-                        raise OSError("queue server closed the connection")
+                        raise TransportError(
+                            "queue server closed the connection mid-reply")
                     break
-                except OSError:
+                except (OSError, RemoteTaskError) as exc:
                     self._drop_connection()
-                    if not retry:
-                        raise RemoteTaskError(
+                    if attempt >= _RECONNECT_RETRIES:
+                        raise TransportError(
                             f"queue server at {self.address} is "
-                            "unreachable") from None
-        ok, value = pickle.loads(frame)
+                            f"unreachable after {attempt + 1} attempt(s): "
+                            f"{exc}") from exc
+                    time.sleep(delay * (0.5 + self._jitter.random()))
+                    delay = min(delay * 2.0, _BACKOFF_CAP)
+        try:
+            ok, value = pickle.loads(frame)
+        except Exception as exc:
+            raise TransportError(
+                f"undecodable queue reply ({len(frame)} bytes): "
+                f"{exc!r}") from exc
         if not ok:
             raise value
         return value

@@ -27,6 +27,21 @@ spuriously duplicated.  Every task executes under the worker-mode guard
 re-dispatching into the queue it is being served from (which could
 deadlock a finite worker pool).
 
+Failure discipline:
+
+* a transient queue failure on claim or complete (typed
+  :class:`~repro.exceptions.TransportError` / ``OSError``) is retried
+  with backoff — the loop never dies on a queue hiccup;
+* an injected :class:`~repro.exceptions.InjectedKill` simulates worker
+  death: a *real* worker process (``killable=True``) exits immediately
+  via ``os._exit`` (no cleanup — that is the point), while an in-process
+  :class:`WorkerThread` abandons the claim and keeps serving (its lease
+  lapses and the task requeues elsewhere);
+* ``run_worker`` installs SIGTERM/SIGINT handlers that request a stop:
+  the in-flight task finishes and completes, opened stores are synced,
+  and only then does the process exit — a drain, not a mid-``complete``
+  crash.
+
 Results are deterministic by the executor/store contracts, which is what
 makes at-least-once delivery safe: a reclaimed task re-executed elsewhere
 completes with identical bytes.
@@ -36,19 +51,21 @@ from __future__ import annotations
 
 import os
 import pickle
+import signal
 import tempfile
 import threading
 import time
 import uuid
 from typing import Sequence
 
-from repro import env
+from repro import env, faults
 from repro.ci.executor import (RemoteExecutor, _run_shard,
                                worker_mode_scope)
 from repro.distributed.queue import (FileSpoolQueue, Task, WorkQueue,
                                      encode_failure, encode_success,
                                      queue_from_spec)
-from repro.exceptions import RemoteTaskError
+from repro.exceptions import (FaultInjected, InjectedKill,
+                              RemoteTaskError, TransportError)
 
 __all__ = ["WorkerThread", "local_remote_executor", "run_worker",
            "worker_loop"]
@@ -57,6 +74,10 @@ __all__ = ["WorkerThread", "local_remote_executor", "run_worker",
 #: of one selection run share one context; a small cache covers suites
 #: interleaving a few tables without pinning every table ever shipped.
 CONTEXT_CACHE_SIZE = 4
+
+#: Attempts a worker makes to post one completed result before
+#: abandoning the claim to lease recovery.
+_COMPLETE_ATTEMPTS = 3
 
 
 def _load_context(queue: WorkQueue, context_id: str,
@@ -96,7 +117,8 @@ def _sync_store(store_root: str | None, namespace: str | None,
 
     Best-effort by design: the results already travel back through the
     queue, so a store hiccup must never fail the task — it only costs
-    warm-start coverage.
+    warm-start coverage.  The catches are typed: an I/O or data problem
+    is a shrug, a programming error still surfaces.
     """
     if store_root is None or namespace is None:
         return
@@ -117,13 +139,30 @@ def _sync_store(store_root: str | None, namespace: str | None,
                        "method": result.method},
                       token=token)
         cache.save()
-    except Exception:
+    except (OSError, ValueError, RemoteTaskError):
         pass
+
+
+def _flush_stores(stores: dict) -> None:
+    """Best-effort final sync of every store this worker opened."""
+    for store in stores.values():
+        try:
+            store.save()
+        except (OSError, ValueError):
+            pass
 
 
 def _execute(queue: WorkQueue, task: Task, store_root: str | None,
              contexts: dict, stores: dict) -> bytes:
-    """Run one task to a result payload; failures become failure payloads."""
+    """Run one task to a result payload; failures become failure payloads.
+
+    The broad catch is this boundary's contract: *any* task-level
+    exception must travel back as a failure payload for the dispatcher
+    to attribute — dropping one would turn a bug into a lease timeout.
+    :class:`InjectedKill` is the one exception that must escape: it
+    simulates the worker dying *here*, so it cannot be allowed to
+    complete the task.
+    """
     try:
         with worker_mode_scope():
             data = pickle.loads(task.payload)
@@ -139,6 +178,8 @@ def _execute(queue: WorkQueue, task: Task, store_root: str | None,
                             table, queries, results, stores)
                 return encode_success(results)
             raise RemoteTaskError(f"unknown task kind {kind!r}")
+    except InjectedKill:
+        raise
     except Exception as exc:
         return encode_failure(exc)
 
@@ -160,7 +201,7 @@ class _Heartbeat:
         while not self._stop.wait(self._interval()):
             try:
                 self._queue.extend(self._task_id)
-            except Exception:
+            except (RemoteTaskError, OSError):
                 return  # a dead queue ends the lease with the worker
 
     def _interval(self) -> float:
@@ -178,21 +219,56 @@ class _Heartbeat:
         self._thread.join(timeout=5)
 
 
+def _expired_failure(task: Task) -> bytes:
+    return encode_failure(RemoteTaskError(
+        f"remote task {task.task_id} reached its dispatch deadline "
+        "before a worker could start it; the batch timed out upstream"))
+
+
+def _complete_with_retry(queue: WorkQueue, task_id: str,
+                         payload: bytes, poll: float) -> bool:
+    """Post a result, riding out transient queue failures.
+
+    Returns ``False`` when every attempt failed — the claim is then
+    abandoned to lease recovery, which requeues the (deterministic)
+    task for another worker.  :class:`InjectedKill` propagates: a kill
+    during completion is the worker dying, not a retryable hiccup.
+    """
+    delay = max(poll, 0.01)
+    for attempt in range(_COMPLETE_ATTEMPTS):
+        try:
+            queue.complete(task_id, payload)
+            return True
+        except InjectedKill:
+            raise
+        except (TransportError, RemoteTaskError, OSError):
+            if attempt == _COMPLETE_ATTEMPTS - 1:
+                return False
+            time.sleep(delay)
+            delay *= 2.0
+    return False
+
+
 def worker_loop(queue: WorkQueue, worker_id: str = "",
                 store_root: str | os.PathLike | None = None,
                 max_idle: float | None = None,
                 max_tasks: int | None = None,
                 poll: float | None = None,
-                stop: threading.Event | None = None) -> int:
+                stop: threading.Event | None = None,
+                killable: bool = False) -> int:
     """Serve tasks from ``queue`` until told (or idled) to stop.
 
     ``max_idle`` bounds how long the worker waits without claiming
     anything (``None`` = forever); ``max_tasks`` caps executions (worker
     rotation, and deterministic tests); ``stop`` is an external kill
-    switch.  Returns the number of tasks executed.  The loop never dies
-    on a failing task — failures are posted as results — and it keeps
-    reclaiming expired sibling leases while idle, so one surviving
-    worker heals a peer's death.
+    switch — checked between tasks, so a stop request drains the
+    in-flight task rather than corrupting its completion.  ``killable``
+    says an :class:`InjectedKill` fault may really terminate this
+    process (``os._exit``); in-process worker threads instead abandon
+    the claim (the lease heals it) and keep serving.  Returns the number
+    of tasks executed.  The loop never dies on a failing task — failures
+    are posted as results — and it keeps reclaiming expired sibling
+    leases while idle, so one surviving worker heals a peer's death.
     """
     worker_id = worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
     if poll is None:
@@ -201,33 +277,77 @@ def worker_loop(queue: WorkQueue, worker_id: str = "",
     contexts: dict[str, tuple] = {}
     stores: dict[str, object] = {}
     executed = 0
+    claim_delay = poll
     idle_deadline = (time.monotonic() + max_idle
                      if max_idle is not None else None)
-    while stop is None or not stop.is_set():
-        task = queue.claim(worker_id)
-        if task is None:
-            if queue.reclaim_expired():
-                continue  # something just became claimable
-            if (idle_deadline is not None
-                    and time.monotonic() > idle_deadline):
+    try:
+        while stop is None or not stop.is_set():
+            try:
+                task = queue.claim(worker_id)
+                claim_delay = poll
+            except InjectedKill:
+                if killable:
+                    os._exit(99)
+                task = None  # abandon the attempt; keep serving
+            except (TransportError, RemoteTaskError, OSError):
+                # Queue hiccup: back off and retry, don't die — the
+                # dispatcher's lease machinery covers anything lost.
+                if stop is not None:
+                    stop.wait(claim_delay)
+                else:
+                    time.sleep(claim_delay)
+                claim_delay = min(claim_delay * 2.0, 1.0)
+                continue
+            if task is None:
+                try:
+                    if queue.reclaim_expired():
+                        continue  # something just became claimable
+                except (TransportError, RemoteTaskError, OSError):
+                    pass
+                if (idle_deadline is not None
+                        and time.monotonic() > idle_deadline):
+                    break
+                if stop is not None:
+                    stop.wait(poll)
+                else:
+                    time.sleep(poll)
+                continue
+            if (task.deadline
+                    and faults.clock("worker.clock") > task.deadline):
+                # The dispatcher already gave up on this batch; fail the
+                # task explicitly instead of computing into the void.
+                _complete_with_retry(queue, task.task_id,
+                                     _expired_failure(task), poll)
+                continue
+            heartbeat = _Heartbeat(queue, task.task_id,
+                                   _Heartbeat._heartbeat_interval(queue))
+            try:
+                # The execution-site fault fires outside _execute's
+                # failure-payload boundary: a kill here is worker death,
+                # never a task verdict.
+                faults.inject("worker.execute")
+                payload = _execute(queue, task, store_root, contexts,
+                                   stores)
+            except InjectedKill:
+                heartbeat.stop()
+                if killable:
+                    os._exit(99)
+                continue  # abandon the claim; the lease requeues it
+            except FaultInjected:
+                heartbeat.stop()
+                continue  # simulated crash mid-execute: same abandonment
+            finally:
+                heartbeat.stop()
+            if not _complete_with_retry(queue, task.task_id, payload,
+                                        poll):
+                continue  # claim abandoned to lease recovery
+            executed += 1
+            if max_idle is not None:
+                idle_deadline = time.monotonic() + max_idle
+            if max_tasks is not None and executed >= max_tasks:
                 break
-            if stop is not None:
-                stop.wait(poll)
-            else:
-                time.sleep(poll)
-            continue
-        heartbeat = _Heartbeat(queue, task.task_id,
-                               _Heartbeat._heartbeat_interval(queue))
-        try:
-            payload = _execute(queue, task, store_root, contexts, stores)
-        finally:
-            heartbeat.stop()
-        queue.complete(task.task_id, payload)
-        executed += 1
-        if max_idle is not None:
-            idle_deadline = time.monotonic() + max_idle
-        if max_tasks is not None and executed >= max_tasks:
-            break
+    finally:
+        _flush_stores(stores)
     return executed
 
 
@@ -236,14 +356,44 @@ def run_worker(queue_spec: str, store: str | None = None,
                max_tasks: int | None = None,
                poll: float | None = None,
                lease: float | None = None) -> int:
-    """CLI entry point body for ``python -m repro worker``."""
+    """CLI entry point body for ``python -m repro worker``.
+
+    Installs SIGTERM/SIGINT handlers that request a graceful stop: the
+    loop finishes (and completes) its in-flight task, syncs any opened
+    stores, and returns — the worker is drainable by ``kill``, never
+    left mid-``complete``.  A second signal falls back to the default
+    handler, so a wedged worker can still be killed hard.
+    """
     queue = queue_from_spec(queue_spec, lease=lease)
+    stop = threading.Event()
+    previous: dict[int, object] = {}
+
+    def _request_stop(signum, frame):  # pragma: no cover - signal timing
+        stop.set()
+        # Restore the previous disposition: a repeat signal kills.
+        for sig, handler in previous.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):
+                pass
+
+    try:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous[sig] = signal.signal(sig, _request_stop)
+    except ValueError:
+        previous = {}  # not the main thread (embedded use): no handlers
     try:
         worker_loop(queue, worker_id=worker_id, store_root=store,
-                    max_idle=max_idle, max_tasks=max_tasks, poll=poll)
+                    max_idle=max_idle, max_tasks=max_tasks, poll=poll,
+                    stop=stop, killable=True)
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
         pass
     finally:
+        for sig, handler in previous.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):
+                pass
         queue.close()
     return 0
 
@@ -255,6 +405,9 @@ class WorkerThread:
     full pickle round-trip through the transport — without process
     start-up cost.  Used by :func:`local_remote_executor`, benchmarks,
     and anywhere a dispatcher wants to guarantee at least one worker.
+    Never ``killable``: an injected kill makes it abandon its claim (the
+    lease requeues the task), since exiting would take the dispatcher's
+    process down with it.
     """
 
     def __init__(self, queue: WorkQueue,

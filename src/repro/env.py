@@ -43,6 +43,8 @@ __all__ = [
     "CI_REMOTE_RETRIES",
     "CI_REMOTE_TIMEOUT",
     "CI_WAVE_CELLS",
+    "FAULTS",
+    "FAULTS_SEED",
     "TABLE_BACKEND",
     "TABLE_RAM_CAP_MB",
     "markdown_table",
@@ -186,6 +188,19 @@ CI_REMOTE_POLL = _register(
     "REPRO_CI_REMOTE_POLL", "0.05",
     "poll interval (seconds) remote queue clients sleep between "
     "result/claim probes")
+
+FAULTS = _register(
+    "REPRO_FAULTS", "",
+    "deterministic fault-injection plan for chaos testing: "
+    "`;`-separated `site:kind[=value][@rate][xN]` terms (kinds "
+    "`raise`/`delay`/`truncate`/`kill`/`skew`) plus an optional "
+    "`seed=N`; empty disables injection entirely (zero-overhead shim)")
+
+FAULTS_SEED = _register(
+    "REPRO_FAULTS_SEED", "",
+    "seed deriving every fault site's random stream (overrides a "
+    "`seed=` term in `REPRO_FAULTS`); the same seed and plan replay "
+    "the same fault schedule")
 
 CI_CHUNK_ROWS = _register(
     "REPRO_CI_CHUNK_ROWS", "",

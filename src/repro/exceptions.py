@@ -60,3 +60,36 @@ class RemoteTaskError(ReproError):
     its requeue budget, when a dispatcher times out waiting for results,
     or when a queue transport is misconfigured.
     """
+
+
+class TransportError(RemoteTaskError):
+    """A queue transport failed at the byte level.
+
+    The *typed* face of every socket/spool mishap the distributed layer
+    can hit mid-conversation: truncated or malformed frames, a server
+    that closed the connection mid-stream, a result payload whose pickle
+    does not decode.  Clients must raise this — never a bare
+    ``EOFError`` / ``UnpicklingError`` — so dispatchers can tell a
+    transport hiccup (retry, reconnect, degrade) from a failing task.
+    """
+
+
+class FaultInjected(ReproError, OSError):
+    """An error deliberately raised by the fault-injection substrate.
+
+    Subclasses :class:`OSError` so injected failures travel the same
+    ``except OSError`` hardening paths a real I/O error would — the
+    whole point of injecting them.  Only ever raised when a
+    :class:`repro.faults.FaultPlan` is active (``REPRO_FAULTS``), never
+    in production configurations.
+    """
+
+
+class InjectedKill(FaultInjected):
+    """A fault-plan ``kill`` action fired: the worker must die here.
+
+    ``repro.distributed.worker.worker_loop`` translates this into
+    ``os._exit`` for real worker processes (simulating SIGKILL) and
+    into an abandoned claim for in-process worker threads — either way
+    the lease lapses and the task is requeued elsewhere.
+    """

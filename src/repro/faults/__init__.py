@@ -1,0 +1,50 @@
+"""Deterministic fault injection for chaos-testing the distributed stack.
+
+The substrate has two halves:
+
+* :class:`FaultPlan` (:mod:`repro.faults.plan`) — a parsed, seed-derived
+  schedule of faults (raise / delay / truncate / kill / skew) armed at
+  named sites, replayable from its ``describe()`` string;
+* the shims (:mod:`repro.faults.sites`) — :func:`inject`,
+  :func:`inject_bytes` and :func:`clock` calls threaded through every
+  I/O boundary in ``repro.distributed``, ``repro.ci.store`` and
+  ``repro.ci.executor``, which cost one global load + ``None`` check
+  when no plan is active.
+
+Activate a plan via ``REPRO_FAULTS`` (see :mod:`repro.env`) or, in
+tests, with::
+
+    with faults.use_plan(FaultPlan("queue.complete:raise@0.2", seed=7)):
+        ...
+
+The chaos suite (``tests/faults/``) asserts the library's locked
+invariants — verdicts, ``n_ci_tests``, ``cache_hits`` — are identical
+under any such schedule.
+"""
+
+from repro.faults.plan import KINDS, FaultPlan, FaultSpec, parse_spec
+from repro.faults.sites import (
+    SITES,
+    active_plan,
+    clock,
+    inject,
+    inject_bytes,
+    refresh_from_env,
+    use_plan,
+    validate_sites,
+)
+
+__all__ = [
+    "KINDS",
+    "SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "clock",
+    "inject",
+    "inject_bytes",
+    "parse_spec",
+    "refresh_from_env",
+    "use_plan",
+    "validate_sites",
+]

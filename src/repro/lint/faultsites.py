@@ -1,0 +1,122 @@
+"""RL107 — fault-sites.
+
+The chaos suite can only exercise failure paths the fault-injection
+substrate can reach: an I/O primitive in the distributed/store stack
+that bypasses every :mod:`repro.faults` shim is a boundary the
+deterministic fault plans cannot fail, so its hardening is untested by
+construction.  This checker flags raw I/O primitives — socket
+creation, ``sendall``, ``os.replace``/``os.rename``, and
+open-for-write — inside ``repro/distributed/`` and ``repro/ci/store.py``
+whose enclosing function never routes through a fault site
+(``faults.inject`` / ``faults.inject_bytes`` / ``faults.clock``).
+
+Function-level granularity is deliberate: one shim call at the top of
+an atomic helper (``_write_atomic``) covers the temp-write + rename
+pair inside it, because the plan fires *before* the primitive runs —
+splitting hairs over statement order would only breed suppressions.
+The rare legitimately-unreachable primitive takes an explicit
+``# repro-lint: disable=RL107``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import (Checker, Finding, ModuleSource, ProjectContext,
+                             Rule, call_func_name)
+
+RULE = Rule(
+    id="RL107",
+    name="fault-sites",
+    summary=("I/O primitives in repro/distributed/ and repro/ci/store.py "
+             "route through a repro.faults injection site"),
+    contract=("every I/O boundary in the distributed/store stack is "
+              "reachable by a deterministic fault plan, so the chaos "
+              "suite can exercise the failure path its hardening claims "
+              "to survive"),
+)
+
+#: Calls that arm a function as fault-injectable.  Bare names cover
+#: ``from repro.faults import inject`` style imports.
+_FAULT_ROUTES = {
+    "faults.inject", "faults.inject_bytes", "faults.clock",
+    "inject", "inject_bytes", "clock",
+}
+
+_RENAMES = {"os.replace", "os.rename"}
+_SOCKET_MAKERS = {"socket.socket", "socket.create_connection"}
+_OPENERS = {"open", "os.fdopen", "io.open"}
+
+_WRITE_MODE_CHARS = set("wax+")
+
+
+def _routes_through_site(func: ast.AST) -> bool:
+    return any(isinstance(node, ast.Call)
+               and call_func_name(node) in _FAULT_ROUTES
+               for node in ast.walk(func))
+
+
+def _opens_for_write(node: ast.Call) -> bool:
+    mode: ast.AST | None = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return False  # default "r": reads corrupt at the parse layer
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return bool(_WRITE_MODE_CHARS & set(mode.value))
+    return True  # dynamic mode: assume the worst, suppress if deliberate
+
+
+class FaultSiteChecker(Checker):
+    rule = RULE
+
+    def scope(self, module: ModuleSource) -> bool:
+        parts = module.parts
+        return ("distributed" in parts
+                or parts[-2:] == ("ci", "store.py"))
+
+    def check(self, module: ModuleSource,
+              context: ProjectContext) -> Iterator[Finding]:
+        yield from self._scan(module, module.tree, covered=False)
+
+    def _scan(self, module: ModuleSource, node: ast.AST,
+              covered: bool) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_covered = covered
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_covered = covered or _routes_through_site(child)
+            elif not child_covered and isinstance(child, ast.Call):
+                yield from self._check_call(module, child)
+            yield from self._scan(module, child, child_covered)
+
+    def _check_call(self, module: ModuleSource,
+                    node: ast.Call) -> Iterator[Finding]:
+        name = call_func_name(node)
+        if name in _SOCKET_MAKERS:
+            yield self.finding(
+                module, node,
+                f"raw {name}() outside a fault-routed function: connect "
+                "through a function that calls faults.inject"
+                "('transport.connect') so chaos plans can fail it")
+        elif name in _RENAMES:
+            yield self.finding(
+                module, node,
+                f"raw {name}() outside a fault-routed function: atomic "
+                "renames in the distributed/store stack must sit behind a "
+                "repro.faults site (inject/inject_bytes/clock)")
+        elif name in _OPENERS and _opens_for_write(node):
+            yield self.finding(
+                module, node,
+                f"{name}() for write outside a fault-routed function: "
+                "route the payload through faults.inject_bytes so torn "
+                "writes are injectable")
+        elif name.endswith(".sendall"):
+            yield self.finding(
+                module, node,
+                "raw socket sendall() outside a fault-routed function: "
+                "send frames through a helper that calls "
+                "faults.inject_bytes('transport.send')")

@@ -167,12 +167,16 @@ class TestConcurrentSaves:
 
         broken = PersistentCICache(path)
         broken.put("fp2", query_key("z"), "g-test", 0.01, RECORD)
-        monkeypatch.setattr(json, "dump",
+        monkeypatch.setattr(json, "dumps",
                             lambda *a, **k: (_ for _ in ()).throw(OSError()))
-        with pytest.raises(OSError):
+        with pytest.warns(RuntimeWarning, match="retained"):
             broken.save()
         assert path.read_text() == survivor
         assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+        # The unsaved entries stay live and land once writes heal.
+        monkeypatch.undo()
+        broken.save()
+        assert len(PersistentCICache(path)) == 2
 
 
 def small_problem():

@@ -90,14 +90,49 @@ class TestInlineFallbacks:
 
 class TestTransportFailures:
     def test_timeout_surfaces_as_citesterror_with_query_none(self):
-        """No workers → the batch times out; the failure is on the
-        executor error contract (CITestError, query=None), matching a
-        broken process pool."""
+        """No workers, ``degrade=False`` → the batch times out; the
+        failure is on the strict executor error contract (CITestError,
+        query=None), matching a broken process pool."""
         executor = RemoteExecutor(queue=MemoryQueue(lease=5), min_batch=2,
-                                  timeout=0.4, poll=0.02)
+                                  timeout=0.4, poll=0.02, degrade=False)
         with pytest.raises(CITestError, match="transport") as excinfo:
             executor.run(GTestCI(), build_table(), QUERIES)
         assert excinfo.value.query is None
+
+    def test_degradation_ladder_recovers_the_batch(self):
+        """Default ``degrade=True``: the same dead queue produces the
+        *serial* answer plus a RuntimeWarning — never an exception, and
+        never different results."""
+        table = build_table()
+        baseline = [result_tuple(r)
+                    for r in SerialExecutor().run(GTestCI(), table, QUERIES)]
+        executor = RemoteExecutor(queue=MemoryQueue(lease=5), min_batch=2,
+                                  timeout=0.4, poll=0.02)
+        try:
+            with pytest.warns(RuntimeWarning, match="degrading"):
+                got = [result_tuple(r)
+                       for r in executor.run(GTestCI(), table, QUERIES)]
+            assert got == baseline
+            # Degradation is sticky: the next batch skips the dead queue
+            # (no second timeout wait, no second warning) yet still
+            # computes the identical answer.
+            again = [result_tuple(r)
+                     for r in executor.run(GTestCI(), table, QUERIES)]
+            assert again == baseline
+        finally:
+            executor.close()
+
+    def test_close_resets_degradation(self):
+        executor = RemoteExecutor(queue=MemoryQueue(lease=5), min_batch=2,
+                                  timeout=0.2, poll=0.02)
+        try:
+            with pytest.warns(RuntimeWarning, match="degrading"):
+                executor.run(GTestCI(), build_table(), QUERIES)
+            assert executor._degraded
+            executor.close()
+            assert not executor._degraded
+        finally:
+            executor.close()
 
 
 class TestExecutorPickling:

@@ -1,0 +1,123 @@
+"""Chaos invariance: fault schedules never change *what* is computed.
+
+The whole PR in one assertion: run the same CI workload serially and
+through the distributed stack while a deterministic fault plan kills
+workers, flakes queue calls, and skews clocks — verdicts, ``n_tests``,
+``cache_hits``, and entry order must come back bitwise identical to the
+fault-free serial baseline.  Faults may cost retries and wall clock,
+never results.  Plans carry explicit ``xN`` caps sized under the retry
+budget so every schedule is survivable by construction; surviving it
+with *identical* counts is what these tests prove.
+"""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.ci.base import CIQuery, CITestLedger
+from repro.ci.gtest import GTestCI
+from repro.data.table import Table
+from repro.distributed.dispatch import remote_map
+from repro.distributed.queue import FileSpoolQueue
+from repro.distributed.worker import WorkerThread, local_remote_executor
+
+LEASE = 1.0
+RETRIES = 6
+
+#: Deterministic chaos schedules, each bounded (xN) below the retry
+#: budget.  Kills hit worker threads (which abandon the claim and let
+#: the lease heal it), raises hit the queue I/O paths, skews desync the
+#: claimer's clock from the reclaimer's.
+PLANS = [
+    "worker.execute:kill@0.5x3;queue.complete:raise@0.3x2;seed=7",
+    "queue.claim:raise@0.3x4;worker.execute:raise@0.5x2;seed=3",
+    "worker.execute:kill@0.4x2;queue.clock.claim:skew=-0.1;"
+    "queue.submit:raise@0.2x2;seed=11",
+]
+
+
+def build_table(seed: int = 5, n_rows: int = 90) -> Table:
+    generator = np.random.default_rng(seed)
+    return Table({
+        "s": generator.integers(0, 2, n_rows),
+        "y": generator.integers(0, 2, n_rows),
+        "a": generator.integers(0, 3, n_rows),
+        **{f"f{i}": generator.integers(0, 2 + i % 3, n_rows)
+           for i in range(6)},
+    })
+
+
+def build_queries() -> list[CIQuery]:
+    queries = [CIQuery.make(f"f{i}", "y", z) for i, z in enumerate(
+        [(), ("a",), ("s",), ("a", "s"), (), ("a",)])]
+    return queries + queries[:2]  # duplicates exercise cache_hits
+
+
+def result_tuple(result):
+    return (result.independent, result.p_value, result.statistic,
+            result.query, result.method)
+
+
+def run_ledger(executor=None):
+    ledger = CITestLedger(GTestCI(), cache=True, executor=executor)
+    results = [result_tuple(r)
+               for r in ledger.test_batch(build_table(), build_queries())]
+    return results, ledger
+
+
+class TestCIChaosInvariance:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        results, ledger = run_ledger()
+        return results, ledger.n_tests, ledger.cache_hits, \
+            [e.query for e in ledger.entries]
+
+    @pytest.mark.parametrize("spec", PLANS)
+    def test_verdicts_and_counts_are_fault_schedule_invariant(
+            self, baseline, spec):
+        results, n_tests, cache_hits, entry_queries = baseline
+        with faults.use_plan(faults.FaultPlan(spec)):
+            executor = local_remote_executor(
+                n_workers=2, min_batch=2, lease=LEASE, retries=RETRIES,
+                timeout=120)
+            try:
+                got, ledger = run_ledger(executor)
+            finally:
+                executor.close()
+        assert got == results
+        assert ledger.n_tests == n_tests
+        assert ledger.cache_hits == cache_hits
+        assert [e.query for e in ledger.entries] == entry_queries
+
+    def test_replaying_a_schedule_reproduces_the_run(self, baseline):
+        """The same spec string builds the same schedule twice: both
+        chaos runs agree with each other *and* the baseline."""
+        spec = PLANS[0]
+        runs = []
+        for _ in range(2):
+            with faults.use_plan(faults.FaultPlan(spec)):
+                executor = local_remote_executor(
+                    n_workers=2, min_batch=2, lease=LEASE,
+                    retries=RETRIES, timeout=120)
+                try:
+                    got, _ = run_ledger(executor)
+                finally:
+                    executor.close()
+            runs.append(got)
+        assert runs[0] == runs[1] == baseline[0]
+
+
+def _square(x):
+    return x * x
+
+
+class TestRemoteMapChaosInvariance:
+    @pytest.mark.parametrize("spec", PLANS)
+    def test_remote_map_survives_with_exact_results(self, tmp_path, spec):
+        with faults.use_plan(faults.FaultPlan(spec)):
+            queue = FileSpoolQueue(tmp_path / "q", lease=LEASE,
+                                   retries=RETRIES)
+            with WorkerThread(queue), WorkerThread(queue):
+                got = remote_map(_square, list(range(12)), queue,
+                                 timeout=120)
+        assert got == [x * x for x in range(12)]

@@ -1,0 +1,106 @@
+"""Socket transport hardening: hostile frames, dead servers, reconnects.
+
+The server must survive anything a client's socket can throw at it —
+garbage headers, oversized length prefixes, connections cut mid-frame —
+and keep serving well-behaved clients.  The client must surface every
+byte-level failure as a typed :class:`TransportError` (a
+:class:`RemoteTaskError`, never a bare ``EOFError``/``OSError``) after
+its bounded reconnect loop, and heal transparently when the failure was
+transient.
+"""
+
+import socket
+import struct
+
+import pytest
+
+from repro import faults
+from repro.distributed.queue import (MemoryQueue, QueueServer, SocketQueue,
+                                     Task)
+from repro.exceptions import RemoteTaskError, TransportError
+
+
+@pytest.fixture
+def server():
+    with QueueServer(MemoryQueue(lease=5, retries=2)) as running:
+        yield running
+
+
+def endpoint(server):
+    host, _, port = server.address.removeprefix("tcp://").rpartition(":")
+    return host, int(port)
+
+
+def submit_and_claim(client, task_id="t0"):
+    client.submit(Task(task_id=task_id, context_id="", payload=b"work"))
+    task = client.claim("w")
+    assert task is not None and task.task_id == task_id
+
+
+class TestErrorTaxonomy:
+    def test_transport_error_is_a_remote_task_error(self):
+        assert issubclass(TransportError, RemoteTaskError)
+        assert not issubclass(TransportError, EOFError)
+
+    def test_dead_server_raises_typed_unreachable_not_eoferror(self):
+        address = None
+        with QueueServer(MemoryQueue(lease=5)) as running:
+            address = running.address
+        client = SocketQueue(address, timeout=2.0)
+        with pytest.raises(TransportError, match="unreachable"):
+            client.submit(Task(task_id="t0", context_id="", payload=b"x"))
+
+
+class TestHostileClients:
+    def send_raw(self, server, blob):
+        with socket.create_connection(endpoint(server), timeout=5) as sock:
+            sock.sendall(blob)
+
+    def test_garbage_header_does_not_kill_the_server(self, server):
+        # 0xffffffff decodes as a 4 GiB frame: rejected as oversized.
+        self.send_raw(server, b"\xff\xff\xff\xffgarbage")
+        submit_and_claim(SocketQueue(server.address, timeout=5))
+
+    def test_truncated_frame_then_disconnect_keeps_serving(self, server):
+        # Header promises 100 bytes, the connection dies after 10.
+        self.send_raw(server, struct.pack(">I", 100) + b"ten bytes!")
+        submit_and_claim(SocketQueue(server.address, timeout=5))
+
+    def test_undecodable_frame_body_keeps_serving(self, server):
+        blob = b"this is not a pickle"
+        self.send_raw(server, struct.pack(">I", len(blob)) + blob)
+        submit_and_claim(SocketQueue(server.address, timeout=5))
+
+
+class TestClientRecovery:
+    def test_injected_truncated_send_heals_by_reconnecting(self, server):
+        """A mid-send truncation (the ``transport.send`` site) tears one
+        frame; the client drops the connection and the retry succeeds —
+        the caller never sees the fault."""
+        client = SocketQueue(server.address, timeout=5)
+        with faults.use_plan(
+                faults.FaultPlan("transport.send:truncate=0.5x1")):
+            submit_and_claim(client)
+
+    def test_injected_recv_fault_heals_by_reconnecting(self, server):
+        client = SocketQueue(server.address, timeout=5)
+        with faults.use_plan(faults.FaultPlan("transport.recv:raisex1")):
+            submit_and_claim(client)
+
+    def test_reconnect_after_server_restart_on_same_port(self, server):
+        """Mid-stream disconnect: the server goes away between calls and
+        comes back on the same port; the same client object heals."""
+        client = SocketQueue(server.address, timeout=5)
+        submit_and_claim(client, task_id="before")
+        host, port = endpoint(server)
+        server.stop()
+        with QueueServer(MemoryQueue(lease=5), host=host, port=port):
+            submit_and_claim(client, task_id="after")
+
+    def test_exhausted_reconnects_name_the_attempt_count(self, server):
+        client = SocketQueue(server.address, timeout=2.0)
+        submit_and_claim(client)
+        server.stop()
+        client.close()  # force a re-dial of the now-closed port
+        with pytest.raises(TransportError, match=r"4 attempt\(s\)"):
+            client.result("t0")

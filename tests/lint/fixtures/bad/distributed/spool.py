@@ -1,0 +1,23 @@
+"""RL107 bad fixture: raw I/O in the distributed stack, no fault sites."""
+
+import os
+import socket
+import tempfile
+
+
+def write_entry(directory, name, payload):
+    descriptor, tmp_path = tempfile.mkstemp(dir=directory)
+    with os.fdopen(descriptor, "wb") as handle:  # finding: open-for-write
+        handle.write(payload)
+    os.replace(tmp_path, os.path.join(directory, name))  # finding: rename
+
+
+def claim_entry(source, target):
+    os.rename(source, target)  # finding: rename
+    return target
+
+
+def connect(endpoint):
+    sock = socket.create_connection(endpoint)  # finding: raw socket
+    sock.sendall(b"hello")  # finding: raw sendall
+    return sock

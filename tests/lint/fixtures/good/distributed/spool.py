@@ -1,0 +1,35 @@
+"""RL107 good fixture: the same I/O, routed through fault sites."""
+
+import os
+import socket
+import tempfile
+
+from repro import faults
+
+
+def write_entry(directory, name, payload):
+    payload = faults.inject_bytes("spool.write", payload)
+    descriptor, tmp_path = tempfile.mkstemp(dir=directory)
+    with os.fdopen(descriptor, "wb") as handle:
+        handle.write(payload)
+    os.replace(tmp_path, os.path.join(directory, name))
+
+
+def claim_entry(source, target):
+    faults.inject("queue.claim")
+    os.rename(source, target)
+    return target
+
+
+def read_entry(path):
+    # Read-mode open needs no site: a torn read surfaces at the parser.
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def connect(endpoint):
+    faults.inject("transport.connect")
+    sock = socket.create_connection(endpoint)
+    frame = faults.inject_bytes("transport.send", b"hello")
+    sock.sendall(frame)
+    return sock
