@@ -22,6 +22,7 @@ from repro.core.problem import FairFeatureSelectionProblem
 from repro.core.result import SelectionResult
 from repro.core.seqsel import SeqSel
 from repro.core.grpsel import GrpSel
+from repro.core.online import OnlineSelector
 
 __version__ = "1.0.0"
 
@@ -30,5 +31,6 @@ __all__ = [
     "SelectionResult",
     "SeqSel",
     "GrpSel",
+    "OnlineSelector",
     "__version__",
 ]

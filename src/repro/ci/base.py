@@ -356,6 +356,21 @@ class CITestLedger(CITester):
         self._cache.clear()
         self.cache_hits = 0
 
+    def credit_cache_hits(self, n: int) -> None:
+        """Count ``n`` verdicts reused without execution as cache hits.
+
+        For callers that keep their own verdict memo *above* the ledger —
+        the online selector's delta-reuse policy skips a phase-2 retry
+        whenever the feature's evidence is fingerprint-unchanged — the
+        skip has the same semantics as a ledger cache hit: a verdict
+        served without running a test.  Crediting it here keeps the
+        paper's count invariant in one place (``cache_hits``, never
+        ``n_tests``).
+        """
+        if n < 0:
+            raise ValueError(f"cannot credit {n} cache hits")
+        self.cache_hits += n
+
     def _cache_key(self, table: Table | None, query: CIQuery) -> tuple:
         # Keyed on content, not identity: a rebuilt table with the same data
         # hits, a same-shaped table with different data never does.

@@ -11,6 +11,11 @@ Commands:
 * ``python -m repro suite --datasets german compas --algorithms grpsel seqsel``
   run a (dataset × selector × classifier) experiment suite, legs in
   parallel worker processes over one shared experiment store,
+* ``python -m repro stream --dataset german --batches 4``
+  simulate the online setting on a bundled dataset: candidate features
+  arrive in batches (and rows optionally append per batch) over one
+  :class:`~repro.core.online.OnlineSelector`, printing the anytime
+  selection state after every batch,
 * ``python -m repro calibrate --store runs/``
   measure per-tester executor throughput on this machine and persist the
   choices ``default_executor`` makes when ``REPRO_CI_EXECUTOR`` is unset,
@@ -200,6 +205,33 @@ def build_parser() -> argparse.ArgumentParser:
                             "identical")
     _add_backend_flag(suite)
 
+    stream = sub.add_parser(
+        "stream",
+        help="simulate the online setting: candidate features arrive in "
+             "batches (rows optionally append per batch) over one "
+             "OnlineSelector, printing the anytime state per batch")
+    stream.add_argument("--dataset", choices=sorted(LOADERS), required=True)
+    stream.add_argument("--batches", type=int, default=3, metavar="N",
+                        help="number of arriving candidate batches the "
+                             "pool is split into (default 3)")
+    stream.add_argument("--rows-per-batch", type=int, default=None,
+                        metavar="N",
+                        help="drift mode: start from a row prefix and "
+                             "append N rows with every batch after the "
+                             "first (exercises the prefix-cached table "
+                             "kernels); default: the full table throughout")
+    stream.add_argument("--delta", choices=("column", "coarse", "off"),
+                        default=None,
+                        help="delta-reuse policy gating phase-2 retries "
+                             "of previously decided features (default: "
+                             f"the {env.STREAM_DELTA.name} env var, else "
+                             "column)")
+    stream.add_argument("--alpha", type=float, default=0.01,
+                        help="CI-test significance level (default 0.01)")
+    stream.add_argument("--seed", type=int, default=0)
+    _add_ci_flags(stream)
+    _add_execution_flags(stream)
+
     worker = sub.add_parser(
         "worker",
         help="serve a distributed work queue: execute CI-test shards and "
@@ -347,6 +379,81 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    from repro.core.online import OnlineSelector
+    from repro.core.problem import FairFeatureSelectionProblem
+
+    if args.batches < 1:
+        raise SystemExit(f"--batches must be >= 1, got {args.batches}")
+    dataset = LOADERS[args.dataset](seed=args.seed)
+    problem = dataset.problem()
+    pool = list(problem.candidates)
+    n_batches = min(args.batches, len(pool))
+    per = -(-len(pool) // n_batches)
+    feature_batches = [pool[i * per:(i + 1) * per]
+                       for i in range(n_batches)]
+
+    full = problem.table
+    grow = args.rows_per_batch
+    if grow is not None:
+        if grow < 1:
+            raise SystemExit(
+                f"--rows-per-batch must be >= 1, got {grow}")
+        base = full.n_rows - grow * (n_batches - 1)
+        if base < 1:
+            raise SystemExit(
+                f"--rows-per-batch {grow} x {n_batches} batches needs "
+                f"more than the table's {full.n_rows} rows")
+        table = full.head(base)
+    else:
+        table = full
+
+    def arriving():
+        nonlocal table
+        seen: list[str] = []
+        for i, batch in enumerate(feature_batches):
+            if grow is not None and i:
+                lo = table.n_rows
+                table = table.with_appended_rows(
+                    {name: full[name][lo:lo + grow]
+                     for name in full.columns})
+            seen.extend(batch)
+            yield (FairFeatureSelectionProblem(
+                table=table, sensitive=list(problem.sensitive),
+                admissible=list(problem.admissible), candidates=list(seen),
+                target=problem.target, name=problem.name), batch)
+
+    store = _store_from_args(args)
+    selector = OnlineSelector(
+        tester=_tester_from_args(args),
+        subset_strategy=(strategy_by_name(args.subsets)
+                         if args.subsets else None),
+        cache=store.ci_cache("online") if store is not None else False,
+        executor=_executor_from_args(args),
+        delta=args.delta)
+
+    rows = []
+    for i, result in enumerate(selector.stream(arriving())):
+        rows.append({
+            "batch": i + 1,
+            "arrived": len(feature_batches[i]),
+            "rows": table.n_rows,
+            "C1": len(result.c1), "C2": len(result.c2),
+            "rejected": len(result.rejected),
+            "n_ci_tests": result.n_ci_tests,
+            "cache_hits": result.cache_hits,
+            "seconds": f"{result.seconds:.3f}",
+        })
+    if store is not None:
+        store.save()
+    policy = args.delta or env.STREAM_DELTA.read()
+    print(render_table(
+        rows, title=f"Online stream on {dataset.name}: {n_batches} "
+                    f"batches, delta={policy}"))
+    print(selector.current.summary())
+    return 0
+
+
 def cmd_worker(args: argparse.Namespace) -> int:
     from repro.distributed.worker import run_worker
 
@@ -455,7 +562,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     _apply_backend(args)
     handlers = {"select": cmd_select, "evaluate": cmd_evaluate,
-                "suite": cmd_suite, "calibrate": cmd_calibrate,
+                "suite": cmd_suite, "stream": cmd_stream,
+                "calibrate": cmd_calibrate,
                 "worker": cmd_worker, "lint": cmd_lint,
                 "faults": cmd_faults, "datasets": cmd_datasets}
     return handlers[args.command](args)

@@ -47,7 +47,7 @@ import time
 from typing import Callable, Sequence
 
 from repro.ci import default_tester
-from repro.ci.base import CIQuery, CITestLedger, CITester
+from repro.ci.base import CIQuery, CIResult, CITestLedger, CITester
 from repro.ci.executor import BatchExecutor
 from repro.ci.store import PersistentCICache
 from repro.core.problem import FairFeatureSelectionProblem
@@ -196,6 +196,29 @@ class WavefrontEngine:
                         [list(sub) for sub in refine(group) if sub])
             frontier = next_frontier
         return admitted
+
+    def phase2_verdicts(self, ledger: CITestLedger,
+                        problem: FairFeatureSelectionProblem,
+                        features: Sequence[str],
+                        conditioning: Sequence[str]) -> list[CIResult]:
+        """Phase-2 verdicts for many features as one wavefront.
+
+        Each feature contributes the single query
+        ``X ⊥ Y | (A ∪ C1) \\ {X}`` — a one-rank stream, so the whole
+        pass is one wave whose same-``(Y, Z)`` queries fuse into the
+        batched backend kernels, split only by the wave-width cap (the
+        online selector's retry/re-validation pass rides this).  Counts
+        and verdicts are identical to a flat ``test_batch`` submission:
+        the executed query set is the same, and one-query streams have
+        no early exit to interact across.
+        """
+        streams = [[CIQuery.make(feature, problem.target,
+                                 [c for c in conditioning if c != feature])]
+                   for feature in features]
+        outcomes = ledger.test_waves(
+            problem.table, streams,
+            max_wave=wave_width_cap(problem.table.n_rows))
+        return [prefix[0] for prefix in outcomes]
 
     # -- common stream shapes ------------------------------------------------
 

@@ -141,6 +141,22 @@ def iter_slices(n: int, chunk: int) -> Iterator[slice]:
         yield slice(start, min(start + chunk, n))
 
 
+def hash_array_blocks(digest, arr: np.ndarray) -> None:
+    """Feed ``arr``'s raw bytes into ``digest`` in fixed-size blocks.
+
+    The canonical byte stream of a numeric column: :data:`HASH_BLOCK_ROWS`
+    windows, each serialized contiguously.  BLAKE2 digests are
+    concatenation-invariant, so the result equals hashing the whole
+    buffer at once — and a retained (pre-finalized) digest object can be
+    extended with just the *appended* rows of a grown column and still
+    produce the full-column digest (the prefix-cache path of
+    ``Table.with_appended_rows``).  Peak memory stays one block
+    regardless of column length or backend.
+    """
+    for window in iter_slices(arr.shape[0], HASH_BLOCK_ROWS):
+        digest.update(np.ascontiguousarray(arr[window]).tobytes())
+
+
 class ColumnBackend:
     """Where a table's column bytes live.
 

@@ -38,7 +38,8 @@ import numpy as np
 
 from repro.exceptions import SchemaError
 from repro.data.backend import (ColumnBackend, HASH_BLOCK_ROWS,
-                                MOMENT_BLOCK_ROWS, iter_slices, make_backend,
+                                MOMENT_BLOCK_ROWS, hash_array_blocks,
+                                iter_slices, make_backend,
                                 resolve_chunk_rows)
 from repro.data.schema import ColumnSpec, Kind, Role, TableSchema
 from repro.rng import SeedLike, as_generator
@@ -151,6 +152,24 @@ class Table:
         self._std_blocks: dict[tuple[str, ...], np.ndarray] = {}
         self._bandwidth_cache: dict[tuple, float] = {}
         self._subset_fingerprints: dict[tuple[str, ...], str] = {}
+        # Prefix caches (the incremental-kernel substrate).  Per-column
+        # *running* blake2b states over (name, dtype, kind, bytes): a
+        # lineage child copies a parent's state and extends it with only
+        # the appended bytes (see with_appended_rows).  _code_values keeps
+        # the sorted level values behind _single_codes so a grown column
+        # relabels only its tail; _moment_sums keeps full-aligned-block
+        # partial sums of the streamed moment pass (pass 1 of
+        # _streamed_standardized), reusable because identical content
+        # yields identical block sums.  All of these are *derived* state:
+        # rebuilt from column values on demand, never serialized.
+        self._col_hashes: dict[str, "hashlib.blake2b"] = {}
+        self._code_values: dict[str, np.ndarray] = {}
+        self._moment_sums: dict[str, dict[int, float]] = {}
+        # Lineage snapshot: rows inherited from a with_appended_rows
+        # parent, plus the parent's (codes, level values) per column —
+        # consumed (and dropped) by the first _single_codes call.
+        self._prefix_rows: int = 0
+        self._prefix_codes: dict[str, tuple[np.ndarray, np.ndarray]] = {}
 
     # -- basic accessors --------------------------------------------------
 
@@ -214,11 +233,19 @@ class Table:
         selection, not test outcomes.  The storage backend does not either:
         fingerprints hash the byte stream in fixed blocks, so in-memory and
         memory-mapped tables with the same data share one fingerprint.)
+
+        Composed from the per-column digests (in schema order), not from
+        one flat byte stream: the per-column blake2b *states* are cached,
+        so a :meth:`with_appended_rows` child extends each inherited state
+        with only the appended bytes — the whole-table fingerprint of a
+        grown table costs O(new rows).  Still a pure function of the
+        column values: two tables with identical columns share a
+        fingerprint however they were constructed.
         """
         if self._fingerprint is None:
             digest = hashlib.blake2b(digest_size=16)
             for name in self.columns:
-                self._hash_column(digest, name)
+                digest.update(self._col_hash_state(name).digest())
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
 
@@ -232,15 +259,49 @@ class Table:
         appended to the (widening) table.  Memoised per name-set
         (columns are immutable): the continuous CI engine consults it on
         every per-block generator derivation and bandwidth lookup.
+
+        A single-column request reads the cached per-column hash state
+        (O(new rows) on a :meth:`with_appended_rows` child) — the online
+        selector's per-column delta map leans on this.  Multi-column
+        requests keep the original one-digest-over-the-byte-streams
+        definition so existing content-derived values (RCIT's per-block
+        seed derivation) are stable.
         """
         key = tuple(sorted(set(names)))
         cached = self._subset_fingerprints.get(key)
         if cached is None:
-            digest = hashlib.blake2b(digest_size=16)
-            for name in key:
-                self._hash_column(digest, name)
-            cached = self._subset_fingerprints[key] = digest.hexdigest()
+            if len(key) == 1:
+                cached = self._col_hash_state(key[0]).hexdigest()
+            else:
+                digest = hashlib.blake2b(digest_size=16)
+                for name in key:
+                    self._hash_column(digest, name)
+                cached = digest.hexdigest()
+            self._subset_fingerprints[key] = cached
         return cached
+
+    def _col_hash_state(self, name: str):
+        """The cached *running* blake2b state of one column's canonical
+        stream (name, dtype, kind, bytes).  Callers read ``.digest()``
+        without finalising, so the state stays extendable: lineage
+        children append just the tail bytes (:meth:`with_appended_rows`).
+        ``hexdigest()`` of this state is exactly the single-column
+        :meth:`fingerprint_of`."""
+        state = self._col_hashes.get(name)
+        if state is None:
+            arr = self[name]
+            state = hashlib.blake2b(digest_size=16)
+            state.update(name.encode())
+            state.update(str(arr.dtype).encode())
+            state.update(self.schema.spec(name).kind.value.encode())
+            if arr.dtype.kind == "O":
+                # repr of the whole list: not incrementally extendable,
+                # so object columns never adopt a parent state.
+                state.update(repr(arr.tolist()).encode())
+            else:
+                hash_array_blocks(state, arr)
+            self._col_hashes[name] = state
+        return state
 
     def _hash_column(self, digest, name: str) -> None:
         arr = self[name]
@@ -252,9 +313,7 @@ class Table:
         else:
             # Fixed-block incremental hashing: identical digest to hashing
             # the whole buffer at once, bounded peak memory on memmaps.
-            for window in iter_slices(self._n_rows, HASH_BLOCK_ROWS):
-                digest.update(
-                    np.ascontiguousarray(arr[window]).tobytes())
+            hash_array_blocks(digest, arr)
 
     def float_column(self, name: str) -> np.ndarray:
         """Cached read-only float conversion of one column."""
@@ -313,12 +372,19 @@ class Table:
         return codes, n_levels
 
     def _single_codes(self, name: str) -> tuple[np.ndarray, int]:
-        """Dense codes of one rounded column (single-pass or streamed)."""
+        """Dense codes of one rounded column (single-pass, streamed, or —
+        on a :meth:`with_appended_rows` child — extended from the parent's
+        codes at O(new rows)).  Every path records the sorted level values
+        in ``_code_values`` so future children can extend in turn."""
+        prefix = self._prefix_codes.pop(name, None)
+        if prefix is not None:
+            return self._extended_codes(name, *prefix)
         # Working set: the int64 codes plus the float chunk in flight.
         chunk = resolve_chunk_rows(self._n_rows, row_bytes=24)
         if not chunk:
             col = np.round(self.float_column(name)).astype(np.int64)
             uniq, inverse = np.unique(col, return_inverse=True)
+            self._code_values[name] = uniq
             return inverse.astype(np.int64), int(uniq.size)
         parts = [
             np.unique(np.round(self._float_chunk(name, window))
@@ -331,6 +397,32 @@ class Table:
             codes[window] = np.searchsorted(
                 uniq, np.round(self._float_chunk(name, window))
                 .astype(np.int64))
+        self._code_values[name] = uniq
+        return codes, int(uniq.size)
+
+    def _extended_codes(self, name: str, parent_codes: np.ndarray,
+                        parent_values: np.ndarray) -> tuple[np.ndarray, int]:
+        """Extend a lineage parent's dense codes with this table's tail.
+
+        Bitwise identical to ``np.unique(full column, return_inverse)``:
+        the sorted level set of the grown column is the union of the
+        parent's levels and the tail's, and every element's code is its
+        value's rank in that union.  When the tail introduces no new
+        level the parent codes are reused verbatim (the common streaming
+        case — O(new rows)); otherwise only an O(n) integer relabelling
+        gather runs, never a re-sort of the full column.
+        """
+        n0 = parent_codes.shape[0]
+        tail = np.round(self._float_chunk(name, slice(n0, self._n_rows))
+                        ).astype(np.int64)
+        uniq = np.union1d(parent_values, np.unique(tail))
+        codes = self._backend.empty(self._n_rows, np.int64)
+        if uniq.size == parent_values.size:
+            codes[:n0] = parent_codes
+        else:
+            codes[:n0] = np.searchsorted(uniq, parent_values)[parent_codes]
+        codes[n0:] = np.searchsorted(uniq, tail)
+        self._code_values[name] = uniq
         return codes, int(uniq.size)
 
     def _densify_int(self, values: np.ndarray,
@@ -380,12 +472,30 @@ class Table:
         return cached
 
     def _streamed_standardized(self, key: tuple[str, ...]) -> np.ndarray:
-        """Two-pass streaming standardisation for past-budget columns."""
+        """Two-pass streaming standardisation for past-budget columns.
+
+        Pass 1 (the per-column block sums) is memoised in
+        ``_moment_sums``, keyed by block index: the block grid is the
+        fixed :data:`~repro.data.backend.MOMENT_BLOCK_ROWS`, so a full
+        block's sum is a pure function of the column content and can be
+        reused across overlapping name-tuples *and* by
+        :meth:`with_appended_rows` children (a grown column's old full
+        blocks cover identical rows).  Reuse replays the exact same
+        additions in the exact same order, so the output stays bitwise
+        identical to the cold pass.  Passes 2-3 depend on the mean, which
+        shifts with every appended row, and remain O(n) by nature.
+        """
         n = self._n_rows
         sums = np.zeros(len(key))
-        for window in iter_slices(n, MOMENT_BLOCK_ROWS):
-            for j, name in enumerate(key):
-                sums[j] += self._float_chunk(name, window).sum()
+        for j, name in enumerate(key):
+            block_sums = self._moment_sums.setdefault(name, {})
+            for window in iter_slices(n, MOMENT_BLOCK_ROWS):
+                part = block_sums.get(window.start)
+                if part is None:
+                    part = float(self._float_chunk(name, window).sum())
+                    if window.stop - window.start == MOMENT_BLOCK_ROWS:
+                        block_sums[window.start] = part
+                sums[j] += part
         mean = sums / n
         sumsq = np.zeros(len(key))
         for window in iter_slices(n, MOMENT_BLOCK_ROWS):
@@ -486,6 +596,68 @@ class Table:
                 self.float_column(name)
         return self
 
+    # -- prefix/lineage cache adoption -------------------------------------
+
+    def _adopt_prefix(self, parent: "Table") -> None:
+        """Seed this table's incremental caches from its
+        :meth:`with_appended_rows` parent (this table's columns are the
+        parent's plus appended rows).  Only state the parent has already
+        materialised is adopted — adoption never forces a cold pass —
+        and every adopted value is exactly what a cold rebuild would
+        produce, so observables stay pure functions of column values."""
+        n0 = parent.n_rows
+        self._prefix_rows = n0
+        for name in self.columns:
+            state = parent._col_hashes.get(name)
+            if state is not None and self[name].dtype.kind != "O":
+                extended = state.copy()
+                hash_array_blocks(extended, self[name][n0:])
+                self._col_hashes[name] = extended
+            cached = parent._codes_cache.get((name,))
+            values = parent._code_values.get(name)
+            if cached is not None and values is not None:
+                self._prefix_codes[name] = (cached[0], values)
+            block_sums = parent._moment_sums.get(name)
+            if block_sums:
+                # Every cached entry is a full MOMENT_BLOCK_ROWS block of
+                # the parent, hence covers identical rows of this table.
+                self._moment_sums[name] = dict(block_sums)
+
+    def _adopt_column_caches(self, parent: "Table",
+                             names: Iterable[str]) -> None:
+        """Share per-column derived caches with ``parent`` for columns
+        carried over *unchanged* (projection / column-addition lineage:
+        same name, dtype, kind, and values).  Content-preserving by
+        construction, so adopted entries equal a cold rebuild's."""
+        shared = {n for n in names
+                  if n in parent._names
+                  and parent.schema.spec(n).kind is self.schema.spec(n).kind}
+        for name in shared:
+            state = parent._col_hashes.get(name)
+            if state is not None:
+                self._col_hashes[name] = state.copy()
+            values = parent._code_values.get(name)
+            if values is not None:
+                self._code_values[name] = values
+            flt = parent._float_cols.get(name)
+            if flt is not None:
+                self._float_cols[name] = flt
+            block_sums = parent._moment_sums.get(name)
+            if block_sums:
+                self._moment_sums[name] = dict(block_sums)
+        for key, value in parent._codes_cache.items():
+            if shared.issuperset(key):
+                self._codes_cache[key] = value
+        for key, block in parent._std_blocks.items():
+            if shared.issuperset(key):
+                self._std_blocks[key] = block
+        for key, fp in parent._subset_fingerprints.items():
+            if shared.issuperset(key):
+                self._subset_fingerprints[key] = fp
+        # Bandwidths are keyed on content fingerprints, never names, so
+        # entries for replaced columns simply never match again.
+        self._bandwidth_cache.update(parent._bandwidth_cache)
+
     # -- serialization -----------------------------------------------------
 
     def __getstate__(self) -> dict:
@@ -506,6 +678,13 @@ class Table:
         state["_std_blocks"] = {}
         state["_bandwidth_cache"] = {}
         state["_subset_fingerprints"] = {}
+        # Running hash states are not picklable (and all prefix state is
+        # derived): workers rebuild lazily from the column values.
+        state["_col_hashes"] = {}
+        state["_code_values"] = {}
+        state["_moment_sums"] = {}
+        state["_prefix_rows"] = 0
+        state["_prefix_codes"] = {}
         return state
 
     # -- relational operations --------------------------------------------
@@ -513,8 +692,56 @@ class Table:
     def select(self, names: Iterable[str]) -> "Table":
         """Projection: a new table with only the requested columns."""
         use = list(names)
-        return Table({n: self[n] for n in use}, schema=self.schema.select(use),
-                     backend=self._backend.kind)
+        out = Table({n: self[n] for n in use}, schema=self.schema.select(use),
+                    backend=self._backend.kind)
+        out._adopt_column_caches(self, use)
+        return out
+
+    def with_appended_rows(
+            self, rows: Mapping[str, np.ndarray | Sequence]) -> "Table":
+        """A new table with rows appended — the streaming-growth
+        constructor.
+
+        ``rows`` must cover exactly this table's columns (equal-length
+        1-D arrays); values are cast to each column's existing dtype and
+        the schema (kinds and roles) carries over unchanged, so appended
+        values are expected to stay within each column's declared kind.
+
+        The child seeds its incremental caches from this table
+        (:meth:`_adopt_prefix`): per-column hash states extend with only
+        the appended bytes (fingerprint and single-column
+        :meth:`fingerprint_of` become O(new rows)), single-column codes
+        relabel only the tail when no new level appears, and the
+        streamed moment pass reuses full-block partial sums.  All
+        observables remain bitwise identical to a cold rebuild over the
+        concatenated values.
+        """
+        extra = {name: np.asarray(values) for name, values in rows.items()}
+        mismatched = set(extra) ^ self._names
+        if mismatched:
+            raise SchemaError(
+                f"appended rows must cover exactly the table's columns; "
+                f"mismatched: {sorted(mismatched)}")
+        lengths = set()
+        data: dict[str, np.ndarray] = {}
+        for name in self.columns:
+            tail = extra[name]
+            if tail.ndim != 1:
+                raise SchemaError(
+                    f"appended column {name!r} must be 1-D, "
+                    f"got shape {tail.shape}")
+            lengths.add(tail.shape[0])
+            arr = self[name]
+            if tail.dtype != arr.dtype:
+                tail = tail.astype(arr.dtype)
+            data[name] = np.concatenate([arr, tail])
+        if len(lengths) > 1:
+            raise SchemaError(
+                f"appended columns have mismatched lengths: "
+                f"{sorted(lengths)}")
+        child = Table(data, schema=self.schema, backend=self._backend.kind)
+        child._adopt_prefix(self)
+        return child
 
     def drop(self, names: Iterable[str]) -> "Table":
         """Projection complement: remove the requested columns."""
@@ -549,7 +776,9 @@ class Table:
             schema = TableSchema([spec if c.name == name else c for c in self.schema])
         else:
             schema = self.schema.add(spec)
-        return Table(data, schema=schema, backend=self._backend.kind)
+        out = Table(data, schema=schema, backend=self._backend.kind)
+        out._adopt_column_caches(self, [n for n in self.columns if n != name])
+        return out
 
     def with_roles(self, roles: Mapping[str, Role]) -> "Table":
         """A new table with reassigned column roles."""

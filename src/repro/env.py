@@ -45,6 +45,7 @@ __all__ = [
     "CI_WAVE_CELLS",
     "FAULTS",
     "FAULTS_SEED",
+    "STREAM_DELTA",
     "TABLE_BACKEND",
     "TABLE_RAM_CAP_MB",
     "markdown_table",
@@ -211,6 +212,13 @@ CI_WAVE_CELLS = _register(
     "REPRO_CI_WAVE_CELLS", "",
     "explicit rows×queries cell budget for wave splitting; unset derives "
     "it from `REPRO_TABLE_RAM_CAP_MB`")
+
+STREAM_DELTA = _register(
+    "REPRO_STREAM_DELTA", "column",
+    "online delta-reuse policy gating phase-2 retries (`column` re-queues "
+    "only features whose queries touch a changed column, `coarse` keys "
+    "one union fingerprint over every involved column, `off` retries "
+    "every decided feature each batch)")
 
 TABLE_BACKEND = _register(
     "REPRO_TABLE_BACKEND", "memory",

@@ -162,6 +162,122 @@ class TestRecordedCounts:
         assert sorted(second.selected_set) == EXPECTED_SELECTED
 
 
+# Recorded seed-state counts for the drifting-stream workload of
+# :func:`drift_batches` (seed 0 base + seeds 77/88 drift), under the
+# default ``column`` delta-reuse policy.  Cumulative per observed batch:
+#
+# * batch 1 — f0-f4 arrive on the base table (identical to the first
+#   online batch above: 9 tests);
+# * batch 2 — no arrivals, f0's own column revised: exactly one retry
+#   executes (f0), the other decided feature's verdict is reused (1 hit);
+# * batch 3 — f5-f9 arrive on a row-grown table: every column changed,
+#   so both held verdicts re-queue alongside the new arrivals.
+EXPECTED_DRIFT_TESTS_CUMULATIVE = (9, 10, 21)
+EXPECTED_DRIFT_HITS_CUMULATIVE = (0, 1, 1)
+
+
+def drift_tail(n=100, seed=88, n_features=N_FEATURES):
+    """Appended rows for every column of :func:`make_problem`'s table,
+    drawn from the same per-column distributions."""
+    rng = np.random.default_rng(seed)
+    s = rng.integers(0, 2, n)
+    a = rng.integers(0, 3, n)
+    y = (rng.random(n) < 0.35 + 0.2 * (a > 1)).astype(int)
+    tail = {"s": s, "a": a, "y": y}
+    for i in range(n_features):
+        if i % 3 == 0:
+            tail[f"f{i}"] = np.where(rng.random(n) < 0.8, s,
+                                     rng.integers(0, 2, n))
+        else:
+            tail[f"f{i}"] = rng.integers(0, 3, n)
+    return tail
+
+
+def drift_batches():
+    """The recorded drifting stream: (problem, batch) per observe call."""
+    base = make_problem()
+    yield base, [f"f{i}" for i in range(5)]
+
+    rng = np.random.default_rng(77)
+    n = base.table.n_rows
+    s = base.table["s"]
+    revised = FairFeatureSelectionProblem(
+        table=base.table.with_column(
+            "f0", np.where(rng.random(n) < 0.8, s,
+                           rng.integers(0, 2, n))),
+        sensitive=["s"], admissible=["a"], target="y",
+        candidates=list(base.candidates))
+    yield revised, []
+
+    grown = FairFeatureSelectionProblem(
+        table=revised.table.with_appended_rows(drift_tail()),
+        sensitive=["s"], admissible=["a"], target="y",
+        candidates=list(base.candidates))
+    yield grown, [f"f{i}" for i in range(5, N_FEATURES)]
+
+
+class TestDriftCounts:
+    """Count locks for the streaming/drift path: per-column delta reuse
+    re-executes exactly the evidence-required work, identically under
+    every executor and store temperature, and reuse surfaces as cache
+    hits — never as tests."""
+
+    def run_stream(self, delta="column", executor=None, cache=False):
+        online = OnlineSelector(tester=GTestCI(),
+                                subset_strategy=MarginalThenFull(),
+                                executor=executor, cache=cache,
+                                delta=delta)
+        results = [online.observe(problem, batch)
+                   for problem, batch in drift_batches()]
+        return online, results
+
+    @pytest.mark.parametrize("make_executor", executor_factories())
+    def test_drift_counts_locked_per_executor(self, make_executor):
+        executor = make_executor()
+        try:
+            online, results = self.run_stream(executor=executor)
+        finally:
+            close(executor)
+        assert tuple(r.n_ci_tests for r in results) == \
+            EXPECTED_DRIFT_TESTS_CUMULATIVE
+        assert tuple(r.cache_hits for r in results) == \
+            EXPECTED_DRIFT_HITS_CUMULATIVE
+
+    def test_delta_reuse_only_converts_tests_into_hits(self):
+        """Against the from-scratch reference (``off``): identical final
+        verdicts, and every test the default policy saves is accounted
+        for as a reused-verdict cache hit — reuse increments hits, never
+        the test count."""
+        column, column_results = self.run_stream(delta="column")
+        off, off_results = self.run_stream(delta="off")
+        assert column.current.selected_set == off.current.selected_set
+        assert set(column.current.rejected) == set(off.current.rejected)
+        assert dict(column.current.reasons) == dict(off.current.reasons)
+        assert off.delta_hits == 0
+        assert column.n_ci_tests + column.delta_hits == off.n_ci_tests
+        for col_r, off_r in zip(column_results, off_results):
+            assert col_r.n_ci_tests <= off_r.n_ci_tests
+
+    @pytest.mark.parametrize("make_executor", executor_factories())
+    def test_drift_cold_then_warm_store(self, tmp_path, make_executor):
+        """A warm rerun of the whole drifting stream executes zero tests:
+        phase-1/phase-2 misses hit the persistent store, and the delta
+        policy skips the retries it skipped cold."""
+        path = tmp_path / "cache.json"
+        executor = make_executor()
+        try:
+            cold, _ = self.run_stream(executor=executor,
+                                      cache=PersistentCICache(path))
+            warm, warm_results = self.run_stream(
+                executor=executor, cache=PersistentCICache(path))
+        finally:
+            close(executor)
+        assert cold.n_ci_tests == EXPECTED_DRIFT_TESTS_CUMULATIVE[-1]
+        assert warm.n_ci_tests == 0
+        assert warm.current.selected_set == cold.current.selected_set
+        assert warm.delta_hits == cold.delta_hits
+
+
 # Recorded seed-state counts for the *continuous* (RCIT-backed) workload
 # below — the fused same-(Y, Z) path's cost model, locked exactly like the
 # discrete constants above.  See the module docstring before touching.

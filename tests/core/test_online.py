@@ -229,6 +229,191 @@ class TestNoRetryWithoutNewEvidence:
         assert "g1" in online.current.c2
 
 
+class TestDeltaPolicies:
+    """Per-column delta reuse: only features whose queries touch changed
+    evidence re-queue; everything skipped is a reused verdict (a cache
+    hit), never a test."""
+
+    @staticmethod
+    def _selector(delta):
+        from repro.ci.gtest import GTestCI
+        from repro.core.subset_search import FullSetOnly
+        return OnlineSelector(tester=GTestCI(),
+                              subset_strategy=FullSetOnly(), delta=delta)
+
+    @staticmethod
+    def _revised(problem, name, seed=123):
+        """The same problem with column ``name`` regenerated (still
+        biased towards s, so verdicts are comparable)."""
+        import numpy as np
+        rng = np.random.default_rng(seed)
+        n = problem.table.n_rows
+        fresh = np.where(rng.random(n) < 0.85, problem.table["s"],
+                         rng.integers(0, 2, n))
+        return FairFeatureSelectionProblem(
+            table=problem.table.with_column(name, fresh),
+            sensitive=["s"], admissible=[],
+            candidates=list(problem.candidates), target="y")
+
+    def test_own_column_drift_requeues_only_that_feature(self):
+        problem = TestNoRetryWithoutNewEvidence.make_problem()
+        online = self._selector("column")
+        online.observe(problem, ["r1", "r2"])
+        assert set(online.current.rejected) == {"r1", "r2"}
+        base = online.n_ci_tests
+        # Localized drift: r1's own column is revised, r2's evidence is
+        # untouched — only r1 re-queues.
+        online.observe(self._revised(problem, "r1"), [])
+        assert online.n_ci_tests == base + 1
+        assert online.delta_hits == 1  # r2's verdict reused
+
+    def test_shared_column_drift_requeues_everything(self):
+        problem = TestNoRetryWithoutNewEvidence.make_problem()
+        online = self._selector("column")
+        online.observe(problem, ["r1", "r2"])
+        base = online.n_ci_tests
+        # The target participates in every phase-2 query: revising it
+        # invalidates all held verdicts.
+        online.observe(self._revised(problem, "y"), [])
+        assert online.n_ci_tests == base + 2
+        assert online.delta_hits == 0
+
+    def test_coarse_requeues_everything_on_any_drift(self):
+        problem = TestNoRetryWithoutNewEvidence.make_problem()
+        online = self._selector("coarse")
+        online.observe(problem, ["r1", "r2"])
+        base = online.n_ci_tests
+        # One revised column flips the union fingerprint: both re-queue.
+        online.observe(self._revised(problem, "r1"), [])
+        assert online.n_ci_tests == base + 2
+        assert online.delta_hits == 0
+
+    def test_skipped_retries_are_cache_hits_never_tests(self):
+        problem = TestNoRetryWithoutNewEvidence.make_problem()
+        online = self._selector("column")
+        first = online.observe(problem, ["r1"])
+        assert first.cache_hits == 0
+        second = online.observe(problem, ["r2"])
+        # r1's skipped retry surfaces as exactly one cache hit; the test
+        # count covers only r2's own two queries.
+        assert second.cache_hits - first.cache_hits == 1
+        assert second.n_ci_tests - first.n_ci_tests == 2
+
+    def test_off_policy_always_retries(self):
+        problem = TestNoRetryWithoutNewEvidence.make_problem()
+        online = self._selector("off")
+        online.observe(problem, ["r1"])
+        assert online.n_ci_tests == 2
+        online.observe(problem, ["r2"])
+        # r2's 2 tests plus r1's unconditional retry.
+        assert online.n_ci_tests == 5
+        assert online.delta_hits == 0
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SelectionError, match="delta-reuse policy"):
+            OnlineSelector(delta="sometimes")
+
+    def test_invalid_env_policy_rejected(self, monkeypatch):
+        from repro import env
+        monkeypatch.setenv(env.STREAM_DELTA.name, "sometimes")
+        problem = TestNoRetryWithoutNewEvidence.make_problem()
+        online = self._selector(None)
+        with pytest.raises(SelectionError, match="REPRO_STREAM_DELTA"):
+            online.observe(problem, ["r1"])
+
+    def test_env_policy_honoured(self, monkeypatch):
+        from repro import env
+        monkeypatch.setenv(env.STREAM_DELTA.name, "off")
+        problem = TestNoRetryWithoutNewEvidence.make_problem()
+        online = self._selector(None)
+        online.observe(problem, ["r1"])
+        online.observe(problem, ["r2"])
+        assert online.n_ci_tests == 5  # off: r1 retried unconditionally
+
+    def _drift_stream(self):
+        """A deterministic drifting stream mixing feature arrivals,
+        no-op batches, a localized column revision, row growth, and
+        conditioning growth."""
+        p0 = TestNoRetryWithoutNewEvidence.make_problem()
+        yield p0, ["r1"]
+        yield p0, ["r2"]                      # no drift
+        yield self._revised(p0, "r1"), []     # localized drift
+        grown = TestNoRetryWithoutNewEvidence.make_problem(n=1800, seed=11)
+        yield grown, []                       # every column changed
+        yield grown, ["ok"]                   # conditioning set grows
+
+    def test_delta_reuse_never_changes_final_state(self):
+        """The property the whole mechanism rests on: for a deterministic
+        tester, reusing a verdict whose evidence is unchanged equals
+        re-running the query — so every policy converges to the same
+        final selection, at monotonically decreasing test cost."""
+        finals, counts = {}, {}
+        for policy in ("column", "coarse", "off"):
+            online = self._selector(policy)
+            for problem, batch in self._drift_stream():
+                online.observe(problem, batch)
+            result = online.current
+            finals[policy] = (set(result.c1), set(result.c2),
+                              set(result.rejected), dict(result.reasons))
+            counts[policy] = result.n_ci_tests
+        assert finals["column"] == finals["coarse"] == finals["off"]
+        assert counts["column"] <= counts["coarse"] <= counts["off"]
+
+    def test_snapshot_is_memoised_until_next_observe(self):
+        problem = TestNoRetryWithoutNewEvidence.make_problem()
+        online = self._selector("column")
+        online.observe(problem, ["r1"])
+        assert online.current is online.current
+        first = online.current
+        online.observe(problem, ["r2"])
+        assert online.current is not first
+
+
+class TestStreamAPI:
+    def test_stream_of_pairs_matches_observe_loop(self, planted):
+        scm, ground, problem = planted
+        pool = problem.candidates
+        pairs = [(problem, pool[i:i + 5]) for i in range(0, len(pool), 5)]
+
+        streamed = OnlineSelector(tester=OracleCI(scm.dag),
+                                  subset_strategy=MarginalThenFull())
+        results = list(streamed.stream(pairs))
+        assert len(results) == len(pairs)
+
+        looped = OnlineSelector(tester=OracleCI(scm.dag),
+                                subset_strategy=MarginalThenFull())
+        for prob, batch in pairs:
+            looped.observe(prob, batch)
+        assert results[-1].selected_set == looped.current.selected_set
+        assert results[-1].n_ci_tests == looped.current.n_ci_tests
+
+    def test_bare_problem_items_observe_unseen_candidates(self, planted):
+        scm, ground, problem = planted
+        pool = problem.candidates
+        online = OnlineSelector(tester=OracleCI(scm.dag),
+                                subset_strategy=MarginalThenFull())
+        first = problem.with_candidates(pool[:6])
+        results = list(online.stream([first, problem]))
+        # Second item picks up exactly the not-yet-seen remainder.
+        assert len(results) == 2
+        assert online.current.selected_set == ground.safe
+
+    def test_stream_is_lazy_and_anytime(self, planted):
+        scm, ground, problem = planted
+        pool = problem.candidates
+        pairs = [(problem, [f]) for f in pool]
+        online = OnlineSelector(tester=OracleCI(scm.dag),
+                                subset_strategy=MarginalThenFull())
+        it = online.stream(pairs)
+        seen = [next(it) for _ in range(3)]
+        # Only the consumed prefix has been observed; the anytime state
+        # reflects exactly those three features.
+        assert len(seen) == 3
+        decided = (set(online.current.c1) | set(online.current.c2)
+                   | set(online.current.rejected))
+        assert decided == set(pool[:3])
+
+
 class TestOnlineStatistical:
     def test_matches_batch_on_sampled_data(self):
         spec = FairnessGraphSpec(n_features=10, n_biased=3, seed=5)

@@ -39,6 +39,27 @@ class TestParser:
             build_parser().parse_args(
                 ["select", "--dataset", "german", "--tester", "nope"])
 
+    def test_stream_args(self):
+        args = build_parser().parse_args(
+            ["stream", "--dataset", "german", "--batches", "4",
+             "--rows-per-batch", "50", "--delta", "coarse",
+             "--tester", "gtest", "--jobs", "2"])
+        assert args.dataset == "german"
+        assert args.batches == 4
+        assert args.rows_per_batch == 50
+        assert args.delta == "coarse"
+        assert args.jobs == 2
+
+    def test_stream_delta_defaults_to_env(self):
+        args = build_parser().parse_args(["stream", "--dataset", "german"])
+        assert args.delta is None
+        assert args.rows_per_batch is None
+
+    def test_stream_unknown_delta_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["stream", "--dataset", "german", "--delta", "sometimes"])
+
     def test_suite_args(self):
         args = build_parser().parse_args(
             ["suite", "--datasets", "german", "compas",
@@ -84,6 +105,32 @@ class TestCommands:
         assert main(["select", "--dataset", "german", "--tester", "gtest",
                      "--subsets", "marginal+full"]) == 0
         assert "GrpSel" in capsys.readouterr().out
+
+    def test_stream_prints_per_batch_table(self, capsys):
+        assert main(["stream", "--dataset", "german", "--batches", "3",
+                     "--tester", "gtest"]) == 0
+        out = capsys.readouterr().out
+        assert "delta=column" in out
+        for column in ("batch", "n_ci_tests", "cache_hits", "rows"):
+            assert column in out
+        assert "OnlineSeqSel" in out
+
+    def test_stream_with_row_growth_and_store(self, capsys, tmp_path):
+        argv = ["stream", "--dataset", "german", "--batches", "4",
+                "--rows-per-batch", "50", "--tester", "gtest",
+                "--delta", "off", "--store", str(tmp_path / "runs")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "delta=off" in out
+        assert "4 batches" in out
+        # A warm rerun over the same store answers every query from it.
+        assert main(argv) == 0
+        assert "delta=off" in capsys.readouterr().out
+
+    def test_stream_rejects_impossible_row_budget(self):
+        with pytest.raises(SystemExit, match="rows"):
+            main(["stream", "--dataset", "german", "--batches", "4",
+                  "--rows-per-batch", "100000", "--tester", "gtest"])
 
     def test_suite_runs_legs_and_reports_table(self, capsys, tmp_path):
         argv = ["suite", "--datasets", "german", "compas",
